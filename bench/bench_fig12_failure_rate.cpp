@@ -1,0 +1,10 @@
+// Figure 12: SA/DS failure rate as a function of (N, U).
+#include <iostream>
+
+#include "experiments/figures.h"
+
+int main() {
+  const e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/false);
+  e2e::run_fig12_failure_rate(std::cout, options);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 14: PM/DS average end-to-end response-time ratio from simulation.
+#include <iostream>
+
+#include "experiments/figures.h"
+
+int main() {
+  const e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/true);
+  e2e::run_eer_ratio_figure(std::cout, e2e::EerRatioFigure::kPmDs, options);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Extension: output-jitter comparison (paper Sections 2 and 6 discuss the
+// protocols' jitter behaviour qualitatively; this measures it).
+#include <iostream>
+
+#include "experiments/figures.h"
+
+int main() {
+  const e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/true);
+  e2e::run_jitter_report(std::cout, options);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark): raw cost of the simulation engine,
+// the event queue, and the schedulability analyses. Not a paper figure --
+// these justify the sweep defaults in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/release_guard.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "task/paper_examples.h"
+#include "workload/generator.h"
+
+namespace {
+
+e2e::TaskSystem make_system(int subtasks, int utilization_percent,
+                            std::uint64_t seed) {
+  e2e::Rng rng{seed};
+  e2e::GeneratorOptions options = e2e::options_for(
+      {.subtasks_per_task = subtasks, .utilization_percent = utilization_percent});
+  return e2e::generate_system(rng, options);
+}
+
+void BM_EventQueue(benchmark::State& state) {
+  e2e::Rng rng{7};
+  for (auto _ : state) {
+    e2e::EventQueue queue;
+    for (int i = 0; i < 1024; ++i) {
+      queue.push(e2e::Event{.time = rng.uniform_int(0, 1 << 20),
+                            .phase = e2e::kReleasePhase,
+                            .kind = e2e::EventKind::kRelease});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_SimulateDS(benchmark::State& state) {
+  const auto system =
+      make_system(static_cast<int>(state.range(0)), 70, /*seed=*/11);
+  const e2e::Time horizon =
+      static_cast<e2e::Time>(10.0 * static_cast<double>(system.max_period()));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    e2e::DirectSyncProtocol protocol;
+    e2e::Engine engine{system, protocol, {.horizon = horizon}};
+    engine.run();
+    events += engine.stats().events_processed;
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel("events/iteration");
+}
+BENCHMARK(BM_SimulateDS)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SimulateRG(benchmark::State& state) {
+  const auto system =
+      make_system(static_cast<int>(state.range(0)), 70, /*seed=*/11);
+  const e2e::Time horizon =
+      static_cast<e2e::Time>(10.0 * static_cast<double>(system.max_period()));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    e2e::ReleaseGuardProtocol protocol{system};
+    e2e::Engine engine{system, protocol, {.horizon = horizon}};
+    engine.run();
+    events += engine.stats().events_processed;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SimulateRG)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AnalyzeSaPm(benchmark::State& state) {
+  const auto system = make_system(static_cast<int>(state.range(0)), 80, /*seed=*/13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::analyze_sa_pm(system));
+  }
+}
+BENCHMARK(BM_AnalyzeSaPm)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AnalyzeSaDs(benchmark::State& state) {
+  const auto system = make_system(static_cast<int>(state.range(0)), 60, /*seed=*/13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::analyze_sa_ds(system));
+  }
+}
+BENCHMARK(BM_AnalyzeSaDs)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GenerateSystem(benchmark::State& state) {
+  e2e::Rng rng{17};
+  const e2e::GeneratorOptions options =
+      e2e::options_for({.subtasks_per_task = 6, .utilization_percent = 80});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::generate_system(rng, options));
+  }
+}
+BENCHMARK(BM_GenerateSystem);
+
+}  // namespace
+
+BENCHMARK_MAIN();

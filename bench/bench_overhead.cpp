@@ -1,0 +1,11 @@
+// Section 3.3: implementation complexity traits and measured run-time
+// overhead of the four protocols.
+#include <iostream>
+
+#include "experiments/figures.h"
+
+int main() {
+  const e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/true);
+  e2e::run_overhead_report(std::cout, options);
+  return 0;
+}

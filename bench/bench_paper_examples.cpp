@@ -1,0 +1,11 @@
+// Regenerates the paper's worked examples: Figures 3, 4, 5, 6, 7 as ASCII
+// Gantt charts plus the analysis numbers quoted in Sections 3 and 4.
+#include <iostream>
+
+#include "experiments/paper_example_report.h"
+
+int main() {
+  e2e::report_example2(std::cout);
+  e2e::report_example1(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Output-jitter study: for one generated system, prints the per-task EER
+// series statistics under DS, PM and RG, illustrating the paper's
+// Section 6 claim -- PM/MPM bound the output jitter by the last subtask's
+// response bound, RG's jitter can reach the whole EER bound, and DS sits
+// in between in practice while its average EER is shortest.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/factory.h"
+#include "metrics/eer_collector.h"
+#include "report/table.h"
+#include "sim/engine.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace e2e;
+
+  Rng rng{42};
+  GeneratorOptions gen = options_for({.subtasks_per_task = 5, .utilization_percent = 70});
+  gen.tasks = 6;  // keep the report readable
+  const TaskSystem system = generate_system(rng, gen);
+  const AnalysisResult pm_bounds = analyze_sa_pm(system);
+
+  const Time horizon =
+      static_cast<Time>(40.0 * static_cast<double>(system.max_period()));
+
+  std::cout << "one generated system: 4 processors, 6 tasks, 5 subtasks each, "
+               "70% utilization\n\n";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
+        ProtocolKind::kReleaseGuard}) {
+    const auto protocol = make_protocol(kind, system, &pm_bounds.subtask_bounds);
+    EerCollector eer{system, {.keep_series = true}};
+    Engine engine{system, *protocol, {.horizon = horizon}};
+    engine.add_sink(&eer);
+    engine.run();
+
+    TextTable table({"task", "instances", "avg EER", "worst EER", "bound (SA/PM)",
+                     "max |dEER|", "last-subtask bound"});
+    for (const Task& task : system.tasks()) {
+      const RunningStats& jitter = eer.output_jitter(task.id);
+      table.add_row(
+          {task.name, std::to_string(eer.completed_instances(task.id)),
+           TextTable::fmt(eer.average_eer(task.id), 1),
+           std::to_string(eer.worst_eer(task.id)),
+           std::to_string(pm_bounds.eer_bound(task.id)),
+           std::to_string(static_cast<Time>(jitter.count() > 0 ? jitter.max() : 0.0)),
+           std::to_string(pm_bounds.subtask_bounds.at(task.last_subtask().ref))});
+    }
+    std::cout << "-- " << to_string(kind) << " --\n" << table.to_string() << "\n";
+  }
+  std::cout << "note: under PM the max EER difference stays within the last\n"
+               "subtask's response bound; under DS/RG it can be much larger.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Soft real-time scenario: the paper concludes DS "is a reasonable choice
+// when tasks have soft timing constraints". This example makes that
+// concrete: a system whose *worst-case* bounds overrun the deadlines, but
+// whose execution times usually come in well under their WCETs. We
+// measure actual deadline-miss rates per protocol.
+//
+// The point: the PM family converts pessimistic analysis directly into
+// real latency (every release waits out the worst case), so it misses
+// deadlines even when the workload behaves mildly; DS and RG only pay the
+// worst case when it actually happens.
+#include <algorithm>
+#include <iostream>
+
+#include "core/analysis/sa_pm.h"
+#include "core/runner.h"
+#include "metrics/histogram.h"
+#include "report/table.h"
+#include "sim/execution_model.h"
+#include "task/builder.h"
+
+int main() {
+  using namespace e2e;
+
+  // A media pipeline (decode -> render) with tight deadlines plus two
+  // background tasks; WCETs are ~2x typical execution.
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 100, .deadline = 80, .name = "video"})
+      .subtask(ProcessorId{0}, 35, Priority{1}, "decode")
+      .subtask(ProcessorId{1}, 30, Priority{1}, "render");
+  b.add_task({.period = 60, .name = "audio"})
+      .subtask(ProcessorId{0}, 12, Priority{0}, "mix")
+      .subtask(ProcessorId{1}, 10, Priority{0}, "out");
+  b.add_task({.period = 400, .name = "telemetry"})
+      .subtask(ProcessorId{1}, 40, Priority{2}, "upload");
+  const TaskSystem system = std::move(b).build();
+
+  const AnalysisResult bounds = analyze_sa_pm(system);
+  std::cout << "video: deadline 80, worst-case EER bound "
+            << bounds.eer_bound(TaskId{0})
+            << " -- NOT hard-real-time schedulable.\n"
+            << "But actual executions are uniform in [40%, 100%] of WCET:\n\n";
+
+  TextTable table({"protocol", "video avg EER", "p95", "p99", "worst", "miss rate"});
+  for (const ProtocolKind kind : kAllProtocolKinds) {
+    UniformExecutionVariation execution{Rng{2026}, 0.4};
+    const SimulationRun run = simulate(system, kind,
+                                       {.horizon = 400'000,
+                                        .execution = &execution,
+                                        .pm_bounds = &bounds.subtask_bounds,
+                                        .metrics = {.keep_series = true}});
+    Histogram latency{0.0, 120.0, 120};
+    latency.add_all(run.eer.eer_series(TaskId{0}));
+    const double completed = static_cast<double>(run.stats.jobs_completed);
+    table.add_row(
+        {std::string(to_string(kind)), TextTable::fmt(run.eer.average_eer(TaskId{0}), 1),
+         TextTable::fmt(latency.percentile(0.95), 0),
+         TextTable::fmt(latency.percentile(0.99), 0),
+         std::to_string(run.eer.worst_eer(TaskId{0})),
+         TextTable::fmt(static_cast<double>(run.stats.deadline_misses) /
+                            std::max(1.0, completed) * 100.0,
+                        2) +
+             "%"});
+  }
+  std::cout << table.to_string()
+            << "\nDS/RG ride the actual (mild) execution times; PM/MPM wait "
+               "out the full worst-case offsets on every instance.\n";
+  return 0;
+}

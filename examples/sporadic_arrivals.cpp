@@ -1,0 +1,42 @@
+// Failure-mode demo: the PM protocol "does not work correctly" when first
+// releases are sporadic rather than strictly periodic (paper Section 3.1),
+// because its successor releases follow a fixed global timetable. MPM and
+// RG chase actual releases/completions and stay correct.
+//
+// We drive the same system with jittered (but contract-respecting:
+// inter-arrival >= period) arrivals under PM, MPM and RG, and report the
+// precedence violations the engine detects.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/factory.h"
+#include "report/table.h"
+#include "sim/arrival.h"
+#include "sim/engine.h"
+#include "task/paper_examples.h"
+
+int main() {
+  using namespace e2e;
+  const TaskSystem system = paper::example1_monitor_with_interference();
+  const AnalysisResult bounds = analyze_sa_pm(system);
+
+  std::cout << "monitor-task system, arrivals jittered by up to half a period\n\n";
+
+  TextTable table({"protocol", "jobs released", "precedence violations"});
+  for (const ProtocolKind kind :
+       {ProtocolKind::kPhaseModification, ProtocolKind::kModifiedPm,
+        ProtocolKind::kReleaseGuard}) {
+    SporadicArrivals arrivals{Rng{99}, /*max_jitter=*/system.min_period() / 2};
+    const auto protocol = make_protocol(kind, system, &bounds.subtask_bounds);
+    Engine engine{system, *protocol, {.horizon = 24'000, .arrivals = &arrivals}};
+    engine.run();
+    table.add_row({std::string(to_string(kind)),
+                   std::to_string(engine.stats().jobs_released),
+                   std::to_string(engine.stats().precedence_violations)});
+  }
+  std::cout << table.to_string()
+            << "\nPM violates precedence under sporadic arrivals; MPM and RG "
+               "never do.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "common/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace e2e {
+
+ArgParser::ArgParser(std::vector<std::string> tokens) {
+  bool options_done = false;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (options_done || token.size() < 2 || token.rfind("--", 0) != 0) {
+      positionals_.push_back(token);
+      continue;
+    }
+    if (token == "--") {
+      options_done = true;
+      continue;
+    }
+    const std::size_t equals = token.find('=');
+    if (equals != std::string::npos) {
+      options_[token.substr(2, equals - 2)] = token.substr(equals + 1);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    // `--name value` form: consume the next token as the value unless it
+    // looks like another option.
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      options_[name] = tokens[++i];
+    } else {
+      options_[name] = std::nullopt;  // bare flag
+    }
+  }
+}
+
+ArgParser::ArgParser(int argc, const char* const* argv)
+    : ArgParser([&] {
+        std::vector<std::string> tokens;
+        for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+        return tokens;
+      }()) {}
+
+std::string ArgParser::positional(std::size_t i) const {
+  return i < positionals_.size() ? positionals_[i] : std::string{};
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::optional<std::string> ArgParser::value(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::nullopt : it->second;
+}
+
+std::int64_t ArgParser::value_int(const std::string& name, std::int64_t fallback) const {
+  const std::optional<std::string> v = value(name);
+  if (!v.has_value()) return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw InvalidArgument("--" + name + " expects an integer, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+double ArgParser::value_double(const std::string& name, double fallback) const {
+  const std::optional<std::string> v = value(name);
+  if (!v.has_value()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw InvalidArgument("--" + name + " expects a number, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+std::string ArgParser::value_string(const std::string& name, std::string fallback) const {
+  return value(name).value_or(std::move(fallback));
+}
+
+void ArgParser::expect_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, _] : options_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw InvalidArgument("unknown option --" + name);
+    }
+  }
+}
+
+}  // namespace e2e

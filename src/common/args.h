@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for the CLI tools.
+//
+// Grammar: positionals and `--name=value` / `--name value` / `--flag`
+// options, in any order. `--` ends option parsing. Unknown options are
+// the *caller's* concern: the parser records what it saw; commands
+// validate against their known option set via expect_known().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+class ArgParser {
+ public:
+  /// Parses tokens (argv[1..]); throws InvalidArgument on malformed
+  /// input (an option with a missing value is only detectable by the
+  /// caller via value()).
+  explicit ArgParser(std::vector<std::string> tokens);
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+  [[nodiscard]] std::size_t positional_count() const noexcept {
+    return positionals_.size();
+  }
+  /// i-th positional or empty string.
+  [[nodiscard]] std::string positional(std::size_t i) const;
+
+  /// True if `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of `--name=value`; nullopt when absent or value-less.
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  /// Typed accessors with defaults; throw InvalidArgument on a
+  /// non-numeric value.
+  [[nodiscard]] std::int64_t value_int(const std::string& name,
+                                       std::int64_t fallback) const;
+  [[nodiscard]] double value_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string value_string(const std::string& name,
+                                         std::string fallback) const;
+
+  /// Throws InvalidArgument naming the first option not in `known`.
+  void expect_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::optional<std::string>> options_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace e2e::detail {
+
+void assert_fail(const char* expr, const char* message, std::source_location loc) {
+  std::fprintf(stderr, "e2e assertion failed: %s\n  %s\n  at %s:%u in %s\n", expr,
+               message, loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+}  // namespace e2e::detail

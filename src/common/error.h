@@ -1,0 +1,46 @@
+// Error handling utilities.
+//
+// The library distinguishes two failure classes:
+//  * programming errors / violated invariants -> E2E_ASSERT (aborts with a
+//    diagnostic; these indicate a bug, not bad input), and
+//  * invalid user input (malformed task systems, bad configuration)
+//    -> InvalidArgument exceptions thrown by validating constructors.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace e2e {
+
+/// Thrown by validating builders/constructors when user-supplied data
+/// violates a documented precondition (e.g. non-positive period).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an operation is impossible in the current state (e.g.
+/// querying simulation results before running the simulation).
+class StateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* message,
+                              std::source_location loc);
+}  // namespace detail
+
+}  // namespace e2e
+
+/// Always-on invariant check (active in release builds too: the cost is
+/// negligible next to simulation work, and silent corruption of a
+/// schedulability result would be far worse than an abort).
+#define E2E_ASSERT(expr, message)                                             \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]] {                                               \
+      ::e2e::detail::assert_fail(#expr, (message),                            \
+                                 std::source_location::current());            \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,92 @@
+// Strong identifier types for tasks, subtasks and processors.
+//
+// These are thin wrappers around integers so that a ProcessorId cannot be
+// accidentally passed where a TaskId is expected. They are regular,
+// hashable, totally ordered value types.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace e2e {
+
+namespace detail {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// incompatible types.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::int32_t;
+
+  StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = -1;
+};
+
+}  // namespace detail
+
+struct TaskIdTag {};
+struct ProcessorIdTag {};
+
+/// Identifies an end-to-end task T_i within a TaskSystem (0-based).
+using TaskId = detail::StrongId<TaskIdTag>;
+
+/// Identifies a processor P_k within a TaskSystem (0-based).
+using ProcessorId = detail::StrongId<ProcessorIdTag>;
+
+/// Identifies subtask T_{i,j}: task `task`, chain position `index`
+/// (0-based; the paper's j runs from 1, so paper T_{i,j} == {i-1, j-1}).
+struct SubtaskRef {
+  TaskId task;
+  std::int32_t index = -1;
+
+  friend constexpr auto operator<=>(const SubtaskRef&, const SubtaskRef&) = default;
+};
+
+/// Fixed priority of a subtask on its processor. Following the paper,
+/// *smaller numeric value means higher priority* (priority 0 is highest).
+struct Priority {
+  std::int32_t level = 0;
+
+  friend constexpr auto operator<=>(const Priority&, const Priority&) = default;
+};
+
+/// True if `a` is strictly higher priority than `b`.
+[[nodiscard]] constexpr bool higher_priority(Priority a, Priority b) noexcept {
+  return a.level < b.level;
+}
+
+/// True if `a` has priority higher than or equal to `b` (the paper's
+/// H_{i,j} membership test).
+[[nodiscard]] constexpr bool higher_or_equal_priority(Priority a, Priority b) noexcept {
+  return a.level <= b.level;
+}
+
+}  // namespace e2e
+
+template <typename Tag>
+struct std::hash<e2e::detail::StrongId<Tag>> {
+  std::size_t operator()(e2e::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<e2e::SubtaskRef> {
+  std::size_t operator()(const e2e::SubtaskRef& ref) const noexcept {
+    return std::hash<std::int64_t>{}((static_cast<std::int64_t>(ref.task.value()) << 32) |
+                                     static_cast<std::uint32_t>(ref.index));
+  }
+};

@@ -1,0 +1,43 @@
+// Integer arithmetic helpers used by the schedulability analyses.
+//
+// All of these are overflow-aware: the analyses iterate expressions like
+// ceil((t + J) / p) * e over many subtasks, and a divergent fixpoint can
+// push t towards very large values before the divergence cap triggers.
+// Saturating behaviour (returning kTimeInfinity) keeps such runs
+// well-defined instead of being undefined behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace e2e {
+
+/// ceil(a / b) for a >= 0, b > 0.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// floor(a / b) for a >= 0, b > 0.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  return a / b;
+}
+
+/// a + b, saturating at kTimeInfinity; treats either operand being
+/// kTimeInfinity as infinite. Requires a, b >= 0.
+[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept;
+
+/// a * b, saturating at kTimeInfinity; treats either operand being
+/// kTimeInfinity as infinite (unless the other is 0, which yields 0).
+/// Requires a, b >= 0.
+[[nodiscard]] std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
+
+/// Greatest common divisor; gcd(0, x) == x. Requires a, b >= 0.
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;
+
+/// Least common multiple, saturating at kTimeInfinity. Requires a, b > 0.
+/// Used for hyperperiod computation, which can legitimately overflow for
+/// co-prime tick-scaled periods.
+[[nodiscard]] std::int64_t lcm64_saturating(std::int64_t a, std::int64_t b) noexcept;
+
+}  // namespace e2e

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  E2E_ASSERT(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t limit = -range % range;  // (2^64 - range) mod range
+  std::uint64_t x = 0;
+  do {
+    x = next_u64();
+  } while (x < limit);
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  E2E_ASSERT(lo < hi, "uniform_real requires lo < hi");
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::truncated_exponential(double mean, double lo, double hi) noexcept {
+  E2E_ASSERT(mean > 0.0 && lo > 0.0 && lo < hi, "bad truncated_exponential parameters");
+  const double lambda = 1.0 / mean;
+  // Conditional CDF on [lo, hi]: F(x) = (1 - e^{-l(x-lo)}) / (1 - e^{-l(hi-lo)}).
+  const double z = 1.0 - std::exp(-lambda * (hi - lo));
+  const double u = next_double();
+  const double x = lo - std::log(1.0 - u * z) / lambda;
+  // Numerical guard: x can land a hair outside [lo, hi].
+  return std::fmin(std::fmax(x, lo), hi);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) noexcept {
+  return Rng(next_u64() ^ (0x6A09E667F3BCC909ULL + stream_id * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace e2e

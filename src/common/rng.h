@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulation study generates thousands of synthetic systems; for
+// reproducible experiments every random quantity flows through Rng, a
+// xoshiro256++ generator seeded via SplitMix64. We deliberately avoid
+// std::mt19937 + std::*_distribution because their outputs are not
+// guaranteed identical across standard-library implementations, which
+// would make EXPERIMENTS.md numbers non-reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace e2e {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+/// Regular value type: copying an Rng forks the stream.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via SplitMix64, so that
+  /// nearby seeds yield uncorrelated streams.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1). 53-bit resolution.
+  double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  /// Uses rejection sampling (unbiased).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi). Requires lo < hi.
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Exponential with the given mean, truncated to [lo, hi] by inverse-CDF
+  /// of the conditional distribution (NOT by clamping/rejection, so the
+  /// density is a genuine truncated exponential as in the paper's period
+  /// distribution). Requires 0 < lo < hi, mean > 0.
+  double truncated_exponential(double mean, double lo, double hi) noexcept;
+
+  /// Creates a child generator with an independent stream, derived from
+  /// this generator's next output plus `stream_id`. Used to give each
+  /// synthetic system its own stream so per-system results do not depend
+  /// on evaluation order.
+  Rng fork(std::uint64_t stream_id) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace e2e

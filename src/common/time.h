@@ -1,0 +1,31 @@
+// Time representation used across the library.
+//
+// All times are integer "ticks". Using integers (rather than floating
+// point) guarantees that the monotone fixpoint iterations in the
+// schedulability analyses (SA/PM, Algorithm IEERT) terminate with exact
+// results, and that discrete-event simulation is fully deterministic.
+//
+// The workload generator scales real-valued periods/execution times into
+// ticks (see workload/generator.h); 1 paper time unit == kTicksPerUnit
+// ticks there. Nothing else in the library assumes a particular scale.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace e2e {
+
+/// A point in (simulated) time, in ticks. Non-negative in all schedules.
+using Time = std::int64_t;
+
+/// A length of time, in ticks. Durations in this library are >= 0 except
+/// where explicitly noted.
+using Duration = std::int64_t;
+
+/// Sentinel for "no bound found" / "unbounded response time".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Returns true if `t` is the infinity sentinel.
+[[nodiscard]] constexpr bool is_infinite(Time t) noexcept { return t == kTimeInfinity; }
+
+}  // namespace e2e

@@ -1,0 +1,30 @@
+#include "core/analysis/blocking.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+Duration blocking_term(const TaskSystem& system, const Subtask& subtask) {
+  Duration worst = 0;
+  for (const SubtaskRef other_ref : system.subtasks_on(subtask.processor)) {
+    if (other_ref == subtask.ref) continue;
+    const Subtask& other = system.subtask(other_ref);
+    if (other.preemptible) continue;
+    // Only strictly lower priority blocks: higher-or-equal interference is
+    // already charged through the H set.
+    if (higher_or_equal_priority(other.priority, subtask.priority)) continue;
+    worst = std::max(worst, other.execution_time - 1);
+  }
+  return worst;
+}
+
+bool has_non_preemptible_subtasks(const TaskSystem& system) {
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      if (!s.preemptible) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace e2e

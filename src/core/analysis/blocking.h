@@ -1,0 +1,24 @@
+// Blocking terms for non-preemptible subtasks -- an extension beyond the
+// paper (Section 6 explicitly defers "the effect of non-preemptivity").
+//
+// Under fixed-priority scheduling, a subtask can be blocked by at most one
+// lower-priority non-preemptible subtask on its processor, for at most
+// that subtask's execution time minus one tick (it must have started
+// strictly before the victim's critical instant). The analyses add this
+// constant to every demand equation; for fully preemptible systems the
+// term is zero and the paper's original equations are recovered exactly.
+#pragma once
+
+#include "common/time.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// B_{i,j}: the worst-case blocking `subtask` can suffer from
+/// lower-priority non-preemptible subtasks on its processor.
+[[nodiscard]] Duration blocking_term(const TaskSystem& system, const Subtask& subtask);
+
+/// True if any subtask in the system is non-preemptible.
+[[nodiscard]] bool has_non_preemptible_subtasks(const TaskSystem& system);
+
+}  // namespace e2e

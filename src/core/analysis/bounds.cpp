@@ -1,0 +1,69 @@
+#include "core/analysis/bounds.h"
+
+#include "common/error.h"
+
+namespace e2e {
+
+SubtaskTable::SubtaskTable(const TaskSystem& system, Duration initial) {
+  values_.resize(system.task_count());
+  for (const Task& t : system.tasks()) {
+    values_[t.id.index()].assign(t.subtasks.size(), initial);
+  }
+}
+
+Duration SubtaskTable::at(SubtaskRef ref) const {
+  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
+             "SubtaskTable: task out of range");
+  const auto& row = values_[ref.task.index()];
+  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
+             "SubtaskTable: index out of range");
+  return row[static_cast<std::size_t>(ref.index)];
+}
+
+void SubtaskTable::set(SubtaskRef ref, Duration value) {
+  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
+             "SubtaskTable: task out of range");
+  auto& row = values_[ref.task.index()];
+  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
+             "SubtaskTable: index out of range");
+  row[static_cast<std::size_t>(ref.index)] = value;
+}
+
+Duration SubtaskTable::predecessor_or_zero(SubtaskRef ref) const {
+  if (ref.index <= 0) return 0;
+  return at(SubtaskRef{ref.task, ref.index - 1});
+}
+
+bool SubtaskTable::any_infinite() const noexcept {
+  for (const auto& row : values_) {
+    for (const Duration v : row) {
+      if (is_infinite(v)) return true;
+    }
+  }
+  return false;
+}
+
+bool AnalysisResult::all_bounded() const noexcept {
+  for (const Duration b : eer_bounds) {
+    if (is_infinite(b)) return false;
+  }
+  return true;
+}
+
+bool AnalysisResult::system_schedulable() const noexcept {
+  for (const bool ok : task_schedulable) {
+    if (!ok) return false;
+  }
+  return !task_schedulable.empty();
+}
+
+void finalize_schedulability(const TaskSystem& system, AnalysisResult& result) {
+  result.task_schedulable.assign(system.task_count(), false);
+  for (const Task& t : system.tasks()) {
+    const Duration bound = result.eer_bounds.at(t.id.index());
+    result.task_schedulable[t.id.index()] =
+        !is_infinite(bound) && bound <= t.relative_deadline;
+  }
+}
+
+}  // namespace e2e

@@ -1,0 +1,59 @@
+// Containers for per-subtask and per-task analysis results.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// A per-subtask table of durations (response-time bounds, IEER bounds,
+/// phases, ...), indexed by SubtaskRef and shaped like a TaskSystem.
+class SubtaskTable {
+ public:
+  SubtaskTable() = default;
+  /// Creates a table shaped like `system`, filled with `initial`.
+  SubtaskTable(const TaskSystem& system, Duration initial);
+
+  [[nodiscard]] Duration at(SubtaskRef ref) const;
+  void set(SubtaskRef ref, Duration value);
+
+  /// Value for the predecessor of `ref`, or 0 for a first subtask.
+  /// This is the R_{u,v-1} term of Algorithm IEERT.
+  [[nodiscard]] Duration predecessor_or_zero(SubtaskRef ref) const;
+
+  /// True if any entry is kTimeInfinity.
+  [[nodiscard]] bool any_infinite() const noexcept;
+
+  friend bool operator==(const SubtaskTable&, const SubtaskTable&) = default;
+
+ private:
+  std::vector<std::vector<Duration>> values_;  // [task][chain index]
+};
+
+/// Result of a schedulability analysis over a whole system.
+struct AnalysisResult {
+  /// Upper bound on the response time of each subtask. For SA/DS this
+  /// table instead holds IEER (intermediate end-to-end response) bounds,
+  /// which are cumulative along the chain.
+  SubtaskTable subtask_bounds;
+  /// Upper bound on the end-to-end response time of each task, indexed by
+  /// TaskId; kTimeInfinity when the analysis failed to bound it.
+  std::vector<Duration> eer_bounds;
+  /// Per-task schedulability verdict: eer_bound <= relative deadline.
+  std::vector<bool> task_schedulable;
+
+  /// True iff every task has a finite EER bound.
+  [[nodiscard]] bool all_bounded() const noexcept;
+  /// True iff every task is schedulable (finite bound within deadline).
+  [[nodiscard]] bool system_schedulable() const noexcept;
+  [[nodiscard]] Duration eer_bound(TaskId id) const { return eer_bounds.at(id.index()); }
+};
+
+/// Fills `result.task_schedulable` from `result.eer_bounds` and the
+/// deadlines in `system`.
+void finalize_schedulability(const TaskSystem& system, AnalysisResult& result);
+
+}  // namespace e2e

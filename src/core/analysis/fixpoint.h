@@ -1,0 +1,42 @@
+// Generic monotone fixpoint solver.
+//
+// Every response-time equation in the paper has the shape
+//     t = W(t),   W monotone non-decreasing, right-continuous step function
+// and is solved by the iteration S_0 = W(0+), S_k = W(S_{k-1}), which
+// converges to the least positive fixpoint when one exists (Lehoczky '90).
+// When the underlying utilization exceeds 1 the iteration diverges; we cap
+// it and report "unbounded".
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/time.h"
+
+namespace e2e {
+
+/// Demand function W(t): total time demanded in [0, t]. Must be monotone
+/// non-decreasing in t and may saturate at kTimeInfinity.
+using DemandFn = std::function<Duration(Time)>;
+
+struct FixpointOptions {
+  /// Give up once the iterate exceeds this value (divergence cap).
+  Time cap = kTimeInfinity;
+  /// Hard limit on iteration count (secondary safety net; each iteration
+  /// strictly increases the iterate by at least one tick, so `cap`
+  /// normally triggers first).
+  int max_iterations = 1 << 22;
+};
+
+/// Solves min{ t > 0 : t = W(t) } by the standard iteration starting from
+/// max(W(0+), 1). Returns std::nullopt if the iterate exceeds
+/// `options.cap`, saturates, or the iteration budget is exhausted.
+[[nodiscard]] std::optional<Time> solve_fixpoint(const DemandFn& demand,
+                                                 const FixpointOptions& options = {});
+
+/// As above but starts the iteration at `start` (used for the completion-
+/// time equations, whose least fixpoint is known to be >= m * e_{i,j}).
+[[nodiscard]] std::optional<Time> solve_fixpoint_from(Time start, const DemandFn& demand,
+                                                      const FixpointOptions& options = {});
+
+}  // namespace e2e

@@ -1,0 +1,131 @@
+#include "core/analysis/ieert.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "core/analysis/blocking.h"
+#include "core/analysis/fixpoint.h"
+
+namespace e2e {
+namespace {
+
+/// ceil((t + jitter) / period) * exec, saturating.
+Duration jittered_demand(Time t, Duration jitter, Duration period, Duration exec) {
+  if (is_infinite(jitter) || is_infinite(t)) return kTimeInfinity;
+  return sat_mul(ceil_div(sat_add(t, jitter), period), exec);
+}
+
+/// Sum of execution times of T_{i,1} .. T_{i,j} -- the earliest possible
+/// completion of position `index` relative to the chain's first release.
+Duration best_case_through(const TaskSystem& system, SubtaskRef ref) {
+  Duration sum = 0;
+  const Task& t = system.task(ref.task);
+  for (std::int32_t j = 0; j <= ref.index; ++j) {
+    sum += t.subtasks[static_cast<std::size_t>(j)].execution_time;
+  }
+  return sum;
+}
+
+/// Release jitter attributed to subtask `ref` given the current IEER
+/// bounds of its predecessor: R_{u,v-1} (optionally minus the best case),
+/// plus the parent task's bounded first-release jitter J_u (extension;
+/// 0 in the paper's model, where first releases are strictly periodic).
+Duration release_jitter(const TaskSystem& system, SubtaskRef ref,
+                        const SubtaskTable& current, const IeertOptions& options) {
+  const Duration task_jitter = system.task(ref.task).release_jitter;
+  if (ref.index <= 0) return task_jitter;
+  const SubtaskRef pred{ref.task, ref.index - 1};
+  const Duration bound = current.at(pred);
+  if (is_infinite(bound)) return kTimeInfinity;
+  if (!options.refine_jitter_with_best_case) return sat_add(bound, task_jitter);
+  return sat_add(std::max<Duration>(0, bound - best_case_through(system, pred)),
+                 task_jitter);
+}
+
+Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
+                            std::span<const Interferer> hp, const SubtaskTable& current,
+                            const IeertOptions& options) {
+  const Task& task = system.task(subtask.ref.task);
+  const Duration period = task.period;
+  const Duration exec = subtask.execution_time;
+  // Constant offset added to every instance's IEER: the predecessor's
+  // IEER bound plus (extension) the task's own first-release jitter.
+  const Duration own_accum =
+      sat_add(current.predecessor_or_zero(subtask.ref), task.release_jitter);
+  const Duration own_jitter = release_jitter(system, subtask.ref, current, options);
+  const Duration blocking = blocking_term(system, subtask);
+  if (is_infinite(own_accum)) return kTimeInfinity;
+
+  const Duration cutoff =
+      options.failure_period_multiplier > 0.0
+          ? static_cast<Duration>(options.failure_period_multiplier *
+                                  static_cast<double>(period))
+          : kTimeInfinity;
+  // IEER >= predecessor IEER + own execution: already beyond salvation.
+  if (own_accum > cutoff) return kTimeInfinity;
+
+  std::vector<Duration> hp_jitter(hp.size());
+  for (std::size_t k = 0; k < hp.size(); ++k) {
+    hp_jitter[k] = release_jitter(system, hp[k].ref, current, options);
+    if (is_infinite(hp_jitter[k])) return kTimeInfinity;
+  }
+  const FixpointOptions fp{.cap = options.cap};
+
+  // Step 1: busy-period duration with jittered ceilings (self included).
+  const auto busy_demand = [&](Time t) -> Duration {
+    Duration sum = sat_add(blocking, jittered_demand(t, own_jitter, period, exec));
+    for (std::size_t k = 0; k < hp.size(); ++k) {
+      sum = sat_add(sum,
+                    jittered_demand(t, hp_jitter[k], hp[k].period, hp[k].execution_time));
+    }
+    return sum;
+  };
+  const std::optional<Time> busy = solve_fixpoint(busy_demand, fp);
+  if (!busy) return kTimeInfinity;
+
+  // Step 2: instances of T_{i,j} possibly inside the busy period.
+  const std::int64_t instances = ceil_div(sat_add(*busy, own_jitter), period);
+
+  // Steps 3-4. C(m) is monotone in m with C(m+1) >= C(m) + exec, so each
+  // fixpoint warm-starts from the previous completion (amortizes the
+  // iteration cost over the whole busy period).
+  Duration worst = 0;
+  Time previous_completion = 0;
+  for (std::int64_t m = 1; m <= instances; ++m) {
+    const auto completion_demand = [&](Time t) -> Duration {
+      Duration sum = sat_add(blocking, sat_mul(m, exec));
+      for (std::size_t k = 0; k < hp.size(); ++k) {
+        sum = sat_add(
+            sum, jittered_demand(t, hp_jitter[k], hp[k].period, hp[k].execution_time));
+      }
+      return sum;
+    };
+    const std::optional<Time> completion = solve_fixpoint_from(
+        std::max(sat_mul(m, exec), sat_add(previous_completion, exec)),
+        completion_demand, fp);
+    if (!completion) return kTimeInfinity;
+    previous_completion = *completion;
+    const Duration r = sat_add(*completion, own_accum) - (m - 1) * period;
+    worst = std::max(worst, r);
+    // The max over m is what gets compared against the cutoff; once any
+    // instance exceeds it the result is infinite regardless of the rest.
+    if (worst > cutoff) return kTimeInfinity;
+  }
+  return worst;
+}
+
+}  // namespace
+
+SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interference,
+                        const SubtaskTable& current, const IeertOptions& options) {
+  SubtaskTable next{system, 0};
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      next.set(s.ref,
+               bound_subtask_ieer(system, s, interference.of(s.ref), current, options));
+    }
+  }
+  return next;
+}
+
+}  // namespace e2e

@@ -1,0 +1,59 @@
+// Algorithm IEERT (paper Figure 10): one refinement pass of the IEER
+// (intermediate end-to-end response) bounds under the DS protocol.
+//
+// Under DS a subtask instance is released the moment its predecessor
+// completes, so releases are *not* periodic: the release of T_{u,v}(m)
+// can drift by up to R_{u,v-1} -- the predecessor's IEER bound -- after
+// the periodic release of T_{u,1}(m). IEERT therefore treats R_{u,v-1}
+// as release jitter in every ceiling term (the "clumping effect"):
+//
+//   Step 1  D_{i,j} = min{ t>0 : t = sum_{H u {self}} ceil((t+R_{u,v-1})/p_u) e_{u,v} }
+//   Step 2  M_{i,j} = ceil((D_{i,j}+R_{i,j-1}) / p_i)
+//   Step 3  C_{i,j}(m) = min{ t>0 : t = m e_{i,j} + sum_{H} ceil((t+R_{u,v-1})/p_u) e_{u,v} }
+//           R_{i,j}(m) = C_{i,j}(m) + R_{i,j-1} - (m-1) p_i
+//   Step 4  R'_{i,j} = max_m R_{i,j}(m)
+//
+// with R_{u,0} := 0 (first subtasks have no jitter).
+#pragma once
+
+#include <optional>
+
+#include "core/analysis/bounds.h"
+#include "core/analysis/interference.h"
+#include "task/system.h"
+
+namespace e2e {
+
+struct IeertOptions {
+  /// Fixpoint divergence cap (absolute ticks).
+  Time cap = kTimeInfinity;
+  /// Extension (not in the paper): refine each jitter term from
+  /// R_{u,v-1} to R_{u,v-1} - B_{u,v-1}, where B is the sum of execution
+  /// times up to the predecessor -- the earliest a DS release can occur
+  /// relative to the chain's first release. Releases of T_{u,v}(k) fall in
+  /// [k p + B, k p + R], so ceil((t + R - B)/p) releases fit a window of
+  /// length t: a sound, strictly tighter interference count (standard
+  /// release-jitter argument, cf. Tindell & Clark's holistic analysis).
+  /// Used by analyze_holistic_ds for the bound-tightness ablation.
+  bool refine_jitter_with_best_case = false;
+  /// When > 0, a subtask whose IEER bound exceeds this multiple of its
+  /// task's period is reported as kTimeInfinity immediately (instead of a
+  /// large finite value that the caller would cap anyway). This is the
+  /// per-pass form of SA/DS's failure cutoff; it prunes the instance loop
+  /// of divergent subtasks and lets infinity propagate in one pass rather
+  /// than letting bounds crawl up by small increments over thousands of
+  /// passes. 0 disables the cutoff.
+  double failure_period_multiplier = 0.0;
+};
+
+/// One application R' = IEERT(T, R). `current` holds IEER bounds
+/// (cumulative along each chain); entries may be kTimeInfinity, in which
+/// case dependent bounds become infinite as well. Returns the refined
+/// table; never returns less than `current` entry-wise when `current` is
+/// a genuine under-approximation (monotone operator).
+[[nodiscard]] SubtaskTable ieert_pass(const TaskSystem& system,
+                                      const InterferenceMap& interference,
+                                      const SubtaskTable& current,
+                                      const IeertOptions& options = {});
+
+}  // namespace e2e

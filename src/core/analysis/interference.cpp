@@ -1,0 +1,38 @@
+#include "core/analysis/interference.h"
+
+#include "common/error.h"
+
+namespace e2e {
+
+InterferenceMap::InterferenceMap(const TaskSystem& system) {
+  per_subtask_.resize(system.task_count());
+  for (const Task& t : system.tasks()) {
+    per_subtask_[t.id.index()].resize(t.subtasks.size());
+    for (const Subtask& s : t.subtasks) {
+      auto& set = per_subtask_[t.id.index()][static_cast<std::size_t>(s.ref.index)];
+      for (const SubtaskRef other_ref : system.subtasks_on(s.processor)) {
+        if (other_ref == s.ref) continue;
+        const Subtask& other = system.subtask(other_ref);
+        if (!higher_or_equal_priority(other.priority, s.priority)) continue;
+        set.push_back(Interferer{
+            .ref = other_ref,
+            .period = system.task(other_ref.task).period,
+            .execution_time = other.execution_time,
+            .predecessor_index = other_ref.index - 1,
+            .task_release_jitter = system.task(other_ref.task).release_jitter,
+        });
+      }
+    }
+  }
+}
+
+std::span<const Interferer> InterferenceMap::of(SubtaskRef ref) const {
+  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < per_subtask_.size(),
+             "InterferenceMap: task out of range");
+  const auto& per_index = per_subtask_[ref.task.index()];
+  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < per_index.size(),
+             "InterferenceMap: subtask index out of range");
+  return per_index[static_cast<std::size_t>(ref.index)];
+}
+
+}  // namespace e2e

@@ -1,0 +1,46 @@
+// Precomputed interference sets.
+//
+// For subtask T_{i,j}, the paper's H_{i,j} is the set of subtasks that
+// (1) execute on the same processor and (2) have priority higher than or
+// equal to T_{i,j}'s, excluding T_{i,j} itself. Both SA/PM and Algorithm
+// IEERT sum demand over this set; precomputing it once per system keeps
+// the fixpoint inner loops tight.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// One interfering subtask, with the fields the demand equations need.
+struct Interferer {
+  SubtaskRef ref;
+  Duration period = 0;          ///< p_u (period of its parent task)
+  Duration execution_time = 0;  ///< e_{u,v}
+  /// Chain index of its predecessor, or -1 if it is a first subtask.
+  /// Algorithm IEERT reads the predecessor's IEER bound R_{u,v-1} as the
+  /// release jitter of T_{u,v}; -1 means jitter 0.
+  std::int32_t predecessor_index = -1;
+  /// The parent task's bounded release jitter J_u (extension; 0 in the
+  /// paper's model). The jitter-aware equations add this to every
+  /// interference ceiling.
+  Duration task_release_jitter = 0;
+};
+
+/// Interference sets for every subtask in a system, indexed by SubtaskRef.
+class InterferenceMap {
+ public:
+  explicit InterferenceMap(const TaskSystem& system);
+
+  /// H_{i,j} for the given subtask (same processor, priority >=, not self).
+  [[nodiscard]] std::span<const Interferer> of(SubtaskRef ref) const;
+
+ private:
+  std::vector<std::vector<std::vector<Interferer>>> per_subtask_;  // [task][index]
+};
+
+}  // namespace e2e

@@ -1,0 +1,56 @@
+#include "core/analysis/reconfiguration.h"
+
+#include <map>
+#include <string>
+
+#include "common/error.h"
+#include "common/math.h"
+#include "core/analysis/sa_pm.h"
+
+namespace e2e {
+
+ReconfigurationCost reconfiguration_cost(const TaskSystem& before,
+                                         const TaskSystem& after) {
+  const AnalysisResult bounds_before = analyze_sa_pm(before);
+  const AnalysisResult bounds_after = analyze_sa_pm(after);
+
+  std::map<std::string, TaskId> after_by_name;
+  for (const Task& t : after.tasks()) {
+    const bool inserted = after_by_name.emplace(t.name, t.id).second;
+    if (!inserted) throw InvalidArgument("duplicate task name in 'after' system");
+  }
+
+  ReconfigurationCost cost;
+  for (const Task& t : before.tasks()) {
+    const auto it = after_by_name.find(t.name);
+    if (it == after_by_name.end()) continue;  // task was removed
+    const Task& matched = after.task(it->second);
+    if (matched.chain_length() != t.chain_length()) {
+      throw InvalidArgument("task '" + t.name + "' changed shape across the update");
+    }
+
+    Duration phase_before = 0;  // relative phase: sum of earlier bounds
+    Duration phase_after = 0;
+    for (std::size_t j = 0; j < t.subtasks.size(); ++j) {
+      const Subtask& sb = t.subtasks[j];
+      const Subtask& sa = matched.subtasks[j];
+      if (sb.processor != sa.processor || sb.execution_time != sa.execution_time) {
+        throw InvalidArgument("task '" + t.name + "' changed shape across the update");
+      }
+      ++cost.common_subtasks;
+
+      const Duration rb = bounds_before.subtask_bounds.at(sb.ref);
+      const Duration ra = bounds_after.subtask_bounds.at(sa.ref);
+      if (rb != ra) ++cost.mpm;            // stored response bound changed
+      if (phase_before != phase_after) ++cost.pm;  // cumulative phase changed
+      phase_before = sat_add(phase_before, rb);
+      phase_after = sat_add(phase_after, ra);
+    }
+  }
+  // DS keeps no parameters; RG's guards are data-driven local state.
+  cost.ds = 0;
+  cost.rg = 0;
+  return cost;
+}
+
+}  // namespace e2e

@@ -1,0 +1,40 @@
+// Reconfiguration cost of a workload change -- quantifying the paper's
+// Section 3.1 criticism of PM/MPM: "If the workload changes, such as
+// adding a new task, the scheduler may need to adjust the scheduling
+// parameters for all existing subtasks."
+//
+// Given the system before and after a change, this module counts how many
+// *pre-existing* subtasks must have a scheduler parameter rewritten under
+// each protocol:
+//   DS   -- stores no per-subtask parameters: always 0;
+//   RG   -- the release guard is maintained from local releases only, not
+//           from analysis results: always 0;
+//   MPM  -- stores the response bound R_{i,j}; count bounds that changed;
+//   PM   -- stores the phase f_{i,j} = f_i + sum R_{i,k}; count phases
+//           that changed (a changed bound invalidates every later phase
+//           in its chain, and PM additionally needs the re-synchronized
+//           global timeline).
+#pragma once
+
+#include "task/system.h"
+
+namespace e2e {
+
+struct ReconfigurationCost {
+  /// Pre-existing subtasks whose parameter must change, per protocol.
+  int ds = 0;
+  int rg = 0;
+  int mpm = 0;
+  int pm = 0;
+  /// Pre-existing subtasks considered (tasks present in both systems).
+  int common_subtasks = 0;
+};
+
+/// Compares per-subtask scheduler parameters across the change. Tasks are
+/// matched by name; `after` may add or remove tasks, but a matched task
+/// must keep its chain shape (same length, processors, execution times).
+/// Throws InvalidArgument on a shape mismatch.
+[[nodiscard]] ReconfigurationCost reconfiguration_cost(const TaskSystem& before,
+                                                       const TaskSystem& after);
+
+}  // namespace e2e

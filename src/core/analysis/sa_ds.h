@@ -1,0 +1,57 @@
+// Algorithm SA/DS (paper Figure 11): schedulability analysis for the
+// Direct Synchronization protocol.
+//
+// Starting from the optimistic estimate R_{i,j} = sum_{m<=j} e_{i,m},
+// Algorithm IEERT is applied repeatedly until the IEER-bound table reaches
+// a fixpoint (Theorem 2: any fixpoint consists of correct upper bounds).
+// The operator is monotone and the start is an under-approximation, so the
+// iterates only grow; when a bound exceeds the paper's cutoff of 300 times
+// the task's period it is declared infinite ("failure"), matching the
+// failure criterion used for Figure 12.
+#pragma once
+
+#include "core/analysis/bounds.h"
+#include "core/analysis/interference.h"
+#include "task/system.h"
+
+namespace e2e {
+
+struct SaDsOptions {
+  /// A task's bound is declared infinite once it exceeds this multiple of
+  /// the task's period (the paper uses 300).
+  double failure_period_multiplier = 300.0;
+  /// Safety net on the number of IEERT passes. Divergence is normally
+  /// caught by the multiplier cap long before this triggers.
+  int max_passes = 10000;
+  /// Use the best-case-refined jitter terms (see IeertOptions). Off by
+  /// default: the paper's Algorithm SA/DS uses the plain R_{u,v-1} jitter.
+  bool refine_jitter_with_best_case = false;
+};
+
+struct SaDsResult {
+  /// IEER bounds per subtask (cumulative along each chain); the entry for
+  /// a task's last subtask is the task's EER bound.
+  AnalysisResult analysis;
+  /// Number of IEERT passes executed.
+  int passes = 0;
+  /// True if the iteration reached an exact fixpoint (including fixpoints
+  /// with infinite entries); false only if max_passes was exhausted, in
+  /// which case all bounds are conservatively set to infinity.
+  bool converged = false;
+
+  /// The paper's per-task "failure": no finite EER bound found.
+  [[nodiscard]] bool task_failed(TaskId id) const {
+    return is_infinite(analysis.eer_bounds.at(id.index()));
+  }
+  /// System-level failure as counted in Figure 12: any task failed.
+  [[nodiscard]] bool any_failure() const { return !analysis.all_bounded(); }
+};
+
+[[nodiscard]] SaDsResult analyze_sa_ds(const TaskSystem& system,
+                                       const SaDsOptions& options = {});
+
+[[nodiscard]] SaDsResult analyze_sa_ds(const TaskSystem& system,
+                                       const InterferenceMap& interference,
+                                       const SaDsOptions& options = {});
+
+}  // namespace e2e

@@ -1,0 +1,35 @@
+#include "core/analysis/utilization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2e {
+
+UtilizationReport utilization_report(const TaskSystem& system) {
+  UtilizationReport report;
+  report.per_processor.reserve(system.processor_count());
+  for (std::size_t k = 0; k < system.processor_count(); ++k) {
+    const double u =
+        system.processor_utilization(ProcessorId{static_cast<std::int32_t>(k)});
+    report.per_processor.push_back(u);
+    report.max = std::max(report.max, u);
+  }
+  return report;
+}
+
+double liu_layland_bound(std::size_t n) noexcept {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool passes_liu_layland(const TaskSystem& system) {
+  for (std::size_t k = 0; k < system.processor_count(); ++k) {
+    const ProcessorId p{static_cast<std::int32_t>(k)};
+    const double u = system.processor_utilization(p);
+    if (u > liu_layland_bound(system.subtasks_on(p).size())) return false;
+  }
+  return true;
+}
+
+}  // namespace e2e

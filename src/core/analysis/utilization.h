@@ -1,0 +1,35 @@
+// Utilization-based feasibility checks -- coarse baselines that predate
+// busy-period analysis (Liu & Layland '73, reference [1] of the paper).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// Per-processor utilization report.
+struct UtilizationReport {
+  std::vector<double> per_processor;  ///< indexed by ProcessorId
+  double max = 0.0;
+
+  /// Necessary condition for any scheduling: no processor over 100%.
+  [[nodiscard]] bool feasible() const noexcept { return max <= 1.0; }
+};
+
+[[nodiscard]] UtilizationReport utilization_report(const TaskSystem& system);
+
+/// Liu & Layland bound n(2^{1/n} - 1) for n tasks. Sufficient (not
+/// necessary) for rate-monotonic scheduling of independent periodic tasks
+/// with deadline == period on one processor.
+[[nodiscard]] double liu_layland_bound(std::size_t n) noexcept;
+
+/// True if every processor's utilization is within the Liu & Layland
+/// bound for its resident subtask count -- a quick sufficient test that
+/// sidesteps the busy-period fixpoints entirely (and says nothing about
+/// end-to-end deadlines; it only guarantees subtask-level feasibility
+/// under RM-consistent priorities).
+[[nodiscard]] bool passes_liu_layland(const TaskSystem& system);
+
+}  // namespace e2e

@@ -1,0 +1,12 @@
+#include "core/protocols/direct_sync.h"
+
+namespace e2e {
+
+void DirectSyncProtocol::on_job_completed(Engine& engine, const Job& job) {
+  const Task& task = engine.system().task(job.ref.task);
+  if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
+  engine.count_sync_signal();
+  engine.release_now(SubtaskRef{job.ref.task, job.ref.index + 1}, job.instance);
+}
+
+}  // namespace e2e

@@ -1,0 +1,31 @@
+// The Direct Synchronization (DS) protocol, paper Section 3 opening.
+//
+// When an instance of a subtask completes, the scheduler on its processor
+// sends a synchronization signal to the scheduler of the processor where
+// the immediate successor executes, which releases the successor instance
+// immediately. Minimal mechanism, shortest average EER times -- but later
+// subtasks lose periodicity (the "clumping effect"), which is why its
+// worst-case analysis (Algorithm SA/DS) yields much larger, sometimes
+// unbounded, EER bounds.
+#pragma once
+
+#include "core/protocols/traits.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace e2e {
+
+class DirectSyncProtocol final : public SyncProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "DS"; }
+
+  void on_job_completed(Engine& engine, const Job& job) override;
+
+  [[nodiscard]] static ProtocolTraits traits() noexcept {
+    return ProtocolTraits{.interrupts_per_instance = 1,
+                          .variables_per_subtask = 0,
+                          .needs_sync_interrupt_support = true};
+  }
+};
+
+}  // namespace e2e

@@ -1,0 +1,58 @@
+#include "core/protocols/factory.h"
+
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/modified_pm.h"
+#include "core/protocols/phase_modification.h"
+#include "core/protocols/release_guard.h"
+
+namespace e2e {
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kDirectSync:
+      return "DS";
+    case ProtocolKind::kPhaseModification:
+      return "PM";
+    case ProtocolKind::kModifiedPm:
+      return "MPM";
+    case ProtocolKind::kReleaseGuard:
+      return "RG";
+  }
+  return "?";
+}
+
+ProtocolTraits traits_of(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kDirectSync:
+      return DirectSyncProtocol::traits();
+    case ProtocolKind::kPhaseModification:
+      return PhaseModificationProtocol::traits();
+    case ProtocolKind::kModifiedPm:
+      return ModifiedPmProtocol::traits();
+    case ProtocolKind::kReleaseGuard:
+      return ReleaseGuardProtocol::traits();
+  }
+  return {};
+}
+
+std::unique_ptr<SyncProtocol> make_protocol(ProtocolKind kind, const TaskSystem& system,
+                                            const SubtaskTable* pm_bounds) {
+  const auto bounds_or_computed = [&]() -> SubtaskTable {
+    if (pm_bounds != nullptr) return *pm_bounds;
+    return analyze_sa_pm(system).subtask_bounds;
+  };
+  switch (kind) {
+    case ProtocolKind::kDirectSync:
+      return std::make_unique<DirectSyncProtocol>();
+    case ProtocolKind::kPhaseModification:
+      return std::make_unique<PhaseModificationProtocol>(system, bounds_or_computed());
+    case ProtocolKind::kModifiedPm:
+      return std::make_unique<ModifiedPmProtocol>(system, bounds_or_computed());
+    case ProtocolKind::kReleaseGuard:
+      return std::make_unique<ReleaseGuardProtocol>(system);
+  }
+  return nullptr;
+}
+
+}  // namespace e2e

@@ -1,0 +1,36 @@
+// Convenience construction of protocols by kind, wiring in the analysis
+// results that PM and MPM require.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/analysis/bounds.h"
+#include "core/protocols/traits.h"
+#include "sim/protocol.h"
+#include "task/system.h"
+
+namespace e2e {
+
+enum class ProtocolKind { kDirectSync, kPhaseModification, kModifiedPm, kReleaseGuard };
+
+/// All kinds, in the paper's presentation order.
+inline constexpr ProtocolKind kAllProtocolKinds[] = {
+    ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
+    ProtocolKind::kModifiedPm, ProtocolKind::kReleaseGuard};
+
+[[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
+
+[[nodiscard]] ProtocolTraits traits_of(ProtocolKind kind) noexcept;
+
+/// Creates a protocol instance for `system`.
+///
+/// PM and MPM need per-subtask response-time bounds; pass the SA/PM
+/// subtask table via `pm_bounds`, or leave it null to have the factory run
+/// Algorithm SA/PM itself. Throws InvalidArgument if bounds are required
+/// but unbounded (the system is then not PM/MPM-schedulable at all).
+[[nodiscard]] std::unique_ptr<SyncProtocol> make_protocol(
+    ProtocolKind kind, const TaskSystem& system,
+    const SubtaskTable* pm_bounds = nullptr);
+
+}  // namespace e2e

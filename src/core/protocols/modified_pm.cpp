@@ -1,0 +1,38 @@
+#include "core/protocols/modified_pm.h"
+
+#include "common/error.h"
+
+namespace e2e {
+
+ModifiedPmProtocol::ModifiedPmProtocol(const TaskSystem& system,
+                                       SubtaskTable response_bounds)
+    : bounds_(std::move(response_bounds)) {
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      const bool is_last =
+          s.ref.index + 1 == static_cast<std::int32_t>(t.chain_length());
+      if (!is_last && is_infinite(bounds_.at(s.ref))) {
+        throw InvalidArgument(
+            "MPM protocol needs a finite response-time bound for every "
+            "non-last subtask (task '" +
+            t.name + "')");
+      }
+    }
+  }
+}
+
+void ModifiedPmProtocol::on_job_released(Engine& engine, const Job& job) {
+  const Task& task = engine.system().task(job.ref.task);
+  if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
+  // Timer at release + R_{i,j}; fires after the instance's completion.
+  engine.set_timer(engine.now() + bounds_.at(job.ref), job.ref, job.instance);
+}
+
+void ModifiedPmProtocol::on_timer(Engine& engine, SubtaskRef ref,
+                                  std::int64_t instance) {
+  if (engine.completed_instances(ref) <= instance) ++overruns_;
+  engine.count_sync_signal();
+  engine.release_now(SubtaskRef{ref.task, ref.index + 1}, instance);
+}
+
+}  // namespace e2e

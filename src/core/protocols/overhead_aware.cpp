@@ -1,0 +1,35 @@
+#include "core/protocols/overhead_aware.h"
+
+#include "common/error.h"
+#include "task/builder.h"
+
+namespace e2e {
+
+Duration per_instance_overhead(ProtocolKind kind, const OverheadCosts& costs) noexcept {
+  const ProtocolTraits traits = traits_of(kind);
+  return 2 * costs.context_switch +
+         static_cast<Duration>(traits.interrupts_per_instance) * costs.interrupt;
+}
+
+TaskSystem inflate_for_overhead(const TaskSystem& system, ProtocolKind kind,
+                                const OverheadCosts& costs) {
+  if (costs.context_switch < 0 || costs.interrupt < 0) {
+    throw InvalidArgument("overhead costs must be non-negative");
+  }
+  const Duration overhead = per_instance_overhead(kind, costs);
+  TaskSystemBuilder builder{system.processor_count()};
+  for (const Task& t : system.tasks()) {
+    auto handle = builder.add_task({.period = t.period,
+                                    .phase = t.phase,
+                                    .deadline = t.relative_deadline,
+                                    .release_jitter = t.release_jitter,
+                                    .name = t.name});
+    for (const Subtask& s : t.subtasks) {
+      handle.subtask(s.processor, s.execution_time + overhead, s.priority, s.name);
+      if (!s.preemptible) handle.non_preemptible();
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace e2e

@@ -1,0 +1,39 @@
+// Overhead-aware analysis, implementing the paper's Section 3.3 remark:
+// "The costs of the interrupt(s) and context switches can be easily taken
+// into account in the schedulability analysis [2]."
+//
+// Each subtask instance costs two context switches under every protocol
+// plus a protocol-specific number of interrupts (DS/PM: one, MPM/RG: two).
+// Charging those costs to the instance's own execution time yields a
+// system whose WCETs include the overhead; running the ordinary analyses
+// on the inflated system gives overhead-aware bounds. This is where the
+// protocols' "equal" worst-case bounds separate: RG pays one more
+// interrupt per instance than PM.
+#pragma once
+
+#include "common/time.h"
+#include "core/protocols/factory.h"
+#include "task/system.h"
+
+namespace e2e {
+
+struct OverheadCosts {
+  /// Cost of one context switch (ticks).
+  Duration context_switch = 0;
+  /// Cost of servicing one interrupt (ticks).
+  Duration interrupt = 0;
+};
+
+/// Per-instance overhead charged to each subtask under `kind`:
+/// 2 * context_switch + interrupts_per_instance(kind) * interrupt.
+[[nodiscard]] Duration per_instance_overhead(ProtocolKind kind,
+                                             const OverheadCosts& costs) noexcept;
+
+/// Returns a copy of `system` with every subtask's execution time
+/// inflated by the per-instance overhead of `kind`. Run analyze_sa_pm /
+/// analyze_sa_ds on the result for overhead-aware bounds.
+[[nodiscard]] TaskSystem inflate_for_overhead(const TaskSystem& system,
+                                              ProtocolKind kind,
+                                              const OverheadCosts& costs);
+
+}  // namespace e2e

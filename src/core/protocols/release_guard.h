@@ -1,0 +1,78 @@
+// The Release Guard (RG) protocol, paper Section 3.2 -- the paper's main
+// contribution.
+//
+// Each subtask T_{i,j} has a release guard g_{i,j}: the earliest instant
+// its next instance may be released. When the predecessor's completion
+// signal arrives after g, the instance is released immediately; otherwise
+// it is held until g. Guards are updated by two rules:
+//   (1) when an instance of T_{i,j} is released, g_{i,j} := now + p_i;
+//   (2) at an idle point of the subtask's processor, g_{i,j} := now
+//       (so one held release per subtask may fire early -- harmlessly,
+//       because no idle point can occur inside a busy period).
+// Inter-release times within any busy period are therefore >= p_i, which
+// is what makes Algorithm SA/PM's bounds valid for RG (paper Theorem 1).
+//
+// Requires no global clock and no global load information: guards are
+// local and maintained from local releases only.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/protocols/traits.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace e2e {
+
+class ReleaseGuardProtocol final : public SyncProtocol {
+ public:
+  struct Options {
+    /// Disable guard rule 2 (idle-point reset). The paper argues rule 2
+    /// shortens average EER times without hurting the worst case;
+    /// bench_ablation measures exactly that by flipping this off.
+    bool enable_idle_point_rule = true;
+  };
+
+  explicit ReleaseGuardProtocol(const TaskSystem& system)
+      : ReleaseGuardProtocol(system, Options{}) {}
+  ReleaseGuardProtocol(const TaskSystem& system, Options options);
+
+  [[nodiscard]] std::string_view name() const override { return "RG"; }
+
+  void on_job_released(Engine& engine, const Job& job) override;
+  void on_job_completed(Engine& engine, const Job& job) override;
+  void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) override;
+  void on_idle_point(Engine& engine, ProcessorId processor) override;
+
+  /// Current guard value of `ref` (mainly for tests).
+  [[nodiscard]] Time guard_of(SubtaskRef ref) const;
+
+  [[nodiscard]] static ProtocolTraits traits() noexcept {
+    return ProtocolTraits{.interrupts_per_instance = 2,
+                          .variables_per_subtask = 1,
+                          .needs_timer_interrupt_support = true,
+                          .needs_sync_interrupt_support = true};
+  }
+
+ private:
+  struct GuardState {
+    Time guard = 0;  // initially 0: first instances release immediately
+    /// Instances whose predecessor completed but whose release is held by
+    /// the guard, in release order. Non-empty only transiently.
+    std::deque<std::int64_t> held;
+  };
+
+  /// Releases (ref, instance) now: pops it from `held` if queued there,
+  /// applies guard rule 1 eagerly (so a same-instant second signal cannot
+  /// slip past the guard) and enqueues the release.
+  void release(Engine& engine, SubtaskRef ref, std::int64_t instance);
+
+  [[nodiscard]] GuardState& state(SubtaskRef ref);
+  [[nodiscard]] const GuardState& state(SubtaskRef ref) const;
+
+  Options options_;
+  std::vector<std::vector<GuardState>> guards_;  // [task][chain index]
+};
+
+}  // namespace e2e

@@ -1,0 +1,26 @@
+#include "core/runner.h"
+
+namespace e2e {
+
+SimulationRun simulate(const TaskSystem& system, ProtocolKind kind,
+                       const SimulationOptions& options) {
+  const Time horizon =
+      options.horizon > 0
+          ? options.horizon
+          : static_cast<Time>(30.0 * static_cast<double>(system.max_period()));
+
+  const std::unique_ptr<SyncProtocol> protocol =
+      make_protocol(kind, system, options.pm_bounds);
+
+  SimulationRun run{EerCollector{system, options.metrics}};
+  Engine engine{system, *protocol,
+                {.horizon = horizon,
+                 .arrivals = options.arrivals,
+                 .execution = options.execution}};
+  engine.add_sink(&run.eer);
+  engine.run();
+  run.stats = engine.stats();
+  return run;
+}
+
+}  // namespace e2e

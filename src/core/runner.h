@@ -1,0 +1,46 @@
+// One-call simulation facade: wire a protocol, engine and metrics
+// together, run, and hand back everything a caller typically wants.
+// The lower-level pieces (Engine + SyncProtocol + TraceSinks) remain the
+// primary API for anything custom; this is the 90% path used by examples
+// and quick experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/analysis/bounds.h"
+#include "core/protocols/factory.h"
+#include "metrics/eer_collector.h"
+#include "sim/arrival.h"
+#include "sim/engine.h"
+#include "sim/execution_model.h"
+#include "task/system.h"
+
+namespace e2e {
+
+struct SimulationOptions {
+  /// Simulation end time; 0 = 30 x the system's maximum period.
+  Time horizon = 0;
+  /// Optional arrival / execution models (not owned; nullptr = paper
+  /// defaults: strictly periodic arrivals, WCET executions).
+  ArrivalModel* arrivals = nullptr;
+  ExecutionModel* execution = nullptr;
+  /// Response-time bounds for PM/MPM; nullptr = run Algorithm SA/PM.
+  const SubtaskTable* pm_bounds = nullptr;
+  /// Collect per-instance EER series / per-subtask IEER statistics.
+  EerCollector::Options metrics;
+};
+
+struct SimulationRun {
+  SimStats stats;
+  EerCollector eer;
+
+  explicit SimulationRun(EerCollector collector) : eer(std::move(collector)) {}
+};
+
+/// Simulates `system` under `kind` and returns stats + EER metrics.
+/// Throws InvalidArgument if PM/MPM bounds are required but unboundable.
+[[nodiscard]] SimulationRun simulate(const TaskSystem& system, ProtocolKind kind,
+                                     const SimulationOptions& options = {});
+
+}  // namespace e2e

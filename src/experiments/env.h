@@ -1,0 +1,21 @@
+// Environment-variable configuration for the benchmark harness.
+//
+// The paper ran 1000 systems per configuration; the benches default to a
+// smaller sample so the full suite stays laptop-scale. Override with:
+//   E2E_SYSTEMS_PER_CONFIG   systems per (N, U) cell (analysis figures)
+//   E2E_SIM_SYSTEMS_PER_CONFIG  systems per cell for simulation figures
+//   E2E_SEED                 master seed
+//   E2E_HORIZON_PERIODS      simulation horizon as a multiple of the
+//                            system's maximum period
+//   E2E_THREADS              worker threads (0 = hardware concurrency)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace e2e {
+
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+}  // namespace e2e

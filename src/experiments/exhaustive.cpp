@@ -1,0 +1,99 @@
+#include "experiments/exhaustive.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math.h"
+#include "core/analysis/sa_pm.h"
+#include "metrics/eer_collector.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+/// Rebuilds `system` with the given per-task phases.
+TaskSystem with_phases(const TaskSystem& system, const std::vector<Time>& phases) {
+  TaskSystemBuilder builder{system.processor_count()};
+  for (const Task& t : system.tasks()) {
+    auto handle = builder.add_task({.period = t.period,
+                                    .phase = phases[t.id.index()],
+                                    .deadline = t.relative_deadline,
+                                    .release_jitter = t.release_jitter,
+                                    .name = t.name});
+    for (const Subtask& s : t.subtasks) {
+      handle.subtask(s.processor, s.execution_time, s.priority, s.name);
+      if (!s.preemptible) handle.non_preemptible();
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_worst_eer(const TaskSystem& system, ProtocolKind kind,
+                                      const ExhaustiveOptions& options) {
+  if (options.phase_step <= 0) {
+    throw InvalidArgument("exhaustive search: phase step must be positive");
+  }
+
+  // Count the grid before starting.
+  std::int64_t combinations = 1;
+  for (const Task& t : system.tasks()) {
+    const std::int64_t steps = ceil_div(t.period, options.phase_step);
+    combinations = sat_mul(combinations, steps);
+    if (combinations > options.max_phasings) {
+      throw InvalidArgument(
+          "exhaustive search: too many phase combinations; raise "
+          "max_phasings or coarsen phase_step");
+    }
+  }
+
+  // PM/MPM bounds are phase-independent: compute once.
+  const AnalysisResult pm_bounds = analyze_sa_pm(system);
+
+  const Duration hyper = system.hyperperiod();
+  const Time base_horizon =
+      is_infinite(hyper)
+          ? static_cast<Time>(20.0 * static_cast<double>(system.max_period()))
+          : static_cast<Time>(options.horizon_hyperperiods *
+                              static_cast<double>(hyper));
+
+  ExhaustiveResult result;
+  result.worst_eer.assign(system.task_count(), 0);
+  result.worst_phasing.assign(system.task_count(), {});
+
+  std::vector<Time> phases(system.task_count(), 0);
+  for (;;) {
+    ++result.phasings_tried;
+    const TaskSystem phased = with_phases(system, phases);
+    const auto protocol = make_protocol(kind, phased, &pm_bounds.subtask_bounds);
+    EerCollector eer{phased};
+    Engine engine{phased, *protocol,
+                  {.horizon = phased.max_phase() + base_horizon}};
+    engine.add_sink(&eer);
+    engine.run();
+    for (const Task& t : phased.tasks()) {
+      const Duration worst = eer.worst_eer(t.id);
+      if (worst > result.worst_eer[t.id.index()]) {
+        result.worst_eer[t.id.index()] = worst;
+        result.worst_phasing[t.id.index()] = phases;
+      }
+    }
+
+    // Odometer increment over the phase grid.
+    std::size_t position = 0;
+    for (; position < phases.size(); ++position) {
+      phases[position] += options.phase_step;
+      if (phases[position] <
+          system.task(TaskId{static_cast<std::int32_t>(position)}).period) {
+        break;
+      }
+      phases[position] = 0;
+    }
+    if (position == phases.size()) break;  // odometer wrapped: done
+  }
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,60 @@
+// Monte-Carlo estimation of end-to-end latency distributions and
+// deadline-miss probabilities -- the soft-real-time complement to the
+// worst-case analyses (paper Section 6 positions DS for "soft timing
+// constraints"; this quantifies "soft").
+//
+// Runs K independent simulations of a system under one protocol, each
+// with freshly randomized task phases and (optionally) execution-time
+// variation, and aggregates per-task EER samples into histograms.
+#pragma once
+
+#include <vector>
+
+#include "core/protocols/factory.h"
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+#include "task/system.h"
+
+namespace e2e {
+
+struct MonteCarloOptions {
+  int runs = 20;
+  std::uint64_t seed = 1;
+  /// Horizon per run, as a multiple of the system's maximum period.
+  double horizon_periods = 20.0;
+  /// Randomize task phases per run (uniform in [0, period)).
+  bool randomize_phases = true;
+  /// Execution-time variation: actual uniform in [fraction, 1] x WCET;
+  /// 1.0 = WCET-exact (the paper's model).
+  double execution_min_fraction = 1.0;
+  /// Histogram buckets per task (range: [0, 2 x deadline)).
+  std::size_t histogram_buckets = 64;
+};
+
+struct TaskLatency {
+  RunningStats eer;
+  Histogram histogram;  ///< range [0, 2 x deadline)
+  std::int64_t instances = 0;
+  std::int64_t misses = 0;
+
+  explicit TaskLatency(double deadline, std::size_t buckets)
+      : histogram(0.0, 2.0 * deadline, buckets) {}
+
+  [[nodiscard]] double miss_probability() const noexcept {
+    return instances > 0 ? static_cast<double>(misses) /
+                               static_cast<double>(instances)
+                         : 0.0;
+  }
+};
+
+struct MonteCarloResult {
+  std::vector<TaskLatency> per_task;  ///< indexed by TaskId
+  int runs = 0;
+};
+
+/// Estimates the latency profile of `system` under `kind`.
+[[nodiscard]] MonteCarloResult estimate_latency(const TaskSystem& system,
+                                                ProtocolKind kind,
+                                                const MonteCarloOptions& options = {});
+
+}  // namespace e2e

@@ -1,0 +1,57 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace e2e {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)) {
+  E2E_ASSERT(lo < hi, "histogram range must be non-empty");
+  E2E_ASSERT(buckets >= 1, "histogram needs at least one bucket");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double value) {
+  ++count_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto index = static_cast<std::size_t>((value - lo_) / bucket_width_);
+  ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+void Histogram::add_all(std::span<const Duration> values) {
+  for (const Duration v : values) add(static_cast<double>(v));
+}
+
+std::int64_t Histogram::bucket(std::size_t index) const {
+  E2E_ASSERT(index < counts_.size(), "bucket index out of range");
+  return counts_[index];
+}
+
+double Histogram::percentile(double p) const {
+  E2E_ASSERT(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+  if (count_ == 0) return lo_;
+  const double target = p * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double fraction = (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + fraction) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;  // inside the overflow mass
+}
+
+}  // namespace e2e

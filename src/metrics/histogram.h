@@ -1,0 +1,46 @@
+// Fixed-bucket histogram with percentile queries -- used to characterize
+// EER distributions (soft real-time analysis cares about p95/p99 latency,
+// not just the mean and the worst case).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+
+namespace e2e {
+
+class Histogram {
+ public:
+  /// Buckets divide [lo, hi) evenly; values outside are counted as
+  /// underflow/overflow and still participate in percentiles (clamped to
+  /// the range ends). Requires lo < hi, buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value);
+  /// Convenience: adds every element of an EER series.
+  void add_all(std::span<const Duration> values);
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::int64_t bucket(std::size_t index) const;
+
+  /// Value below which a fraction `p` in [0, 1] of the samples fall,
+  /// linearly interpolated within the bucket. Returns lo for an empty
+  /// histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+}  // namespace e2e

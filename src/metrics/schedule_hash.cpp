@@ -1,0 +1,27 @@
+#include "metrics/schedule_hash.h"
+
+namespace e2e {
+namespace {
+
+/// SplitMix64 finalizer: mixes one word thoroughly.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void ScheduleHash::fold(std::uint64_t kind, const Job& job, Time now) noexcept {
+  std::uint64_t h = kind;
+  h = mix(h ^ static_cast<std::uint64_t>(now));
+  h = mix(h ^ static_cast<std::uint64_t>(job.ref.task.value()));
+  h = mix(h ^ static_cast<std::uint64_t>(job.ref.index));
+  h = mix(h ^ static_cast<std::uint64_t>(job.instance));
+  hash_ += h;  // commutative: order within/across instants is irrelevant
+}
+
+void ScheduleHash::on_release(const Job& job) { fold(1, job, job.release_time); }
+void ScheduleHash::on_complete(const Job& job, Time now) { fold(2, job, now); }
+
+}  // namespace e2e

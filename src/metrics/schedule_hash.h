@@ -1,0 +1,35 @@
+// ScheduleHash: a TraceSink that fingerprints the *observable schedule* of
+// a run -- the multiset of (kind, time, subtask, instance) release and
+// completion events. Two runs produce the same hash iff every instance
+// was released and completed at the same times.
+//
+// The hash is deliberately order-independent (a commutative sum of
+// per-event mixed hashes): two protocols can enqueue simultaneous events
+// in different internal orders (PM pre-schedules releases, MPM fires them
+// from timers) while producing the identical schedule, and the paper's
+// "PM and MPM produce identical schedules" claim (Section 3.1) is about
+// the schedule, not the simulator's event bookkeeping. Starts/preemptions
+// are excluded for the same reason: a zero-length dispatch (start
+// immediately followed by preemption at the same instant) is an artifact
+// of intra-instant processing order, not a schedule difference.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.h"
+
+namespace e2e {
+
+class ScheduleHash final : public TraceSink {
+ public:
+  void on_release(const Job& job) override;
+  void on_complete(const Job& job, Time now) override;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void fold(std::uint64_t kind, const Job& job, Time now) noexcept;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace e2e

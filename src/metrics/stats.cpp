@@ -1,0 +1,71 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+namespace e2e {
+namespace {
+
+/// Inverse standard-normal CDF of (1 + level) / 2 for the handful of
+/// levels experiments use; falls back to a rational approximation
+/// (Beasley-Springer-Moro) elsewhere.
+double z_value(double level) noexcept {
+  if (level >= 0.899 && level <= 0.901) return 1.6449;
+  if (level >= 0.949 && level <= 0.951) return 1.9600;
+  if (level >= 0.989 && level <= 0.991) return 2.5758;
+  // BSM approximation of Phi^-1(p), central region.
+  const double p = (1.0 + level) / 2.0;
+  const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                      -2.759285104469687e+02, 1.383577518672690e+02,
+                      -3.066479806614716e+01, 2.506628277459239e+00};
+  const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                      -1.556989798598866e+02, 6.680131188771972e+01,
+                      -1.328068155288572e+01};
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci_half_width(double level) const noexcept {
+  if (count_ < 2) return 0.0;
+  return z_value(level) * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace e2e

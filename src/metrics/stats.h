@@ -1,0 +1,37 @@
+// Streaming summary statistics (Welford) and confidence intervals.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e {
+
+/// Accumulates count/mean/variance/min/max in one pass, numerically
+/// stable (Welford's algorithm). Value type; merging supported.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the normal-approximation confidence interval around
+  /// the mean at the given two-sided level (0.90 -> z = 1.645). The paper
+  /// reports 90% intervals ("negligibly small for most configurations").
+  [[nodiscard]] double ci_half_width(double level = 0.90) const noexcept;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace e2e

@@ -1,0 +1,24 @@
+// Minimal RFC-4180-ish CSV writer for exporting experiment series
+// (suitable for replotting the paper's surface plots).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+class CsvWriter {
+ public:
+  /// Writes to `out` (not owned; must outlive the writer).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row, quoting fields that contain commas/quotes/newlines.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  [[nodiscard]] static std::string escape(const std::string& field);
+  std::ostream* out_;
+};
+
+}  // namespace e2e

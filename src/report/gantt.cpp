@@ -1,0 +1,127 @@
+#include "report/gantt.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+GanttRecorder::GanttRecorder(const TaskSystem& system, Time t_end)
+    : system_(system), t_end_(t_end) {
+  E2E_ASSERT(t_end > 0, "gantt window must be positive");
+  per_subtask_.resize(system.task_count());
+  for (const Task& t : system.tasks()) {
+    per_subtask_[t.id.index()].resize(t.subtasks.size());
+  }
+}
+
+GanttRecorder::PerSubtask& GanttRecorder::record(SubtaskRef ref) {
+  return per_subtask_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+}
+
+const GanttRecorder::PerSubtask& GanttRecorder::record(SubtaskRef ref) const {
+  return per_subtask_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+}
+
+void GanttRecorder::on_release(const Job& job) {
+  if (job.release_time > t_end_) return;
+  record(job.ref).releases.push_back(job.release_time);
+}
+
+void GanttRecorder::on_start(const Job& job, Time now) {
+  if (now >= t_end_) return;
+  PerSubtask& r = record(job.ref);
+  E2E_ASSERT(r.open_start < 0, "two overlapping segments for one subtask");
+  r.open_start = now;
+  r.open_instance = job.instance;
+}
+
+void GanttRecorder::close_segment(const Job& job, Time now) {
+  PerSubtask& r = record(job.ref);
+  if (r.open_start < 0) return;  // started past the window
+  const Time end = std::min(now, t_end_);
+  if (end > r.open_start) {
+    r.segments.push_back(
+        Segment{.begin = r.open_start, .end = end, .instance = r.open_instance});
+  }
+  r.open_start = -1;
+  r.open_instance = -1;
+}
+
+void GanttRecorder::on_preempt(const Job& job, Time now) { close_segment(job, now); }
+
+void GanttRecorder::on_complete(const Job& job, Time now) {
+  close_segment(job, now);
+  if (now <= t_end_) record(job.ref).completions.push_back(now);
+}
+
+const std::vector<GanttRecorder::Segment>& GanttRecorder::segments(
+    SubtaskRef ref) const {
+  return record(ref).segments;
+}
+
+const std::vector<Time>& GanttRecorder::releases(SubtaskRef ref) const {
+  return record(ref).releases;
+}
+
+const std::vector<Time>& GanttRecorder::completions(SubtaskRef ref) const {
+  return record(ref).completions;
+}
+
+std::string GanttRecorder::render(Time ticks_per_column) const {
+  E2E_ASSERT(ticks_per_column > 0, "ticks_per_column must be positive");
+  const std::size_t columns =
+      static_cast<std::size_t>((t_end_ + ticks_per_column - 1) / ticks_per_column);
+
+  // Scale row: a digit every 5 columns (time / ticks_per_column % 10).
+  std::string scale(columns, ' ');
+  for (std::size_t c = 0; c < columns; c += 5) {
+    const Time t = static_cast<Time>(c) * ticks_per_column;
+    const std::string label = std::to_string(t);
+    for (std::size_t k = 0; k < label.size() && c + k < columns; ++k) {
+      scale[c + k] = label[k];
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const Task& t : system_.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      label_width = std::max(label_width, s.name.size());
+    }
+  }
+
+  std::string out;
+  for (std::size_t p = 0; p < system_.processor_count(); ++p) {
+    const ProcessorId proc{static_cast<std::int32_t>(p)};
+    out += "P" + std::to_string(p + 1) + ":\n";
+    out += std::string(label_width + 4, ' ') + scale + "\n";
+    for (const SubtaskRef ref : system_.subtasks_on(proc)) {
+      const Subtask& subtask = system_.subtask(ref);
+      const PerSubtask& r = record(ref);
+
+      std::string row(columns, ' ');
+      // Pending spans: release -> matching completion (or window end).
+      for (std::size_t m = 0; m < r.releases.size(); ++m) {
+        const Time begin = r.releases[m];
+        const Time end = m < r.completions.size() ? r.completions[m] : t_end_;
+        for (Time t = begin; t < end; t += ticks_per_column) {
+          const auto c = static_cast<std::size_t>(t / ticks_per_column);
+          if (c < columns) row[c] = '-';
+        }
+      }
+      // Execution segments overwrite pending cells.
+      for (const Segment& seg : r.segments) {
+        for (Time t = seg.begin; t < seg.end; t += ticks_per_column) {
+          const auto c = static_cast<std::size_t>(t / ticks_per_column);
+          if (c < columns) row[c] = '#';
+        }
+      }
+
+      out += "  " + subtask.name +
+             std::string(label_width - subtask.name.size(), ' ') + "  " + row + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace e2e

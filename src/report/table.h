@@ -1,0 +1,33 @@
+// TextTable: column-aligned plain-text tables for the benchmark output.
+// The figure benches print the same rows/series the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+class TextTable {
+ public:
+  /// Sets the header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Helper: fixed-precision double formatting ("1.234").
+  [[nodiscard]] static std::string fmt(double value, int precision = 3);
+  /// Helper: "inf" for kTimeInfinity-style sentinels, else the number.
+  [[nodiscard]] static std::string fmt_or_inf(long long value, long long infinity);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,36 @@
+#include "report/trace_log.h"
+
+#include <string>
+
+namespace e2e {
+
+TraceLogger::TraceLogger(std::ostream& out, const TaskSystem& system)
+    : csv_(out), system_(system) {
+  csv_.write_row({"event", "time", "task", "subtask", "instance", "processor"});
+}
+
+void TraceLogger::write(const char* event, const Job& job, Time now) {
+  const Task& task = system_.task(job.ref.task);
+  const Subtask& subtask = system_.subtask(job.ref);
+  csv_.write_row({event, std::to_string(now), task.name, subtask.name,
+                  std::to_string(job.instance),
+                  std::to_string(job.processor.value() + 1)});
+  ++rows_;
+}
+
+void TraceLogger::on_release(const Job& job) { write("release", job, job.release_time); }
+void TraceLogger::on_start(const Job& job, Time now) { write("start", job, now); }
+void TraceLogger::on_preempt(const Job& job, Time now) { write("preempt", job, now); }
+void TraceLogger::on_complete(const Job& job, Time now) { write("complete", job, now); }
+
+void TraceLogger::on_idle_point(ProcessorId processor, Time now) {
+  csv_.write_row({"idle", std::to_string(now), "", "", "",
+                  std::to_string(processor.value() + 1)});
+  ++rows_;
+}
+
+void TraceLogger::on_precedence_violation(const Job& job, Time now) {
+  write("violation", job, now);
+}
+
+}  // namespace e2e

@@ -1,0 +1,41 @@
+// TraceLogger: streams every scheduling event as CSV, one line per event
+// -- the raw-data escape hatch for external analysis/plotting tools.
+//
+// Columns: event,time,task,subtask,instance,processor
+// where `event` is release|start|preempt|complete|idle|violation, `task`
+// and `subtask` are the human-readable names (empty for idle points) and
+// `processor` is 1-based (P1, P2, ... as in the paper's figures).
+#pragma once
+
+#include <ostream>
+
+#include "report/csv.h"
+#include "sim/trace.h"
+#include "task/system.h"
+
+namespace e2e {
+
+class TraceLogger final : public TraceSink {
+ public:
+  /// Writes the header row immediately. `out` must outlive the logger.
+  TraceLogger(std::ostream& out, const TaskSystem& system);
+
+  void on_release(const Job& job) override;
+  void on_start(const Job& job, Time now) override;
+  void on_preempt(const Job& job, Time now) override;
+  void on_complete(const Job& job, Time now) override;
+  void on_idle_point(ProcessorId processor, Time now) override;
+  void on_precedence_violation(const Job& job, Time now) override;
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::int64_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write(const char* event, const Job& job, Time now);
+
+  CsvWriter csv_;
+  const TaskSystem& system_;
+  std::int64_t rows_ = 0;
+};
+
+}  // namespace e2e

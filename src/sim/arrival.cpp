@@ -1,0 +1,51 @@
+#include "sim/arrival.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+SporadicArrivals::SporadicArrivals(Rng rng, Duration max_jitter)
+    : rng_(rng), max_jitter_(max_jitter) {
+  E2E_ASSERT(max_jitter >= 0, "sporadic jitter must be non-negative");
+}
+
+Time SporadicArrivals::first(const Task& task) {
+  return task.phase + rng_.uniform_int(0, max_jitter_);
+}
+
+Time SporadicArrivals::next(const Task& task, Time previous) {
+  return previous + task.period + rng_.uniform_int(0, max_jitter_);
+}
+
+BoundedJitterArrivals::BoundedJitterArrivals(Rng rng, Duration jitter_cap)
+    : rng_(rng), jitter_cap_(jitter_cap) {
+  E2E_ASSERT(jitter_cap >= 0, "jitter cap must be non-negative");
+}
+
+Duration BoundedJitterArrivals::jitter_for(const Task& task) {
+  const Duration bound = std::min(task.release_jitter, jitter_cap_);
+  return bound > 0 ? rng_.uniform_int(0, bound) : 0;
+}
+
+Time BoundedJitterArrivals::first(const Task& task) {
+  if (task.id.index() >= next_nominal_.size()) {
+    next_nominal_.resize(task.id.index() + 1, 0);
+  }
+  next_nominal_[task.id.index()] = task.phase + task.period;
+  return task.phase + jitter_for(task);
+}
+
+Time BoundedJitterArrivals::next(const Task& task, Time previous) {
+  E2E_ASSERT(task.id.index() < next_nominal_.size(),
+             "next() before first() for this task");
+  const Time nominal = next_nominal_[task.id.index()];
+  next_nominal_[task.id.index()] = nominal + task.period;
+  // Arrivals must stay ordered even when this instance's jitter is
+  // smaller than its predecessor's excess; the clamp can only *reduce*
+  // lateness, so the per-instance jitter bound still holds.
+  return std::max(nominal + jitter_for(task), previous + 1);
+}
+
+}  // namespace e2e

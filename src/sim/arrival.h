@@ -1,0 +1,82 @@
+// Arrival models: when instances of a task's *first* subtask arrive.
+//
+// The paper's periodic task model only fixes a *minimum* inter-release
+// time; the PM protocol additionally requires first releases to be
+// strictly periodic, and "does not work correctly" (Section 3.1) when they
+// are not. SporadicArrivals lets tests and examples exercise exactly that
+// failure mode while MPM/RG stay correct.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "task/model.h"
+
+namespace e2e {
+
+/// Strategy interface: produces the arrival times of T_{i,1} instances.
+/// Engine contract: arrival times per task must strictly increase. The
+/// stronger periodic-task contract (spacing >= period) holds for
+/// PeriodicArrivals and SporadicArrivals; BoundedJitterArrivals instead
+/// bounds each arrival's lateness against the nominal periodic grid.
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  /// Arrival of the first instance (m = 0).
+  [[nodiscard]] virtual Time first(const Task& task) = 0;
+  /// Arrival of the next instance, given the previous one.
+  [[nodiscard]] virtual Time next(const Task& task, Time previous) = 0;
+};
+
+/// Strictly periodic arrivals at phase f_i + m * p_i (the paper's
+/// baseline and the setting of all Section 5 experiments).
+class PeriodicArrivals final : public ArrivalModel {
+ public:
+  [[nodiscard]] Time first(const Task& task) override { return task.phase; }
+  [[nodiscard]] Time next(const Task& task, Time previous) override {
+    return previous + task.period;
+  }
+};
+
+/// Sporadic arrivals: inter-arrival time is period + U[0, max_jitter].
+/// Still a legal periodic task (inter-release >= period), but first
+/// releases are no longer strictly periodic.
+class SporadicArrivals final : public ArrivalModel {
+ public:
+  SporadicArrivals(Rng rng, Duration max_jitter);
+
+  [[nodiscard]] Time first(const Task& task) override;
+  [[nodiscard]] Time next(const Task& task, Time previous) override;
+
+ private:
+  Rng rng_;
+  Duration max_jitter_;
+};
+
+/// Bounded release jitter: instance m arrives at
+///   f_i + m * p_i + U[0, min(task.release_jitter, jitter_cap)],
+/// i.e. each arrival lags its nominal grid point independently. Spacing
+/// can drop below the period (by at most the jitter) -- this is the
+/// classic release-jitter task model the jitter-aware analyses
+/// (core/analysis/jitter_aware.h) cover, and the model under which the
+/// paper's own algorithms (which assume zero jitter) are unsound.
+class BoundedJitterArrivals final : public ArrivalModel {
+ public:
+  /// `jitter_cap` limits the per-task Task::release_jitter (pass
+  /// kTimeInfinity to use each task's own bound unchanged).
+  BoundedJitterArrivals(Rng rng, Duration jitter_cap = kTimeInfinity);
+
+  [[nodiscard]] Time first(const Task& task) override;
+  [[nodiscard]] Time next(const Task& task, Time previous) override;
+
+ private:
+  [[nodiscard]] Duration jitter_for(const Task& task);
+
+  Rng rng_;
+  Duration jitter_cap_;
+  /// Next nominal grid point per task (grown as instances arrive).
+  std::vector<Time> next_nominal_;
+};
+
+}  // namespace e2e

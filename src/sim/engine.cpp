@@ -1,0 +1,335 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+Engine::Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options)
+    : system_(system),
+      protocol_(protocol),
+      options_(options),
+      arrivals_(options.arrivals != nullptr ? options.arrivals : &default_arrivals_),
+      execution_(options.execution != nullptr ? options.execution
+                                              : &default_execution_) {
+  E2E_ASSERT(options_.horizon > 0, "simulation horizon must be positive");
+  processors_.resize(system.processor_count());
+  dispatch_marked_.resize(system.processor_count(), false);
+  released_count_.resize(system.task_count());
+  completed_count_.resize(system.task_count());
+  first_release_times_.resize(system.task_count());
+  for (const Task& t : system.tasks()) {
+    released_count_[t.id.index()].assign(t.subtasks.size(), 0);
+    completed_count_[t.id.index()].assign(t.subtasks.size(), 0);
+  }
+}
+
+void Engine::add_sink(TraceSink* sink) {
+  E2E_ASSERT(sink != nullptr, "null trace sink");
+  sinks_.push_back(sink);
+}
+
+std::int64_t Engine::completed_instances(SubtaskRef ref) const {
+  return completed_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+}
+
+std::int64_t Engine::released_instances(SubtaskRef ref) const {
+  return released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+}
+
+std::optional<Time> Engine::first_release_time(TaskId task, std::int64_t instance) const {
+  const auto& times = first_release_times_[task.index()];
+  if (instance < 0 || static_cast<std::size_t>(instance) >= times.size()) {
+    return std::nullopt;
+  }
+  return times[static_cast<std::size_t>(instance)];
+}
+
+std::int64_t Engine::incomplete_released_before_now(const ProcessorState& proc) const {
+  const std::int64_t at_now = proc.last_release_time == now_ ? proc.released_at_last : 0;
+  return proc.incomplete_total - at_now;
+}
+
+bool Engine::is_idle_point(ProcessorId processor) const {
+  return incomplete_released_before_now(processors_[processor.index()]) == 0;
+}
+
+Duration Engine::busy_time(ProcessorId processor) const {
+  const ProcessorState& proc = processors_[processor.index()];
+  Duration total = proc.busy_time;
+  if (proc.running_slot >= 0) {
+    // Credit the in-flight run up to the current time.
+    total += now_ - pool_.get(static_cast<JobSlot>(proc.running_slot)).last_dispatch_time;
+  }
+  return total;
+}
+
+void Engine::release_now(SubtaskRef ref, std::int64_t instance) {
+  schedule_release(ref, instance, now_);
+}
+
+void Engine::schedule_release(SubtaskRef ref, std::int64_t instance, Time at) {
+  E2E_ASSERT(at >= now_, "cannot schedule a release in the past");
+  E2E_ASSERT(system_.contains(ref), "release for unknown subtask");
+  queue_.push(Event{.time = at,
+                    .phase = kReleasePhase,
+                    .kind = EventKind::kRelease,
+                    .ref = ref,
+                    .instance = instance});
+}
+
+void Engine::set_timer(Time at, SubtaskRef ref, std::int64_t instance) {
+  E2E_ASSERT(at >= now_, "cannot set a timer in the past");
+  queue_.push(Event{.time = at,
+                    .phase = kTimerPhase,
+                    .kind = EventKind::kTimer,
+                    .ref = ref,
+                    .instance = instance});
+}
+
+void Engine::run() {
+  E2E_ASSERT(!ran_, "Engine::run may be called only once");
+  ran_ = true;
+
+  for (const Task& t : system_.tasks()) {
+    const Time first = arrivals_->first(t);
+    E2E_ASSERT(first >= 0, "arrival model produced a negative first arrival");
+    if (first <= options_.horizon) {
+      queue_.push(Event{.time = first,
+                        .phase = kReleasePhase,
+                        .kind = EventKind::kArrival,
+                        .ref = t.first_subtask().ref,
+                        .instance = 0});
+    }
+  }
+  protocol_.initialize(*this);
+
+  while (!queue_.empty()) {
+    if (queue_.top().time > options_.horizon) break;
+    const Event event = queue_.pop();
+    E2E_ASSERT(event.time >= now_, "event queue went backwards in time");
+    now_ = event.time;
+    ++stats_.events_processed;
+    switch (event.kind) {
+      case EventKind::kArrival:
+        handle_arrival(event);
+        break;
+      case EventKind::kRelease:
+        handle_release(event);
+        break;
+      case EventKind::kTimer:
+        handle_timer(event);
+        break;
+      case EventKind::kCompletion:
+        handle_completion(event);
+        break;
+    }
+    // Scheduling decisions fire once per instant, after every simultaneous
+    // event has been absorbed (handlers may enqueue same-instant releases,
+    // which keeps this condition false until they are processed too). The
+    // flush itself only enqueues future completions (executions are >= 1
+    // tick), so it runs at most once per instant.
+    if (queue_.empty() || queue_.top().time > now_) flush_dispatches();
+  }
+}
+
+void Engine::mark_for_dispatch(ProcessorId processor) {
+  if (dispatch_marked_[processor.index()]) return;
+  dispatch_marked_[processor.index()] = true;
+  dispatch_pending_.push_back(processor.value());
+}
+
+void Engine::flush_dispatches() {
+  for (const std::int32_t p : dispatch_pending_) {
+    dispatch_marked_[static_cast<std::size_t>(p)] = false;
+    dispatch(processors_[static_cast<std::size_t>(p)]);
+  }
+  dispatch_pending_.clear();
+}
+
+void Engine::handle_arrival(const Event& event) {
+  const Task& task = system_.task(event.ref.task);
+  auto& first_times = first_release_times_[task.id.index()];
+  E2E_ASSERT(static_cast<std::int64_t>(first_times.size()) == event.instance,
+             "arrival out of order");
+  first_times.push_back(now_);
+
+  do_release(event.ref, event.instance);
+
+  const Time next = arrivals_->next(task, now_);
+  // Strictly increasing is the only engine-level contract: bounded-jitter
+  // models legitimately space arrivals closer than the period.
+  E2E_ASSERT(next > now_, "arrival times must strictly increase");
+  if (next <= options_.horizon) {
+    queue_.push(Event{.time = next,
+                      .phase = kReleasePhase,
+                      .kind = EventKind::kArrival,
+                      .ref = event.ref,
+                      .instance = event.instance + 1});
+  }
+}
+
+void Engine::handle_release(const Event& event) {
+  do_release(event.ref, event.instance);
+}
+
+void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
+  auto& released = released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  E2E_ASSERT(instance == released,
+             "subtask instances must be released in order, exactly once");
+  ++released;
+
+  const Subtask& subtask = system_.subtask(ref);
+  const Duration actual_execution =
+      execution_->sample(ref, instance, subtask.execution_time);
+  E2E_ASSERT(actual_execution >= 1 && actual_execution <= subtask.execution_time,
+             "execution model must return a value in [1, WCET]");
+  Job job{.ref = ref,
+          .instance = instance,
+          .processor = subtask.processor,
+          .priority = subtask.priority,
+          .preemptible = subtask.preemptible,
+          .release_time = now_,
+          .execution_time = actual_execution,
+          .remaining = actual_execution,
+          .seq = next_job_seq_++};
+  const JobSlot slot = pool_.allocate(job);
+  const Job& stored = pool_.get(slot);
+
+  ProcessorState& proc = processors_[subtask.processor.index()];
+  if (proc.last_release_time != now_) {
+    proc.last_release_time = now_;
+    proc.released_at_last = 0;
+  }
+  ++proc.released_at_last;
+  ++proc.incomplete_total;
+  ++stats_.jobs_released;
+
+  // Precedence check: the matching predecessor instance must have completed.
+  if (ref.index > 0) {
+    const SubtaskRef pred{ref.task, ref.index - 1};
+    if (completed_instances(pred) <= instance) {
+      ++stats_.precedence_violations;
+      for (TraceSink* sink : sinks_) sink->on_precedence_violation(stored, now_);
+    }
+  }
+
+  for (TraceSink* sink : sinks_) sink->on_release(stored);
+  protocol_.on_job_released(*this, stored);
+
+  proc.ready.push(ProcessorState::ReadyEntry{.priority_level = stored.priority.level,
+                                             .release_time = stored.release_time,
+                                             .seq = stored.seq,
+                                             .slot = slot});
+  mark_for_dispatch(subtask.processor);
+}
+
+void Engine::handle_timer(const Event& event) {
+  ++stats_.timer_interrupts;
+  protocol_.on_timer(*this, event.ref, event.instance);
+}
+
+void Engine::handle_completion(const Event& event) {
+  // Stale completion events (the job was preempted, or the slot recycled)
+  // are dropped: the generation recorded at dispatch no longer matches.
+  if (!pool_.occupied(event.slot)) return;
+  Job& job = pool_.get(event.slot);
+  if (job.generation != event.generation) return;
+
+  ProcessorState& proc = processors_[event.processor.index()];
+  E2E_ASSERT(proc.running_slot == static_cast<std::int64_t>(event.slot),
+             "valid completion for a job that is not running");
+  E2E_ASSERT(now_ == job.last_dispatch_time + job.remaining,
+             "completion event at the wrong time");
+  job.remaining = 0;
+  proc.busy_time += now_ - job.last_dispatch_time;
+  proc.running_slot = -1;
+  --proc.incomplete_total;
+
+  auto& completed =
+      completed_count_[job.ref.task.index()][static_cast<std::size_t>(job.ref.index)];
+  E2E_ASSERT(completed == job.instance, "subtask instances completed out of order");
+  ++completed;
+  ++stats_.jobs_completed;
+
+  const Task& task = system_.task(job.ref.task);
+  const bool is_last = job.ref.index + 1 == static_cast<std::int32_t>(task.chain_length());
+  if (is_last) {
+    const std::optional<Time> released = first_release_time(task.id, job.instance);
+    // `released` can be empty only under a misused protocol (PM with
+    // sporadic arrivals), where the precedence violation was already
+    // recorded at release time; there is no meaningful EER to check then.
+    if (released.has_value() && now_ - *released > task.relative_deadline) {
+      ++stats_.deadline_misses;
+    }
+  }
+
+  const Job completed_job = job;  // keep a copy past the slot's lifetime
+  pool_.release(event.slot);
+
+  for (TraceSink* sink : sinks_) sink->on_complete(completed_job, now_);
+  protocol_.on_job_completed(*this, completed_job);
+  check_idle_point(completed_job.processor);
+  mark_for_dispatch(completed_job.processor);
+}
+
+void Engine::check_idle_point(ProcessorId processor) {
+  if (!is_idle_point(processor)) return;
+  ++stats_.idle_points;
+  for (TraceSink* sink : sinks_) sink->on_idle_point(processor, now_);
+  protocol_.on_idle_point(*this, processor);
+}
+
+void Engine::dispatch(ProcessorState& proc) {
+  if (proc.ready.empty()) return;
+
+  if (proc.running_slot < 0) {
+    const JobSlot slot = proc.ready.top().slot;
+    proc.ready.pop();
+    start_job(proc, slot);
+    return;
+  }
+
+  Job& running = pool_.get(static_cast<JobSlot>(proc.running_slot));
+  if (!running.preemptible) return;  // runs to completion once dispatched
+  const ProcessorState::ReadyEntry& top = proc.ready.top();
+  if (top.priority_level >= running.priority.level) return;  // no strict preemption
+
+  // Preempt: account for the work done since the last dispatch and
+  // invalidate the in-flight completion event.
+  proc.busy_time += now_ - running.last_dispatch_time;
+  running.remaining -= now_ - running.last_dispatch_time;
+  E2E_ASSERT(running.remaining > 0,
+             "a job with no remaining work must have completed, not preempted");
+  ++running.generation;
+  ++stats_.preemptions;
+  for (TraceSink* sink : sinks_) sink->on_preempt(running, now_);
+
+  proc.ready.push(ProcessorState::ReadyEntry{.priority_level = running.priority.level,
+                                             .release_time = running.release_time,
+                                             .seq = running.seq,
+                                             .slot = static_cast<JobSlot>(
+                                                 proc.running_slot)});
+  const JobSlot slot = proc.ready.top().slot;
+  proc.ready.pop();
+  proc.running_slot = -1;
+  start_job(proc, slot);
+}
+
+void Engine::start_job(ProcessorState& proc, JobSlot slot) {
+  Job& job = pool_.get(slot);
+  proc.running_slot = static_cast<std::int64_t>(slot);
+  job.last_dispatch_time = now_;
+  ++job.generation;
+  ++stats_.dispatches;
+  queue_.push(Event{.time = now_ + job.remaining,
+                    .phase = kCompletionPhase,
+                    .kind = EventKind::kCompletion,
+                    .processor = job.processor,
+                    .slot = slot,
+                    .generation = job.generation});
+  for (TraceSink* sink : sinks_) sink->on_start(job, now_);
+}
+
+}  // namespace e2e

@@ -1,0 +1,198 @@
+// Engine: deterministic discrete-event simulator of a distributed
+// fixed-priority preemptive real-time system (paper Section 2 semantics).
+//
+// Modelling choices, matching the paper's assumptions:
+//  * inter-processor synchronization signals cost zero time;
+//  * scheduling/interrupt overhead is zero (overheads are *counted* in
+//    SimStats so Section 3.3 comparisons can be made, but they consume no
+//    simulated time);
+//  * subtask instances execute for exactly their worst-case execution
+//    time ("variations in the execution times ... are small", Section 6);
+//  * each processor schedules released, incomplete instances by fixed
+//    priority, preemptively; ties are broken FIFO by release time, then
+//    by global release sequence.
+//
+// Usage:
+//   DirectSyncProtocol ds;
+//   Engine engine{system, ds, {.horizon = 100'000}};
+//   EerCollector eer{system};                // a TraceSink
+//   engine.add_sink(&eer);
+//   engine.run();
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/arrival.h"
+#include "sim/event_queue.h"
+#include "sim/execution_model.h"
+#include "sim/job.h"
+#include "sim/job_pool.h"
+#include "sim/protocol.h"
+#include "sim/trace.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// Aggregate counters produced by a run.
+struct SimStats {
+  std::int64_t jobs_released = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t dispatches = 0;        ///< starts + resumes
+  std::int64_t preemptions = 0;
+  std::int64_t sync_signals = 0;      ///< counted by protocols via count_sync_signal
+  std::int64_t timer_interrupts = 0;  ///< kTimer events fired
+  std::int64_t precedence_violations = 0;
+  std::int64_t deadline_misses = 0;   ///< end-to-end deadline misses
+  std::int64_t idle_points = 0;
+  std::int64_t events_processed = 0;
+};
+
+struct EngineOptions {
+  /// Simulation end time: events strictly after the horizon are not
+  /// processed. Must be > 0.
+  Time horizon = 0;
+  /// Arrival model for first-subtask instances; nullptr = strictly
+  /// periodic (the paper's setting). Not owned.
+  ArrivalModel* arrivals = nullptr;
+  /// Actual execution times; nullptr = exactly the WCET (the paper's
+  /// setting). Not owned.
+  ExecutionModel* execution = nullptr;
+};
+
+class Engine {
+ public:
+  /// `system` and `protocol` must outlive the engine.
+  Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an observer (not owned; must outlive run()).
+  void add_sink(TraceSink* sink);
+
+  /// Runs the simulation to the horizon. Call at most once.
+  void run();
+
+  // --- accessors -----------------------------------------------------
+  [[nodiscard]] const TaskSystem& system() const noexcept { return system_; }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Time horizon() const noexcept { return options_.horizon; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+
+  /// Number of completed instances of `ref` so far.
+  [[nodiscard]] std::int64_t completed_instances(SubtaskRef ref) const;
+  /// Number of released instances of `ref` so far.
+  [[nodiscard]] std::int64_t released_instances(SubtaskRef ref) const;
+  /// Release time of T_{i,1}(m); nullopt if not yet arrived. Kept for
+  /// every instance (deadline checking & metrics).
+  [[nodiscard]] std::optional<Time> first_release_time(TaskId task,
+                                                       std::int64_t instance) const;
+
+  /// Total time `processor` spent executing jobs so far (work that is
+  /// mid-execution when the simulation ends is included up to `now`).
+  [[nodiscard]] Duration busy_time(ProcessorId processor) const;
+
+  // --- protocol-facing API -------------------------------------------
+  /// True if `now` is an idle point on `processor`: every instance
+  /// released on it strictly before `now` has completed.
+  [[nodiscard]] bool is_idle_point(ProcessorId processor) const;
+
+  /// Enqueues the release of (ref, instance) at the current time (release
+  /// phase of the current timestamp). Instances of each subtask must be
+  /// released in order, exactly once.
+  void release_now(SubtaskRef ref, std::int64_t instance);
+
+  /// Enqueues the release of (ref, instance) at absolute time `at` >= now.
+  void schedule_release(SubtaskRef ref, std::int64_t instance, Time at);
+
+  /// Schedules a protocol timer; on firing, SyncProtocol::on_timer is
+  /// invoked with (ref, instance) and the timer-interrupt counter is
+  /// incremented.
+  void set_timer(Time at, SubtaskRef ref, std::int64_t instance);
+
+  /// Protocols call this for every synchronization signal they model
+  /// (Section 3.3 overhead accounting).
+  void count_sync_signal() noexcept { ++stats_.sync_signals; }
+
+  /// As above for timer interrupts that are not routed through set_timer
+  /// (PM's strictly periodic releases are timer-driven conceptually but
+  /// implemented as pre-scheduled release events).
+  void count_timer_interrupt() noexcept { ++stats_.timer_interrupts; }
+
+ private:
+  struct ProcessorState {
+    // Ready queue entry: jobs not currently running, ordered by
+    // (priority level, release time, seq).
+    struct ReadyEntry {
+      std::int32_t priority_level;
+      Time release_time;
+      std::uint64_t seq;
+      JobSlot slot;
+      /// std::priority_queue keeps the *largest* on top, so "a < b" must
+      /// mean "a is dispatched after b".
+      friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) noexcept {
+        if (a.priority_level != b.priority_level)
+          return a.priority_level > b.priority_level;
+        if (a.release_time != b.release_time) return a.release_time > b.release_time;
+        return a.seq > b.seq;
+      }
+    };
+    std::priority_queue<ReadyEntry> ready;
+    std::int64_t running_slot = -1;  ///< JobSlot or -1
+    // Idle-point bookkeeping: incomplete jobs, split by whether they were
+    // released strictly before the current timestamp.
+    std::int64_t incomplete_total = 0;
+    Time last_release_time = -1;
+    std::int64_t released_at_last = 0;
+    Duration busy_time = 0;  ///< accumulated at completion/preemption
+  };
+
+  void handle_arrival(const Event& event);
+  void handle_release(const Event& event);
+  void handle_completion(const Event& event);
+  void handle_timer(const Event& event);
+  void do_release(SubtaskRef ref, std::int64_t instance);
+  /// Marks a processor as needing a scheduling decision. Decisions are
+  /// deferred to the end of the current instant (flush_dispatches) so
+  /// that simultaneous releases resolve purely by priority -- in
+  /// particular, a non-preemptible job released "together with" a
+  /// higher-priority one must not grab the processor just because its
+  /// release event was processed first.
+  void mark_for_dispatch(ProcessorId processor);
+  void flush_dispatches();
+  void dispatch(ProcessorState& proc);
+  void start_job(ProcessorState& proc, JobSlot slot);
+  /// Fires idle-point notifications if `processor` is at an idle point.
+  void check_idle_point(ProcessorId processor);
+  [[nodiscard]] std::int64_t incomplete_released_before_now(
+      const ProcessorState& proc) const;
+
+  const TaskSystem& system_;
+  SyncProtocol& protocol_;
+  EngineOptions options_;
+  PeriodicArrivals default_arrivals_;
+  WcetExecution default_execution_;
+  ArrivalModel* arrivals_;    // points at options_.arrivals or default_arrivals_
+  ExecutionModel* execution_; // points at options_.execution or default_execution_
+
+  EventQueue queue_;
+  JobPool pool_;
+  Time now_ = 0;
+  bool ran_ = false;
+  std::uint64_t next_job_seq_ = 0;
+
+  std::vector<ProcessorState> processors_;
+  std::vector<std::int32_t> dispatch_pending_;  ///< processors awaiting flush
+  std::vector<bool> dispatch_marked_;           ///< dedup for the list above
+  std::vector<std::vector<std::int64_t>> released_count_;   // [task][index]
+  std::vector<std::vector<std::int64_t>> completed_count_;  // [task][index]
+  std::vector<std::vector<Time>> first_release_times_;      // [task][instance]
+  std::vector<TraceSink*> sinks_;
+  SimStats stats_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,19 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace e2e {
+
+void EventQueue::push(Event event) {
+  event.seq = next_seq_++;
+  heap_.push(event);
+}
+
+Event EventQueue::pop() {
+  E2E_ASSERT(!heap_.empty(), "pop from empty event queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace e2e

@@ -1,0 +1,72 @@
+// The simulator's event queue.
+//
+// Determinism contract: events are processed in ascending (time, phase,
+// insertion sequence) order. The phase encodes the paper's idle-point
+// semantics at a shared timestamp t:
+//
+//   kCompletionPhase  -- all work finishing exactly at t is retired first,
+//   kTimerPhase       -- protocol timers at t see completed predecessors,
+//   kReleasePhase     -- instances "released at the instant" come last, so
+//                        an idle point at t is observable before them.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/job.h"
+
+namespace e2e {
+
+enum class EventKind : std::uint8_t {
+  kArrival,     ///< periodic/sporadic arrival of a task instance (releases T_{i,1})
+  kRelease,     ///< release of subtask instance (ref, instance)
+  kTimer,       ///< protocol timer for (ref, instance) -- MPM bound timer, RG guard
+  kCompletion,  ///< tentative completion of the job in (processor, slot, generation)
+};
+
+/// Intra-timestamp ordering phases (see file comment).
+enum : std::uint8_t {
+  kCompletionPhase = 0,
+  kTimerPhase = 1,
+  kReleasePhase = 2,
+};
+
+struct Event {
+  Time time = 0;
+  std::uint8_t phase = 0;
+  std::uint64_t seq = 0;  ///< assigned by the queue; insertion order
+  EventKind kind = EventKind::kArrival;
+
+  // Payload (interpreted per kind).
+  SubtaskRef ref;                ///< kArrival (first subtask) / kRelease / kTimer
+  std::int64_t instance = 0;     ///< kArrival / kRelease / kTimer
+  ProcessorId processor;         ///< kCompletion
+  JobSlot slot = 0;              ///< kCompletion
+  std::uint32_t generation = 0;  ///< kCompletion
+};
+
+/// Min-heap by (time, phase, seq). push() assigns the sequence number.
+class EventQueue {
+ public:
+  void push(Event event);
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop();
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace e2e

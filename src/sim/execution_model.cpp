@@ -1,0 +1,24 @@
+#include "sim/execution_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace e2e {
+
+UniformExecutionVariation::UniformExecutionVariation(Rng rng, double min_fraction)
+    : rng_(rng), min_fraction_(min_fraction) {
+  E2E_ASSERT(min_fraction > 0.0 && min_fraction <= 1.0,
+             "min_fraction must be in (0, 1]");
+}
+
+Duration UniformExecutionVariation::sample(SubtaskRef, std::int64_t,
+                                           Duration worst_case) {
+  const Duration lo = std::max<Duration>(
+      1, static_cast<Duration>(
+             std::ceil(min_fraction_ * static_cast<double>(worst_case))));
+  return rng_.uniform_int(lo, worst_case);
+}
+
+}  // namespace e2e

@@ -1,0 +1,51 @@
+// Execution-time models: how long an instance actually runs, up to its
+// worst case.
+//
+// The paper (Section 6) assumes "variations in the execution times of
+// subtasks ... are small"; all analyses use the WCET. This extension lets
+// the simulator draw actual execution times below the WCET, which the
+// (WCET-based) bounds must still cover -- exercised by the property tests
+// -- and which shortens DS/RG average EER times in practice.
+#pragma once
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace e2e {
+
+/// Strategy interface: actual execution time of instance `instance` of
+/// `ref`, given the subtask's worst case. Must return a value in
+/// [1, worst_case].
+class ExecutionModel {
+ public:
+  virtual ~ExecutionModel() = default;
+  [[nodiscard]] virtual Duration sample(SubtaskRef ref, std::int64_t instance,
+                                        Duration worst_case) = 0;
+};
+
+/// Every instance runs exactly its WCET (the paper's model; engine
+/// default).
+class WcetExecution final : public ExecutionModel {
+ public:
+  [[nodiscard]] Duration sample(SubtaskRef, std::int64_t,
+                                Duration worst_case) override {
+    return worst_case;
+  }
+};
+
+/// Actual execution uniform in [ceil(min_fraction * wcet), wcet].
+class UniformExecutionVariation final : public ExecutionModel {
+ public:
+  /// Requires 0 < min_fraction <= 1.
+  UniformExecutionVariation(Rng rng, double min_fraction);
+
+  [[nodiscard]] Duration sample(SubtaskRef ref, std::int64_t instance,
+                                Duration worst_case) override;
+
+ private:
+  Rng rng_;
+  double min_fraction_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,48 @@
+#include "sim/job_pool.h"
+
+#include "common/error.h"
+
+namespace e2e {
+
+JobSlot JobPool::allocate(Job job) {
+  JobSlot slot = 0;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    // Preserve the recycled slot's generation so completion events queued
+    // against the previous occupant can never validate against this one.
+    job.generation = slots_[slot].job.generation;
+    slots_[slot].job = job;
+    slots_[slot].occupied = true;
+  } else {
+    slot = static_cast<JobSlot>(slots_.size());
+    slots_.push_back(Slot{.job = job, .occupied = true});
+  }
+  ++live_;
+  return slot;
+}
+
+void JobPool::release(JobSlot slot) {
+  E2E_ASSERT(slot < slots_.size() && slots_[slot].occupied, "releasing a dead job slot");
+  slots_[slot].occupied = false;
+  // Bump the generation so any event still referring to this slot is stale.
+  ++slots_[slot].job.generation;
+  free_.push_back(slot);
+  --live_;
+}
+
+Job& JobPool::get(JobSlot slot) {
+  E2E_ASSERT(slot < slots_.size() && slots_[slot].occupied, "accessing a dead job slot");
+  return slots_[slot].job;
+}
+
+const Job& JobPool::get(JobSlot slot) const {
+  E2E_ASSERT(slot < slots_.size() && slots_[slot].occupied, "accessing a dead job slot");
+  return slots_[slot].job;
+}
+
+bool JobPool::occupied(JobSlot slot) const noexcept {
+  return slot < slots_.size() && slots_[slot].occupied;
+}
+
+}  // namespace e2e

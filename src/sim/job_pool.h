@@ -1,0 +1,42 @@
+// JobPool: a free-list arena for Job records.
+//
+// A long simulation releases millions of jobs but only a handful are alive
+// at any instant; the pool recycles slots so memory stays proportional to
+// the number of in-flight jobs. Slot generations are preserved across
+// recycling, which (together with the per-dispatch generation bump) makes
+// stale completion events detectable.
+#pragma once
+
+#include <vector>
+
+#include "sim/job.h"
+
+namespace e2e {
+
+class JobPool {
+ public:
+  /// Allocates a slot and move-initializes it from `job`, preserving the
+  /// slot's generation counter (monotone across recycling).
+  JobSlot allocate(Job job);
+
+  /// Releases a slot for reuse. The Job's generation survives.
+  void release(JobSlot slot);
+
+  [[nodiscard]] Job& get(JobSlot slot);
+  [[nodiscard]] const Job& get(JobSlot slot) const;
+  [[nodiscard]] bool occupied(JobSlot slot) const noexcept;
+
+  /// Number of live jobs.
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+
+ private:
+  struct Slot {
+    Job job;
+    bool occupied = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<JobSlot> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace e2e

@@ -1,0 +1,59 @@
+// SyncProtocol: the policy interface implemented by the paper's
+// synchronization protocols (core/protocols).
+//
+// Division of labour:
+//  * The Engine owns *mechanism*: arrivals of first-subtask instances,
+//    ready queues, fixed-priority preemptive dispatching, completion and
+//    idle-point detection, precedence checking, statistics.
+//  * A SyncProtocol owns *policy*: when an instance of a non-first subtask
+//    is released. It reacts to engine callbacks and calls back into the
+//    engine (release_now / schedule_release / set_timer).
+//
+// All callbacks run at the engine's current simulation time.
+#pragma once
+
+#include <string_view>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/job.h"
+
+namespace e2e {
+
+class Engine;
+
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+
+  /// Short identifier ("DS", "PM", "MPM", "RG") for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once before the first event. Protocols that pre-compute
+  /// per-subtask schedules (PM) seed their release events here.
+  virtual void initialize(Engine& engine) { (void)engine; }
+
+  /// An instance of any subtask was just released (first subtasks
+  /// included). RG applies guard rule 1 here; MPM starts its bound timer.
+  virtual void on_job_released(Engine& engine, const Job& job) {
+    (void)engine, (void)job;
+  }
+
+  /// An instance completed. DS and RG act on the completion
+  /// synchronization signal here.
+  virtual void on_job_completed(Engine& engine, const Job& job) {
+    (void)engine, (void)job;
+  }
+
+  /// A timer set via Engine::set_timer fired for (ref, instance).
+  virtual void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) {
+    (void)engine, (void)ref, (void)instance;
+  }
+
+  /// `now` is an idle point on `processor`. RG applies guard rule 2 here.
+  virtual void on_idle_point(Engine& engine, ProcessorId processor) {
+    (void)engine, (void)processor;
+  }
+};
+
+}  // namespace e2e

@@ -1,0 +1,41 @@
+// Observation interface for the simulator.
+//
+// Sinks receive every scheduling-relevant occurrence; metrics collectors
+// (metrics/), Gantt recorders (report/) and test oracles all implement
+// this interface. Callbacks must not mutate the engine. The Job reference
+// is valid only for the duration of the call.
+#pragma once
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/job.h"
+
+namespace e2e {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Instance (job.ref, job.instance) released at job.release_time.
+  virtual void on_release(const Job& job) { (void)job; }
+  /// Job starts or resumes execution at `now`.
+  virtual void on_start(const Job& job, Time now) { (void)job, (void)now; }
+  /// Job is preempted at `now` (job.remaining already updated).
+  virtual void on_preempt(const Job& job, Time now) { (void)job, (void)now; }
+  /// Job finishes its execution at `now`.
+  virtual void on_complete(const Job& job, Time now) { (void)job, (void)now; }
+  /// `now` is an idle point on `processor` (paper Definition: every
+  /// instance released before `now` on it has completed).
+  virtual void on_idle_point(ProcessorId processor, Time now) {
+    (void)processor, (void)now;
+  }
+  /// The release of `job` violates its precedence constraint: the
+  /// corresponding instance of its immediate predecessor has not
+  /// completed. Only a misused protocol triggers this (e.g. PM with
+  /// sporadic first releases).
+  virtual void on_precedence_violation(const Job& job, Time now) {
+    (void)job, (void)now;
+  }
+};
+
+}  // namespace e2e

@@ -1,0 +1,100 @@
+#include "task/builder.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/math.h"
+
+namespace e2e {
+
+TaskSystemBuilder::TaskSystemBuilder(std::size_t processor_count)
+    : processor_count_(processor_count) {
+  if (processor_count == 0) {
+    throw InvalidArgument("TaskSystem needs at least one processor");
+  }
+}
+
+TaskSystemBuilder::TaskHandle TaskSystemBuilder::add_task(TaskParams params) {
+  if (params.period <= 0) throw InvalidArgument("task period must be positive");
+  if (params.phase < 0) throw InvalidArgument("task phase must be non-negative");
+  if (params.deadline < 0) throw InvalidArgument("task deadline must be non-negative");
+  if (params.release_jitter < 0) {
+    throw InvalidArgument("task release jitter must be non-negative");
+  }
+
+  Task t;
+  t.id = TaskId{static_cast<std::int32_t>(tasks_.size())};
+  t.period = params.period;
+  t.phase = params.phase;
+  t.relative_deadline = params.deadline == 0 ? params.period : params.deadline;
+  t.release_jitter = params.release_jitter;
+  t.name = params.name.empty() ? ("T" + std::to_string(t.id.value() + 1))
+                               : std::move(params.name);
+  tasks_.push_back(std::move(t));
+  return TaskHandle{*this, tasks_.back().id};
+}
+
+TaskSystemBuilder::TaskHandle& TaskSystemBuilder::TaskHandle::subtask(
+    ProcessorId processor, Duration execution_time, Priority priority,
+    std::string name) {
+  if (processor.value() < 0 ||
+      processor.index() >= owner_->processor_count_) {
+    throw InvalidArgument("subtask processor id out of range");
+  }
+  if (execution_time <= 0) throw InvalidArgument("subtask execution time must be positive");
+
+  Task& t = owner_->tasks_[id_.index()];
+  Subtask s;
+  s.ref = SubtaskRef{id_, static_cast<std::int32_t>(t.subtasks.size())};
+  s.processor = processor;
+  s.execution_time = execution_time;
+  s.priority = priority;
+  if (name.empty()) {
+    // Paper-style default: subtask j of Ti is "Ti,j".
+    name = t.name + "," + std::to_string(t.subtasks.size() + 1);
+  }
+  s.name = std::move(name);
+  t.subtasks.push_back(std::move(s));
+  return *this;
+}
+
+TaskSystemBuilder::TaskHandle& TaskSystemBuilder::TaskHandle::non_preemptible() {
+  Task& t = owner_->tasks_[id_.index()];
+  if (t.subtasks.empty()) {
+    throw InvalidArgument("non_preemptible() must follow a subtask() call");
+  }
+  t.subtasks.back().preemptible = false;
+  return *this;
+}
+
+TaskSystem TaskSystemBuilder::build() && {
+  if (tasks_.empty()) throw InvalidArgument("TaskSystem needs at least one task");
+  for (const Task& t : tasks_) {
+    if (t.subtasks.empty()) {
+      throw InvalidArgument("task '" + t.name + "' has no subtasks");
+    }
+  }
+
+  TaskSystem sys;
+  sys.processor_count_ = processor_count_;
+  sys.tasks_ = std::move(tasks_);
+  sys.per_processor_.resize(processor_count_);
+
+  sys.hyperperiod_ = 1;
+  sys.max_period_ = 0;
+  sys.min_period_ = kTimeInfinity;
+  sys.max_phase_ = 0;
+  for (const Task& t : sys.tasks_) {
+    sys.subtask_count_ += t.subtasks.size();
+    sys.hyperperiod_ = lcm64_saturating(sys.hyperperiod_, t.period);
+    sys.max_period_ = std::max(sys.max_period_, t.period);
+    sys.min_period_ = std::min(sys.min_period_, t.period);
+    sys.max_phase_ = std::max(sys.max_phase_, t.phase);
+    for (const Subtask& s : t.subtasks) {
+      sys.per_processor_[s.processor.index()].push_back(s.ref);
+    }
+  }
+  return sys;
+}
+
+}  // namespace e2e

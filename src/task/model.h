@@ -1,0 +1,78 @@
+// The end-to-end periodic task model of Sun & Liu (ICDCS'96), Section 2.
+//
+// A system is a set of processors {P_k} and independent, preemptable
+// periodic tasks {T_i}. Each task is a chain of subtasks T_{i,1..n_i};
+// each subtask executes on one processor with a fixed priority and a
+// worst-case execution time. Instances of the first subtask are released
+// periodically (period p_i, phase f_i); when later subtasks are released
+// is decided by the synchronization protocol (core/protocols).
+//
+// Inter-processor communication is not modelled explicitly (cost zero), as
+// in the paper: real links are represented as "link processors" whose
+// message transmissions are communication subtasks (see the monitor-task
+// example in task/paper_examples.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace e2e {
+
+/// One subtask T_{i,j}: a stage of an end-to-end task pinned to a
+/// processor. Plain data; invariants are enforced by TaskSystemBuilder.
+struct Subtask {
+  /// Position in the system: which task, which chain index (0-based).
+  SubtaskRef ref;
+  /// Processor this subtask executes on.
+  ProcessorId processor;
+  /// Worst-case execution time epsilon_{i,j} (ticks, > 0).
+  Duration execution_time = 0;
+  /// Fixed priority on `processor` (smaller level = higher priority).
+  Priority priority;
+  /// Extension (paper Section 6 lists non-preemptivity as future work):
+  /// when false, an instance of this subtask runs to completion once
+  /// dispatched, blocking even higher-priority subtasks. The blocking-
+  /// aware analyses charge it to its victims (see analysis/blocking.h).
+  bool preemptible = true;
+  /// Optional human-readable name for traces/Gantt charts ("sample", ...).
+  std::string name;
+};
+
+/// One end-to-end task T_i: a chain of subtasks plus timing parameters.
+struct Task {
+  TaskId id;
+  /// Minimum inter-release time of first-subtask instances (ticks, > 0).
+  Duration period = 0;
+  /// Release time of the first instance of the first subtask (ticks, >= 0).
+  Time phase = 0;
+  /// End-to-end relative deadline D_i (ticks, > 0). The paper's
+  /// experiments use D_i == p_i, but the model allows arbitrary deadlines.
+  Duration relative_deadline = 0;
+  /// Extension (paper Section 6 assumes "jitters in the task release
+  /// times are small"): bound on how far an actual first-subtask release
+  /// may lag its nominal periodic instant f_i + m p_i (ticks, >= 0). The
+  /// jitter-aware analyses consume this; the paper's own algorithms
+  /// assume 0.
+  Duration release_jitter = 0;
+  /// The chain T_{i,1} ... T_{i,n_i}, in precedence order. Never empty.
+  std::vector<Subtask> subtasks;
+  /// Optional human-readable name ("T1", "monitor", ...).
+  std::string name;
+
+  [[nodiscard]] std::size_t chain_length() const noexcept { return subtasks.size(); }
+  [[nodiscard]] const Subtask& first_subtask() const noexcept { return subtasks.front(); }
+  [[nodiscard]] const Subtask& last_subtask() const noexcept { return subtasks.back(); }
+
+  /// Sum of execution times along the chain (a trivial lower bound on any
+  /// instance's end-to-end response time).
+  [[nodiscard]] Duration total_execution_time() const noexcept {
+    Duration sum = 0;
+    for (const Subtask& s : subtasks) sum += s.execution_time;
+    return sum;
+  }
+};
+
+}  // namespace e2e

@@ -1,0 +1,46 @@
+#include "task/paper_examples.h"
+
+#include "task/builder.h"
+
+namespace e2e::paper {
+
+TaskSystem example2() {
+  TaskSystemBuilder b{2};
+  const ProcessorId p1{0};
+  const ProcessorId p2{1};
+
+  b.add_task({.period = 4, .phase = 0, .deadline = 4, .name = "T1"})
+      .subtask(p1, 2, Priority{0}, "T1");
+  b.add_task({.period = 6, .phase = 0, .deadline = 6, .name = "T2"})
+      .subtask(p1, 2, Priority{1}, "T2,1")
+      .subtask(p2, 3, Priority{0}, "T2,2");
+  b.add_task({.period = 6, .phase = 4, .deadline = 6, .name = "T3"})
+      .subtask(p2, 2, Priority{1}, "T3");
+  return std::move(b).build();
+}
+
+TaskSystem example1_monitor() {
+  TaskSystemBuilder b{3};
+  b.add_task({.period = 12, .phase = 0, .deadline = 12, .name = "monitor"})
+      .subtask(ProcessorId{0}, 2, Priority{0}, "sample")
+      .subtask(ProcessorId{1}, 3, Priority{0}, "transfer")
+      .subtask(ProcessorId{2}, 2, Priority{0}, "display");
+  return std::move(b).build();
+}
+
+TaskSystem example1_monitor_with_interference() {
+  TaskSystemBuilder b{3};
+  b.add_task({.period = 12, .phase = 0, .deadline = 12, .name = "monitor"})
+      .subtask(ProcessorId{0}, 2, Priority{1}, "sample")
+      .subtask(ProcessorId{1}, 3, Priority{1}, "transfer")
+      .subtask(ProcessorId{2}, 2, Priority{1}, "display");
+  b.add_task({.period = 6, .phase = 0, .deadline = 6, .name = "field_io"})
+      .subtask(ProcessorId{0}, 1, Priority{0});
+  b.add_task({.period = 8, .phase = 1, .deadline = 8, .name = "link_beacon"})
+      .subtask(ProcessorId{1}, 2, Priority{0});
+  b.add_task({.period = 10, .phase = 0, .deadline = 10, .name = "ui_refresh"})
+      .subtask(ProcessorId{2}, 1, Priority{0});
+  return std::move(b).build();
+}
+
+}  // namespace e2e::paper

@@ -1,0 +1,37 @@
+// Plain-text (de)serialization of TaskSystem.
+//
+// Line-oriented format, stable across versions of this library:
+//
+//   e2esync v1
+//   processors 2
+//   task <period> <phase> <deadline> <release_jitter> <name>
+//   sub <processor> <exec> <priority> <preemptible 0|1> <name>
+//   ...
+//
+// Names run to the end of the line and may contain spaces. `sub` lines
+// belong to the most recent `task` line, in chain order. Parsing
+// validates through TaskSystemBuilder, so a well-formed file always
+// yields a well-formed system; malformed input throws InvalidArgument
+// with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "task/system.h"
+
+namespace e2e {
+
+/// Writes `system` in the format above.
+void write_system(std::ostream& out, const TaskSystem& system);
+
+/// Convenience: write_system into a string.
+[[nodiscard]] std::string to_text(const TaskSystem& system);
+
+/// Parses a system; throws InvalidArgument on malformed input.
+[[nodiscard]] TaskSystem read_system(std::istream& in);
+
+/// Convenience: read_system from a string.
+[[nodiscard]] TaskSystem from_text(const std::string& text);
+
+}  // namespace e2e

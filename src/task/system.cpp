@@ -1,0 +1,52 @@
+#include "task/system.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+const Task& TaskSystem::task(TaskId id) const {
+  E2E_ASSERT(id.value() >= 0 && id.index() < tasks_.size(), "TaskId out of range");
+  return tasks_[id.index()];
+}
+
+const Subtask& TaskSystem::subtask(SubtaskRef ref) const {
+  const Task& t = task(ref.task);
+  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < t.subtasks.size(),
+             "subtask index out of range");
+  return t.subtasks[static_cast<std::size_t>(ref.index)];
+}
+
+std::span<const SubtaskRef> TaskSystem::subtasks_on(ProcessorId p) const {
+  E2E_ASSERT(p.value() >= 0 && p.index() < per_processor_.size(),
+             "ProcessorId out of range");
+  return per_processor_[p.index()];
+}
+
+double TaskSystem::processor_utilization(ProcessorId p) const {
+  double total = 0.0;
+  for (const SubtaskRef ref : subtasks_on(p)) {
+    const Subtask& s = subtask(ref);
+    total += static_cast<double>(s.execution_time) /
+             static_cast<double>(task(ref.task).period);
+  }
+  return total;
+}
+
+double TaskSystem::max_processor_utilization() const {
+  double best = 0.0;
+  for (std::size_t k = 0; k < processor_count_; ++k) {
+    best = std::max(best,
+                    processor_utilization(ProcessorId{static_cast<std::int32_t>(k)}));
+  }
+  return best;
+}
+
+bool TaskSystem::contains(SubtaskRef ref) const noexcept {
+  if (ref.task.value() < 0 || ref.task.index() >= tasks_.size()) return false;
+  return ref.index >= 0 &&
+         static_cast<std::size_t>(ref.index) < tasks_[ref.task.index()].subtasks.size();
+}
+
+}  // namespace e2e

@@ -1,0 +1,71 @@
+// TaskSystem: an immutable, validated distributed real-time workload.
+//
+// Built via TaskSystemBuilder (task/builder.h). Construction validates the
+// model invariants once; afterwards every component (simulator, analyses,
+// experiments) can rely on them without re-checking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "task/model.h"
+
+namespace e2e {
+
+class TaskSystemBuilder;
+
+/// Immutable system description. Cheap to copy-construct tasks out of;
+/// usually passed by const reference.
+class TaskSystem {
+ public:
+  /// Number of processors P_0 .. P_{count-1}.
+  [[nodiscard]] std::size_t processor_count() const noexcept { return processor_count_; }
+
+  /// All tasks, indexed by TaskId.
+  [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const Subtask& subtask(SubtaskRef ref) const;
+
+  /// Subtasks resident on `p`, in an arbitrary but deterministic order.
+  [[nodiscard]] std::span<const SubtaskRef> subtasks_on(ProcessorId p) const;
+
+  /// Total number of subtasks over all tasks.
+  [[nodiscard]] std::size_t subtask_count() const noexcept { return subtask_count_; }
+
+  /// Utilization sum of subtasks on `p`: sum of e_{i,j}/p_i.
+  [[nodiscard]] double processor_utilization(ProcessorId p) const;
+
+  /// Maximum processor utilization across the system.
+  [[nodiscard]] double max_processor_utilization() const;
+
+  /// lcm of all task periods, saturating at kTimeInfinity when it
+  /// overflows (co-prime tick-scaled periods routinely do).
+  [[nodiscard]] Duration hyperperiod() const noexcept { return hyperperiod_; }
+
+  [[nodiscard]] Duration max_period() const noexcept { return max_period_; }
+  [[nodiscard]] Duration min_period() const noexcept { return min_period_; }
+  [[nodiscard]] Time max_phase() const noexcept { return max_phase_; }
+
+  /// True if `ref` names an existing subtask.
+  [[nodiscard]] bool contains(SubtaskRef ref) const noexcept;
+
+ private:
+  friend class TaskSystemBuilder;
+  TaskSystem() = default;
+
+  std::vector<Task> tasks_;
+  std::vector<std::vector<SubtaskRef>> per_processor_;
+  std::size_t processor_count_ = 0;
+  std::size_t subtask_count_ = 0;
+  Duration hyperperiod_ = 0;
+  Duration max_period_ = 0;
+  Duration min_period_ = 0;
+  Time max_phase_ = 0;
+};
+
+}  // namespace e2e

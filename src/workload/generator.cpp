@@ -1,0 +1,188 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+void validate(const GeneratorOptions& o) {
+  if (o.processors == 0) throw InvalidArgument("generator: need processors");
+  if (o.tasks == 0) throw InvalidArgument("generator: need tasks");
+  if (o.subtasks_per_task == 0) throw InvalidArgument("generator: need subtasks");
+  if (o.subtasks_per_task > 1 && o.processors < 2) {
+    throw InvalidArgument(
+        "generator: chains need >= 2 processors (no two consecutive "
+        "siblings may share one)");
+  }
+  if (o.utilization <= 0.0 || o.utilization > 1.0) {
+    throw InvalidArgument("generator: utilization must be in (0, 1]");
+  }
+  if (!(o.period_min > 0.0) || !(o.period_min < o.period_max)) {
+    throw InvalidArgument("generator: bad period range");
+  }
+  if (o.ticks_per_unit <= 0) throw InvalidArgument("generator: bad tick scale");
+  if (!(o.min_weight > 0.0) || o.min_weight >= 1.0) {
+    throw InvalidArgument("generator: bad weight range");
+  }
+  if (o.non_preemptible_fraction < 0.0 || o.non_preemptible_fraction > 1.0 ||
+      o.release_jitter_fraction < 0.0) {
+    throw InvalidArgument("generator: bad extension fractions");
+  }
+}
+
+/// Uniform processor for subtask j, never equal to the previous one.
+ProcessorId pick_processor(Rng& rng, std::size_t processor_count,
+                           std::int32_t previous) {
+  if (previous < 0) {
+    return ProcessorId{static_cast<std::int32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(processor_count) - 1))};
+  }
+  // Draw from the other (count - 1) processors uniformly.
+  auto pick = static_cast<std::int32_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(processor_count) - 2));
+  if (pick >= previous) ++pick;
+  return ProcessorId{pick};
+}
+
+}  // namespace
+
+TaskSystem generate_system(Rng& rng, const GeneratorOptions& options) {
+  validate(options);
+
+  const std::size_t n_tasks = options.tasks;
+  const std::size_t n_sub = options.subtasks_per_task;
+
+  // 1. Periods, scaled to ticks.
+  std::vector<Duration> periods(n_tasks);
+  for (auto& p : periods) {
+    const double units =
+        options.period_distribution ==
+                GeneratorOptions::PeriodDistribution::kTruncatedExponential
+            ? rng.truncated_exponential(options.period_mean, options.period_min,
+                                        options.period_max)
+            : rng.uniform_real(options.period_min, options.period_max);
+    p = static_cast<Duration>(
+        std::llround(units * static_cast<double>(options.ticks_per_unit)));
+  }
+
+  // 2. Placement: random chain walk; retry the whole placement in the
+  // (vanishingly rare) case some processor ends up with no subtask, since
+  // its target utilization could not be realized.
+  std::vector<std::vector<ProcessorId>> placement(n_tasks,
+                                                  std::vector<ProcessorId>(n_sub));
+  for (int attempt = 0;; ++attempt) {
+    std::vector<bool> used(options.processors, false);
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      std::int32_t previous = -1;
+      for (std::size_t j = 0; j < n_sub; ++j) {
+        const ProcessorId p = pick_processor(rng, options.processors, previous);
+        placement[i][j] = p;
+        used[p.index()] = true;
+        previous = p.value();
+      }
+    }
+    if (std::all_of(used.begin(), used.end(), [](bool u) { return u; })) break;
+    if (attempt > 1000) {
+      throw InvalidArgument(
+          "generator: could not place at least one subtask on every "
+          "processor; too few subtasks for this processor count");
+    }
+  }
+
+  // 3. Utilization split: per processor, weights r ~ U[min_weight, 1];
+  // subtask utilization = U * r / sum(r); execution = utilization * period.
+  std::vector<std::vector<double>> weights(n_tasks, std::vector<double>(n_sub));
+  std::vector<double> weight_sum(options.processors, 0.0);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    for (std::size_t j = 0; j < n_sub; ++j) {
+      weights[i][j] = rng.uniform_real(options.min_weight, 1.0);
+      weight_sum[placement[i][j].index()] += weights[i][j];
+    }
+  }
+  std::vector<std::vector<Duration>> execs(n_tasks, std::vector<Duration>(n_sub));
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    for (std::size_t j = 0; j < n_sub; ++j) {
+      const double share = options.utilization * weights[i][j] /
+                           weight_sum[placement[i][j].index()];
+      execs[i][j] = std::max<Duration>(
+          1, static_cast<Duration>(
+                 std::llround(share * static_cast<double>(periods[i]))));
+    }
+  }
+
+  // 4. Phases.
+  std::vector<Time> phases(n_tasks, 0);
+  if (options.random_phases) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      phases[i] = rng.uniform_int(0, periods[i] - 1);
+    }
+  }
+
+  // 5. Priorities.
+  std::vector<SubtaskDraft> drafts;
+  drafts.reserve(n_tasks * n_sub);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    Duration total = 0;
+    for (const Duration e : execs[i]) total += e;
+    for (std::size_t j = 0; j < n_sub; ++j) {
+      drafts.push_back(SubtaskDraft{
+          .ref = SubtaskRef{TaskId{static_cast<std::int32_t>(i)},
+                            static_cast<std::int32_t>(j)},
+          .processor = placement[i][j],
+          .execution_time = execs[i][j],
+          .task_period = periods[i],
+          .task_deadline = periods[i],  // deadline == period in the paper
+          .task_total_execution = total,
+          .chain_length = n_sub,
+      });
+    }
+  }
+  assign_priorities(drafts, options.processors, options.priority_policy);
+
+  // 6. Assemble.
+  TaskSystemBuilder builder{options.processors};
+  std::size_t draft_index = 0;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const Duration jitter = static_cast<Duration>(
+        options.release_jitter_fraction * static_cast<double>(periods[i]));
+    auto handle = builder.add_task({.period = periods[i],
+                                    .phase = phases[i],
+                                    .deadline = periods[i],
+                                    .release_jitter = jitter,
+                                    .name = "T" + std::to_string(i + 1)});
+    for (std::size_t j = 0; j < n_sub; ++j, ++draft_index) {
+      const SubtaskDraft& d = drafts[draft_index];
+      handle.subtask(d.processor, d.execution_time, d.priority);
+      if (options.non_preemptible_fraction > 0.0 &&
+          rng.next_double() < options.non_preemptible_fraction) {
+        handle.non_preemptible();
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<Configuration> paper_configurations() {
+  std::vector<Configuration> grid;
+  grid.reserve(35);
+  for (int n = 2; n <= 8; ++n) {
+    for (int u = 50; u <= 90; u += 10) {
+      grid.push_back(Configuration{.subtasks_per_task = n, .utilization_percent = u});
+    }
+  }
+  return grid;
+}
+
+GeneratorOptions options_for(const Configuration& config) {
+  GeneratorOptions options;
+  options.subtasks_per_task = static_cast<std::size_t>(config.subtasks_per_task);
+  options.utilization = static_cast<double>(config.utilization_percent) / 100.0;
+  return options;
+}
+
+}  // namespace e2e

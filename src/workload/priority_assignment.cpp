@@ -1,0 +1,59 @@
+#include "workload/priority_assignment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+double proportional_deadline(const SubtaskDraft& draft) noexcept {
+  return static_cast<double>(draft.execution_time) /
+         static_cast<double>(draft.task_total_execution) *
+         static_cast<double>(draft.task_deadline);
+}
+
+namespace {
+
+double policy_key(const SubtaskDraft& d, PriorityPolicy policy) noexcept {
+  switch (policy) {
+    case PriorityPolicy::kProportionalDeadlineMonotonic:
+      return proportional_deadline(d);
+    case PriorityPolicy::kRateMonotonic:
+      return static_cast<double>(d.task_period);
+    case PriorityPolicy::kDeadlineMonotonic:
+      return static_cast<double>(d.task_deadline);
+    case PriorityPolicy::kEqualSliceDeadline:
+      return static_cast<double>(d.task_deadline) /
+             static_cast<double>(d.chain_length);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void assign_priorities(std::vector<SubtaskDraft>& drafts, std::size_t processor_count,
+                       PriorityPolicy policy) {
+  // Bucket draft indices by processor, order each bucket by the policy
+  // key (shorter key = higher priority), assign levels 0..n-1.
+  std::vector<std::vector<std::size_t>> buckets(processor_count);
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    const std::size_t p = drafts[i].processor.index();
+    E2E_ASSERT(p < processor_count, "draft processor out of range");
+    buckets[p].push_back(i);
+  }
+  for (auto& bucket : buckets) {
+    std::sort(bucket.begin(), bucket.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = policy_key(drafts[a], policy);
+      const double kb = policy_key(drafts[b], policy);
+      if (ka != kb) return ka < kb;
+      if (drafts[a].ref.task != drafts[b].ref.task)
+        return drafts[a].ref.task < drafts[b].ref.task;
+      return drafts[a].ref.index < drafts[b].ref.index;
+    });
+    for (std::size_t level = 0; level < bucket.size(); ++level) {
+      drafts[bucket[level]].priority = Priority{static_cast<std::int32_t>(level)};
+    }
+  }
+}
+
+}  // namespace e2e

@@ -1,0 +1,47 @@
+// Subtask priority assignment policies.
+//
+// The paper's experiments use Proportional-Deadline-Monotonic (PDM):
+// each subtask gets a proportional deadline
+//     PD_{i,j} = (e_{i,j} / sum_k e_{i,k}) * D_i
+// and, on each processor, shorter proportional deadline means higher
+// priority. (Similar to Kao & Garcia-Molina's "Equal Flexibility".)
+// RM/DM variants are provided for the priority-policy ablation.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace e2e {
+
+enum class PriorityPolicy {
+  kProportionalDeadlineMonotonic,  ///< the paper's method
+  kRateMonotonic,                  ///< by parent-task period
+  kDeadlineMonotonic,              ///< by parent-task end-to-end deadline
+  kEqualSliceDeadline,             ///< PD with an equal D_i/n_i split per subtask
+};
+
+/// Everything the policies need to know about one subtask while the
+/// system is still being assembled (before TaskSystem exists).
+struct SubtaskDraft {
+  SubtaskRef ref;
+  ProcessorId processor;
+  Duration execution_time = 0;
+  Duration task_period = 0;
+  Duration task_deadline = 0;
+  Duration task_total_execution = 0;  ///< sum over the chain
+  std::size_t chain_length = 0;
+  /// Output: priority level on its processor (0 = highest).
+  Priority priority;
+};
+
+/// Assigns per-processor priority levels 0..n-1 to `drafts` in place.
+/// Deterministic: ties in the policy key are broken by (task, index).
+void assign_priorities(std::vector<SubtaskDraft>& drafts, std::size_t processor_count,
+                       PriorityPolicy policy);
+
+/// The PDM key of one subtask (exposed for tests).
+[[nodiscard]] double proportional_deadline(const SubtaskDraft& draft) noexcept;
+
+}  // namespace e2e

@@ -1,0 +1,31 @@
+#include "workload/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "task/builder.h"
+
+namespace e2e {
+
+TaskSystem scale_execution_times(const TaskSystem& system, double factor) {
+  if (!(factor > 0.0)) throw InvalidArgument("scale factor must be positive");
+  TaskSystemBuilder builder{system.processor_count()};
+  for (const Task& t : system.tasks()) {
+    auto handle = builder.add_task({.period = t.period,
+                                    .phase = t.phase,
+                                    .deadline = t.relative_deadline,
+                                    .release_jitter = t.release_jitter,
+                                    .name = t.name});
+    for (const Subtask& s : t.subtasks) {
+      const Duration scaled = std::max<Duration>(
+          1, static_cast<Duration>(
+                 std::llround(factor * static_cast<double>(s.execution_time))));
+      handle.subtask(s.processor, scaled, s.priority, s.name);
+      if (!s.preemptible) handle.non_preemptible();
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace e2e

@@ -1,0 +1,102 @@
+#include "core/analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(SubtaskTable, ShapedLikeSystemAndFilled) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable table{sys, 7};
+  for (const Task& t : sys.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      EXPECT_EQ(table.at(s.ref), 7);
+    }
+  }
+}
+
+TEST(SubtaskTable, SetAndGet) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable table{sys, 0};
+  table.set(SubtaskRef{TaskId{1}, 1}, 42);
+  EXPECT_EQ(table.at(SubtaskRef{TaskId{1}, 1}), 42);
+  EXPECT_EQ(table.at(SubtaskRef{TaskId{1}, 0}), 0);
+}
+
+TEST(SubtaskTable, PredecessorOrZero) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable table{sys, 0};
+  table.set(SubtaskRef{TaskId{1}, 0}, 5);
+  EXPECT_EQ(table.predecessor_or_zero(SubtaskRef{TaskId{1}, 1}), 5);
+  EXPECT_EQ(table.predecessor_or_zero(SubtaskRef{TaskId{1}, 0}), 0);  // first subtask
+}
+
+TEST(SubtaskTable, AnyInfinite) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable table{sys, 1};
+  EXPECT_FALSE(table.any_infinite());
+  table.set(SubtaskRef{TaskId{2}, 0}, kTimeInfinity);
+  EXPECT_TRUE(table.any_infinite());
+}
+
+TEST(SubtaskTable, EqualityIsValueBased) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable a{sys, 3};
+  SubtaskTable b{sys, 3};
+  EXPECT_EQ(a, b);
+  b.set(SubtaskRef{TaskId{0}, 0}, 4);
+  EXPECT_NE(a, b);
+}
+
+TEST(SubtaskTableDeathTest, OutOfRangeAborts) {
+  const TaskSystem sys = paper::example2();
+  SubtaskTable table{sys, 0};
+  EXPECT_DEATH((void)table.at(SubtaskRef{TaskId{5}, 0}), "out of range");
+  EXPECT_DEATH((void)table.at(SubtaskRef{TaskId{0}, 3}), "out of range");
+}
+
+TEST(AnalysisResult, AllBoundedAndSchedulable) {
+  const TaskSystem sys = paper::example2();
+  AnalysisResult r;
+  r.subtask_bounds = SubtaskTable{sys, 1};
+  r.eer_bounds = {2, 5, 6};
+  finalize_schedulability(sys, r);
+  EXPECT_TRUE(r.all_bounded());
+  // Deadlines are 4, 6, 6.
+  EXPECT_TRUE(r.task_schedulable[0]);
+  EXPECT_TRUE(r.task_schedulable[1]);
+  EXPECT_TRUE(r.task_schedulable[2]);
+  EXPECT_TRUE(r.system_schedulable());
+}
+
+TEST(AnalysisResult, InfinityIsUnschedulable) {
+  const TaskSystem sys = paper::example2();
+  AnalysisResult r;
+  r.eer_bounds = {2, kTimeInfinity, 5};
+  finalize_schedulability(sys, r);
+  EXPECT_FALSE(r.all_bounded());
+  EXPECT_FALSE(r.task_schedulable[1]);
+  EXPECT_FALSE(r.system_schedulable());
+}
+
+TEST(AnalysisResult, BoundJustOverDeadlineFails) {
+  const TaskSystem sys = paper::example2();
+  AnalysisResult r;
+  r.eer_bounds = {5, 6, 7};  // deadlines 4, 6, 6
+  finalize_schedulability(sys, r);
+  EXPECT_FALSE(r.task_schedulable[0]);
+  EXPECT_TRUE(r.task_schedulable[1]);   // equality is schedulable
+  EXPECT_FALSE(r.task_schedulable[2]);
+}
+
+TEST(AnalysisResult, EmptyIsNotSchedulable) {
+  AnalysisResult r;
+  EXPECT_FALSE(r.system_schedulable());
+  EXPECT_TRUE(r.all_bounded());  // vacuous
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,73 @@
+#include "core/analysis/fixpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace e2e {
+namespace {
+
+TEST(Fixpoint, ConstantDemand) {
+  // W(t) = 5 -> least fixpoint 5.
+  const auto result = solve_fixpoint([](Time) -> Duration { return 5; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 5);
+}
+
+TEST(Fixpoint, ClassicResponseTimeEquation) {
+  // Task under analysis e=2 with one interferer (p=5, e=2):
+  // t = 2 + ceil(t/5)*2 -> t = 4.
+  const auto result =
+      solve_fixpoint([](Time t) -> Duration { return 2 + ceil_div(t, 5) * 2; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 4);
+}
+
+TEST(Fixpoint, MultiStepConvergence) {
+  // e=1 with interferers (p=4,e=2) and (p=6,e=2):
+  // t=1: 1+2+2=5; t=5: 1+4+2=7; t=7: 1+4+4=9; t=9: 1+6+4=11;
+  // t=11: 1+6+4=11. Fixpoint 11.
+  const auto result = solve_fixpoint([](Time t) -> Duration {
+    return 1 + ceil_div(t, 4) * 2 + ceil_div(t, 6) * 2;
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 11);
+}
+
+TEST(Fixpoint, DivergesAtFullUtilization) {
+  // W(t) = t + 1 has no fixpoint; the cap must stop the iteration.
+  const auto result = solve_fixpoint([](Time t) -> Duration { return t + 1; },
+                                     {.cap = 1'000'000});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Fixpoint, SaturatedDemandReportsNoBound) {
+  const auto result =
+      solve_fixpoint([](Time) -> Duration { return kTimeInfinity; }, {.cap = 1 << 20});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Fixpoint, RespectsCapExactly) {
+  // Fixpoint would be 100; cap below it must yield nullopt, at it must
+  // succeed.
+  const auto demand = [](Time t) -> Duration { return t < 100 ? 100 : 100; };
+  EXPECT_FALSE(solve_fixpoint(demand, {.cap = 99}).has_value());
+  EXPECT_TRUE(solve_fixpoint(demand, {.cap = 100}).has_value());
+}
+
+TEST(FixpointFrom, StartsAboveZero) {
+  // C(m) style: start at m*e = 6, W(t) = 6 + ceil(t/10)*2 -> t=8.
+  const auto result = solve_fixpoint_from(
+      6, [](Time t) -> Duration { return 6 + ceil_div(t, 10) * 2; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 8);
+}
+
+TEST(FixpointFrom, ResultNeverBelowStart) {
+  const auto result = solve_fixpoint_from(7, [](Time) -> Duration { return 3; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(*result, 7);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,101 @@
+// Direct unit tests of one Algorithm IEERT pass (Figure 10), with
+// hand-iterated expectations on the paper's Example 2.
+#include "core/analysis/ieert.h"
+
+#include <gtest/gtest.h>
+
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+SubtaskTable example2_init(const TaskSystem& sys) {
+  // Figure 11 step 1: R_{i,j} = sum of execution times through j.
+  SubtaskTable table{sys, 0};
+  for (const Task& t : sys.tasks()) {
+    Duration cumulative = 0;
+    for (const Subtask& s : t.subtasks) {
+      cumulative += s.execution_time;
+      table.set(s.ref, cumulative);
+    }
+  }
+  return table;
+}
+
+TEST(IeertPass, FirstPassOnExample2HandComputed) {
+  const TaskSystem sys = paper::example2();
+  const InterferenceMap interference{sys};
+  const SubtaskTable init = example2_init(sys);
+  // Init: T1=2, T2,1=2, T2,2=5, T3=2.
+  EXPECT_EQ(init.at(SubtaskRef{TaskId{1}, 1}), 5);
+
+  const SubtaskTable pass1 = ieert_pass(sys, interference, init, {.cap = 100000});
+  // Hand-iterated (see sa_ds_test for the recurrences):
+  //   T1: alone above everything on P1 -> 2.
+  //   T2,1: busy with T1 -> C(1) = 4, IEER = 4.
+  //   T2,2: own jitter = init R(T2,1) = 2 -> D = 3, M = 1, C(1) = 3,
+  //         IEER = 3 + 2 = 5.
+  //   T3: interferer T2,2 with jitter 2 -> C(1) = 8, IEER = 8.
+  EXPECT_EQ(pass1.at(SubtaskRef{TaskId{0}, 0}), 2);
+  EXPECT_EQ(pass1.at(SubtaskRef{TaskId{1}, 0}), 4);
+  EXPECT_EQ(pass1.at(SubtaskRef{TaskId{1}, 1}), 5);
+  EXPECT_EQ(pass1.at(SubtaskRef{TaskId{2}, 0}), 8);
+}
+
+TEST(IeertPass, SecondPassReachesTheFixpoint) {
+  const TaskSystem sys = paper::example2();
+  const InterferenceMap interference{sys};
+  const SubtaskTable pass1 =
+      ieert_pass(sys, interference, example2_init(sys), {.cap = 100000});
+  const SubtaskTable pass2 = ieert_pass(sys, interference, pass1, {.cap = 100000});
+  // With R(T2,1) = 4 as jitter, T2,2 rises to 7; T3 stays at 8.
+  EXPECT_EQ(pass2.at(SubtaskRef{TaskId{1}, 1}), 7);
+  EXPECT_EQ(pass2.at(SubtaskRef{TaskId{2}, 0}), 8);
+  // One more pass confirms the fixpoint.
+  const SubtaskTable pass3 = ieert_pass(sys, interference, pass2, {.cap = 100000});
+  EXPECT_EQ(pass3, pass2);
+}
+
+TEST(IeertPass, InfiniteInputPropagatesToDependents) {
+  const TaskSystem sys = paper::example2();
+  const InterferenceMap interference{sys};
+  SubtaskTable table = example2_init(sys);
+  table.set(SubtaskRef{TaskId{1}, 0}, kTimeInfinity);  // T2,1 unbounded
+  const SubtaskTable out = ieert_pass(sys, interference, table, {.cap = 100000});
+  // T2,2 (successor) and T3 (interfered by T2,2 via the jitter term) both
+  // become infinite; T1 is unaffected.
+  EXPECT_TRUE(is_infinite(out.at(SubtaskRef{TaskId{1}, 1})));
+  EXPECT_TRUE(is_infinite(out.at(SubtaskRef{TaskId{2}, 0})));
+  EXPECT_EQ(out.at(SubtaskRef{TaskId{0}, 0}), 2);
+}
+
+TEST(IeertPass, CapTurnsDivergenceIntoInfinity) {
+  // Over-utilized processor: the busy-period fixpoint exceeds any cap.
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 4})
+      .subtask(ProcessorId{0}, 3, Priority{0});
+  b.add_task({.period = 4}).subtask(ProcessorId{0}, 3, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap interference{sys};
+  SubtaskTable init{sys, 0};
+  init.set(SubtaskRef{TaskId{0}, 0}, 3);
+  init.set(SubtaskRef{TaskId{1}, 0}, 3);
+  const SubtaskTable out = ieert_pass(sys, interference, init, {.cap = 1000});
+  EXPECT_TRUE(is_infinite(out.at(SubtaskRef{TaskId{1}, 0})));
+}
+
+TEST(IeertPass, FailureMultiplierShortCircuits) {
+  const TaskSystem sys = paper::example2();
+  const InterferenceMap interference{sys};
+  // A multiplier below 8/6 must knock T3 (fixpoint IEER 8, period 6) to
+  // infinity while leaving T1 (bound 2) alone.
+  SubtaskTable table = example2_init(sys);
+  const SubtaskTable p1 = ieert_pass(sys, interference, table,
+                                     {.cap = 100000, .failure_period_multiplier = 1.1});
+  EXPECT_TRUE(is_infinite(p1.at(SubtaskRef{TaskId{2}, 0})));
+  EXPECT_EQ(p1.at(SubtaskRef{TaskId{0}, 0}), 2);
+}
+
+}  // namespace
+}  // namespace e2e

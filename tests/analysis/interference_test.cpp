@@ -1,0 +1,89 @@
+#include "core/analysis/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(Interference, Example2Sets) {
+  const TaskSystem sys = paper::example2();
+  const InterferenceMap map{sys};
+
+  // T1 is highest on P1: no interference.
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{0}, 0}).empty());
+  // T2,1 is interfered by T1.
+  const auto t21 = map.of(SubtaskRef{TaskId{1}, 0});
+  ASSERT_EQ(t21.size(), 1u);
+  EXPECT_EQ(t21[0].ref, (SubtaskRef{TaskId{0}, 0}));
+  EXPECT_EQ(t21[0].period, 4);
+  EXPECT_EQ(t21[0].execution_time, 2);
+  EXPECT_EQ(t21[0].predecessor_index, -1);
+  // T2,2 is highest on P2.
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{1}, 1}).empty());
+  // T3 is interfered by T2,2, whose predecessor is T2,1 (index 0).
+  const auto t3 = map.of(SubtaskRef{TaskId{2}, 0});
+  ASSERT_EQ(t3.size(), 1u);
+  EXPECT_EQ(t3[0].ref, (SubtaskRef{TaskId{1}, 1}));
+  EXPECT_EQ(t3[0].predecessor_index, 0);
+}
+
+TEST(Interference, EqualPriorityCountsBothWays) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{3});
+  b.add_task({.period = 12}).subtask(ProcessorId{0}, 3, Priority{3});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap map{sys};
+  // The paper's H set uses "priority higher than or equal to": two
+  // equal-priority subtasks interfere with each other.
+  EXPECT_EQ(map.of(SubtaskRef{TaskId{0}, 0}).size(), 1u);
+  EXPECT_EQ(map.of(SubtaskRef{TaskId{1}, 0}).size(), 1u);
+}
+
+TEST(Interference, SelfIsExcluded) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap map{sys};
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{0}, 0}).empty());
+}
+
+TEST(Interference, OtherProcessorsDoNotInterfere) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 10}).subtask(ProcessorId{1}, 2, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap map{sys};
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{0}, 0}).empty());
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{1}, 0}).empty());
+}
+
+TEST(Interference, LowerPriorityDoesNotInterfere) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 12}).subtask(ProcessorId{0}, 3, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap map{sys};
+  EXPECT_TRUE(map.of(SubtaskRef{TaskId{0}, 0}).empty());
+  EXPECT_EQ(map.of(SubtaskRef{TaskId{1}, 0}).size(), 1u);
+}
+
+TEST(Interference, SameTaskSiblingsOnOneProcessorInterfere) {
+  // Non-consecutive siblings may share a processor; the analyses treat
+  // them as independent periodic interferers.
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10})
+      .subtask(ProcessorId{0}, 1, Priority{0})
+      .subtask(ProcessorId{1}, 1, Priority{0})
+      .subtask(ProcessorId{0}, 2, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  const InterferenceMap map{sys};
+  const auto third = map.of(SubtaskRef{TaskId{0}, 2});
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0].ref, (SubtaskRef{TaskId{0}, 0}));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,148 @@
+// Release-jitter extension: BoundedJitterArrivals + jitter-aware analyses
+// (the paper's algorithms assume strictly periodic first releases).
+#include <gtest/gtest.h>
+
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/modified_pm.h"
+#include "core/protocols/release_guard.h"
+#include "metrics/eer_collector.h"
+#include "sim/arrival.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+TaskSystem jittery_system(Duration jitter) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10, .release_jitter = jitter, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 14, .release_jitter = jitter, .name = "rival"})
+      .subtask(ProcessorId{1}, 4, Priority{1})
+      .subtask(ProcessorId{0}, 3, Priority{1});
+  return std::move(b).build();
+}
+
+TEST(BoundedJitterArrivals, LatenessBoundedByTaskJitter) {
+  const TaskSystem sys = jittery_system(4);
+  BoundedJitterArrivals arrivals{Rng{3}};
+  const Task& t = sys.task(TaskId{0});
+  Time arrival = arrivals.first(t);
+  EXPECT_GE(arrival, t.phase);
+  EXPECT_LE(arrival, t.phase + 4);
+  for (int m = 1; m < 500; ++m) {
+    arrival = arrivals.next(t, arrival);
+    const Time nominal = t.phase + static_cast<Time>(m) * t.period;
+    EXPECT_GE(arrival, nominal);
+    EXPECT_LE(arrival, nominal + 4);
+  }
+}
+
+TEST(BoundedJitterArrivals, SpacingCanDropBelowPeriod) {
+  const TaskSystem sys = jittery_system(6);
+  BoundedJitterArrivals arrivals{Rng{5}};
+  const Task& t = sys.task(TaskId{0});
+  Time previous = arrivals.first(t);
+  bool below_period = false;
+  for (int m = 1; m < 500; ++m) {
+    const Time next = arrivals.next(t, previous);
+    ASSERT_GT(next, previous);
+    if (next - previous < t.period) below_period = true;
+    previous = next;
+  }
+  EXPECT_TRUE(below_period);  // the distinguishing feature vs SporadicArrivals
+}
+
+TEST(BoundedJitterArrivals, CapLimitsJitter) {
+  const TaskSystem sys = jittery_system(100);
+  BoundedJitterArrivals arrivals{Rng{7}, /*jitter_cap=*/2};
+  const Task& t = sys.task(TaskId{0});
+  Time arrival = arrivals.first(t);
+  for (int m = 1; m < 200; ++m) {
+    arrival = arrivals.next(t, arrival);
+    const Time nominal = t.phase + static_cast<Time>(m) * t.period;
+    EXPECT_LE(arrival, nominal + 2);
+  }
+}
+
+TEST(JitterAware, ZeroJitterReproducesPaperEquations) {
+  // With jitter 0 the extended equations reduce to the paper's exactly.
+  const TaskSystem with = jittery_system(0);
+  const AnalysisResult pm = analyze_sa_pm(with);
+  EXPECT_EQ(pm.eer_bound(TaskId{0}),
+            pm.subtask_bounds.at(SubtaskRef{TaskId{0}, 0}) +
+                pm.subtask_bounds.at(SubtaskRef{TaskId{0}, 1}));
+}
+
+TEST(JitterAware, JitterInflatesBounds) {
+  const TaskSystem baseline_sys = jittery_system(0);
+  const TaskSystem jittered_sys = jittery_system(4);
+  const AnalysisResult without = analyze_sa_pm(baseline_sys);
+  const AnalysisResult with = analyze_sa_pm(jittered_sys);
+  for (const Task& t : jittered_sys.tasks()) {
+    EXPECT_GE(with.eer_bound(t.id), without.eer_bound(t.id)) << t.name;
+  }
+  // Strictly, for at least one task (interference genuinely grows).
+  EXPECT_GT(with.eer_bound(TaskId{0}) + with.eer_bound(TaskId{1}),
+            without.eer_bound(TaskId{0}) + without.eer_bound(TaskId{1}));
+}
+
+TEST(JitterAware, SaDsJitterInflatesBounds) {
+  const TaskSystem baseline_sys = jittery_system(0);
+  const TaskSystem jittered_sys = jittery_system(4);
+  const SaDsResult without = analyze_sa_ds(baseline_sys);
+  const SaDsResult with = analyze_sa_ds(jittered_sys);
+  ASSERT_TRUE(without.converged);
+  ASSERT_TRUE(with.converged);
+  for (const Task& t : jittered_sys.tasks()) {
+    EXPECT_GE(with.analysis.eer_bound(t.id), without.analysis.eer_bound(t.id));
+  }
+}
+
+class JitterBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterBoundProperty, ObservedEerWithinJitterAwareBounds) {
+  // Under bounded-jitter arrivals, observed worst EER (measured from the
+  // *actual* release) stays within the jitter-aware bounds for MPM, RG
+  // (SA/PM) and DS (SA/DS).
+  const Duration jitter = 5;
+  const TaskSystem sys = jittery_system(jitter);
+  const AnalysisResult pm_bounds = analyze_sa_pm(sys);
+  const SaDsResult ds_bounds = analyze_sa_ds(sys);
+  ASSERT_TRUE(pm_bounds.all_bounded());
+
+  const auto run = [&](SyncProtocol& protocol) {
+    BoundedJitterArrivals arrivals{Rng{GetParam()}};
+    EerCollector eer{sys};
+    Engine engine{sys, protocol, {.horizon = 4000, .arrivals = &arrivals}};
+    engine.add_sink(&eer);
+    engine.run();
+    EXPECT_EQ(engine.stats().precedence_violations, 0) << protocol.name();
+    return eer;
+  };
+
+  ModifiedPmProtocol mpm{sys, pm_bounds.subtask_bounds};
+  const EerCollector mpm_eer = run(mpm);
+  ReleaseGuardProtocol rg{sys};
+  const EerCollector rg_eer = run(rg);
+  DirectSyncProtocol ds;
+  const EerCollector ds_eer = run(ds);
+
+  for (const Task& t : sys.tasks()) {
+    EXPECT_LE(mpm_eer.worst_eer(t.id), pm_bounds.eer_bound(t.id)) << "MPM " << t.name;
+    EXPECT_LE(rg_eer.worst_eer(t.id), pm_bounds.eer_bound(t.id)) << "RG " << t.name;
+    const Duration ds_bound = ds_bounds.analysis.eer_bound(t.id);
+    if (!is_infinite(ds_bound)) {
+      EXPECT_LE(ds_eer.worst_eer(t.id), ds_bound) << "DS " << t.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterBoundProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace e2e

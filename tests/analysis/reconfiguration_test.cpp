@@ -1,0 +1,100 @@
+#include "core/analysis/reconfiguration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+/// Base: a chain across two processors plus a local task on P0.
+TaskSystem base_system() {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{1})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 10, .name = "local"})
+      .subtask(ProcessorId{0}, 2, Priority{0});
+  return std::move(b).build();
+}
+
+/// Same plus a new high-priority task on P0 (interferes with chain,1).
+TaskSystem with_added_task() {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{2})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 10, .name = "local"})
+      .subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 15, .name = "new"})
+      .subtask(ProcessorId{0}, 3, Priority{1});
+  return std::move(b).build();
+}
+
+TEST(Reconfiguration, NoChangeCostsNothing) {
+  const TaskSystem sys = base_system();
+  const ReconfigurationCost cost = reconfiguration_cost(sys, sys);
+  EXPECT_EQ(cost.common_subtasks, 3);
+  EXPECT_EQ(cost.ds, 0);
+  EXPECT_EQ(cost.rg, 0);
+  EXPECT_EQ(cost.mpm, 0);
+  EXPECT_EQ(cost.pm, 0);
+}
+
+TEST(Reconfiguration, AddingATaskNeverTouchesDsOrRg) {
+  const ReconfigurationCost cost =
+      reconfiguration_cost(base_system(), with_added_task());
+  EXPECT_EQ(cost.ds, 0);
+  EXPECT_EQ(cost.rg, 0);
+}
+
+TEST(Reconfiguration, AddingATaskForcesPmAndMpmUpdates) {
+  // The new task lengthens chain,1's response bound on P0 (2 -> larger),
+  // so MPM must rewrite that stored bound, and PM must rewrite the phase
+  // of the *downstream* subtask chain,2 (its phase is f + R(chain,1)).
+  const ReconfigurationCost cost =
+      reconfiguration_cost(base_system(), with_added_task());
+  EXPECT_EQ(cost.common_subtasks, 3);
+  EXPECT_GE(cost.mpm, 1);
+  EXPECT_GE(cost.pm, 1);
+}
+
+TEST(Reconfiguration, RemovedTasksAreSkipped) {
+  const ReconfigurationCost cost =
+      reconfiguration_cost(with_added_task(), base_system());
+  EXPECT_EQ(cost.common_subtasks, 3);  // "new" has no counterpart
+}
+
+TEST(Reconfiguration, ShapeChangeRejected) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 5, Priority{1})  // execution time changed
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 10, .name = "local"})
+      .subtask(ProcessorId{0}, 2, Priority{0});
+  const TaskSystem reshaped = std::move(b).build();
+  EXPECT_THROW((void)reconfiguration_cost(base_system(), reshaped), InvalidArgument);
+}
+
+TEST(Reconfiguration, IsolatedAdditionCostsNothingForAnyProtocol) {
+  // Adding a task on an otherwise-empty processor cannot change any
+  // existing bound: every protocol survives without reconfiguration.
+  TaskSystemBuilder before{3};
+  before.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  TaskSystemBuilder after{3};
+  after.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  after.add_task({.period = 10, .name = "new"})
+      .subtask(ProcessorId{2}, 4, Priority{0});
+  const ReconfigurationCost cost =
+      reconfiguration_cost(std::move(before).build(), std::move(after).build());
+  EXPECT_EQ(cost.mpm, 0);
+  EXPECT_EQ(cost.pm, 0);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,61 @@
+#include "core/analysis/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+TEST(Utilization, ReportPerProcessor) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 5, Priority{0});
+  b.add_task({.period = 20}).subtask(ProcessorId{1}, 5, Priority{0});
+  const UtilizationReport r = utilization_report(std::move(b).build());
+  ASSERT_EQ(r.per_processor.size(), 2u);
+  EXPECT_NEAR(r.per_processor[0], 0.5, 1e-12);
+  EXPECT_NEAR(r.per_processor[1], 0.25, 1e-12);
+  EXPECT_NEAR(r.max, 0.5, 1e-12);
+  EXPECT_TRUE(r.feasible());
+}
+
+TEST(Utilization, InfeasibleOver100Percent) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 6, Priority{0});
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 6, Priority{1});
+  const UtilizationReport r = utilization_report(std::move(b).build());
+  EXPECT_FALSE(r.feasible());
+}
+
+TEST(LiuLayland, KnownValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-4);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7798, 1e-4);
+  // n -> infinity: ln 2 ~ 0.6931.
+  EXPECT_NEAR(liu_layland_bound(100000), 0.6931, 1e-3);
+}
+
+TEST(LiuLayland, MonotoneDecreasingInN) {
+  for (std::size_t n = 1; n < 20; ++n) {
+    EXPECT_GT(liu_layland_bound(n), liu_layland_bound(n + 1));
+  }
+}
+
+TEST(LiuLayland, SystemTestPassesUnderBound) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  b.add_task({.period = 20}).subtask(ProcessorId{0}, 8, Priority{1});
+  // U = 0.3 + 0.4 = 0.7 < 0.8284.
+  EXPECT_TRUE(passes_liu_layland(std::move(b).build()));
+}
+
+TEST(LiuLayland, SystemTestFailsAboveBound) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 5, Priority{0});
+  b.add_task({.period = 20}).subtask(ProcessorId{0}, 8, Priority{1});
+  // U = 0.5 + 0.4 = 0.9 > 0.8284.
+  EXPECT_FALSE(passes_liu_layland(std::move(b).build()));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,95 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+TEST(Args, PositionalsInOrder) {
+  const ArgParser args{{"analyze", "file.txt"}};
+  EXPECT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0), "analyze");
+  EXPECT_EQ(args.positional(1), "file.txt");
+  EXPECT_EQ(args.positional(2), "");
+}
+
+TEST(Args, EqualsForm) {
+  const ArgParser args{{"--protocol=RG", "--horizon=100"}};
+  EXPECT_EQ(args.value_string("protocol", ""), "RG");
+  EXPECT_EQ(args.value_int("horizon", 0), 100);
+}
+
+TEST(Args, SpaceSeparatedForm) {
+  const ArgParser args{{"--protocol", "DS", "cmd"}};
+  EXPECT_EQ(args.value_string("protocol", ""), "DS");
+  // "cmd" was consumed as the option's value, not a positional.
+  EXPECT_EQ(args.positional_count(), 1u);
+  EXPECT_EQ(args.positional(0), "cmd");
+}
+
+TEST(Args, BareFlagBeforeAnotherOption) {
+  const ArgParser args{{"--trace", "--gantt=2"}};
+  EXPECT_TRUE(args.has("trace"));
+  EXPECT_EQ(args.value("trace"), std::nullopt);
+  EXPECT_EQ(args.value_int("gantt", 1), 2);
+}
+
+TEST(Args, TrailingBareFlag) {
+  const ArgParser args{{"simulate", "--trace"}};
+  EXPECT_TRUE(args.has("trace"));
+  EXPECT_EQ(args.value("trace"), std::nullopt);
+}
+
+TEST(Args, DoubleDashEndsOptions) {
+  const ArgParser args{{"--", "--not-an-option"}};
+  EXPECT_FALSE(args.has("not-an-option"));
+  EXPECT_EQ(args.positional(0), "--not-an-option");
+}
+
+TEST(Args, MissingOptionUsesFallback) {
+  const ArgParser args{{"cmd"}};
+  EXPECT_EQ(args.value_int("horizon", 42), 42);
+  EXPECT_DOUBLE_EQ(args.value_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.value_string("name", "deflt"), "deflt");
+  EXPECT_FALSE(args.has("horizon"));
+}
+
+TEST(Args, BadNumbersThrow) {
+  const ArgParser args{{"--horizon=ten", "--ratio=1.2.3"}};
+  EXPECT_THROW((void)args.value_int("horizon", 0), InvalidArgument);
+  EXPECT_THROW((void)args.value_double("ratio", 0.0), InvalidArgument);
+}
+
+TEST(Args, ExpectKnownAcceptsKnown) {
+  const ArgParser args{{"--protocol=RG", "--trace"}};
+  EXPECT_NO_THROW(args.expect_known({"protocol", "trace", "horizon"}));
+}
+
+TEST(Args, ExpectKnownRejectsUnknown) {
+  const ArgParser args{{"--prtocol=RG"}};  // typo
+  EXPECT_THROW(args.expect_known({"protocol"}), InvalidArgument);
+}
+
+TEST(Args, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"e2e", "analyze", "--x=1"};
+  const ArgParser args{3, argv};
+  EXPECT_EQ(args.positional(0), "analyze");
+  EXPECT_EQ(args.value_int("x", 0), 1);
+}
+
+TEST(Args, EmptyInput) {
+  const ArgParser args{std::vector<std::string>{}};
+  EXPECT_EQ(args.positional_count(), 0u);
+  EXPECT_EQ(args.positional(0), "");
+}
+
+TEST(Args, NegativeNumericValues) {
+  // "--offset -5": -5 does not start with "--", so it is the value.
+  const ArgParser args{{"--offset", "-5"}};
+  EXPECT_EQ(args.value_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,26 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(Assert, PassesOnTrue) {
+  E2E_ASSERT(1 + 1 == 2, "arithmetic works");
+  SUCCEED();
+}
+
+TEST(AssertDeathTest, AbortsOnFalse) {
+  EXPECT_DEATH(E2E_ASSERT(false, "expected failure"), "expected failure");
+}
+
+TEST(Exceptions, InvalidArgumentIsAnInvalidArgument) {
+  EXPECT_THROW(throw InvalidArgument{"bad"}, std::invalid_argument);
+}
+
+TEST(Exceptions, StateErrorIsALogicError) {
+  EXPECT_THROW(throw StateError{"bad state"}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace e2e

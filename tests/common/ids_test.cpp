@@ -1,0 +1,61 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace e2e {
+namespace {
+
+TEST(StrongIds, DefaultIsInvalidSentinel) {
+  TaskId id;
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(StrongIds, ValueAndIndexAgree) {
+  const ProcessorId p{3};
+  EXPECT_EQ(p.value(), 3);
+  EXPECT_EQ(p.index(), 3u);
+}
+
+TEST(StrongIds, TotallyOrdered) {
+  EXPECT_LT(TaskId{1}, TaskId{2});
+  EXPECT_EQ(TaskId{5}, TaskId{5});
+  EXPECT_NE(ProcessorId{0}, ProcessorId{1});
+}
+
+TEST(StrongIds, Hashable) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId{1});
+  set.insert(TaskId{2});
+  set.insert(TaskId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SubtaskRef, OrderedLexicographically) {
+  const SubtaskRef a{TaskId{0}, 5};
+  const SubtaskRef b{TaskId{1}, 0};
+  const SubtaskRef c{TaskId{1}, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(SubtaskRef, HashDistinguishesTaskAndIndex) {
+  const std::hash<SubtaskRef> hash;
+  EXPECT_NE(hash(SubtaskRef{TaskId{0}, 1}), hash(SubtaskRef{TaskId{1}, 0}));
+}
+
+TEST(Priority, SmallerLevelIsHigher) {
+  EXPECT_TRUE(higher_priority(Priority{0}, Priority{1}));
+  EXPECT_FALSE(higher_priority(Priority{1}, Priority{0}));
+  EXPECT_FALSE(higher_priority(Priority{2}, Priority{2}));
+}
+
+TEST(Priority, HigherOrEqualIncludesTies) {
+  EXPECT_TRUE(higher_or_equal_priority(Priority{2}, Priority{2}));
+  EXPECT_TRUE(higher_or_equal_priority(Priority{1}, Priority{2}));
+  EXPECT_FALSE(higher_or_equal_priority(Priority{3}, Priority{2}));
+}
+
+}  // namespace
+}  // namespace e2e

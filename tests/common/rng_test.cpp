@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace e2e {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, CopyForksTheStream) {
+  Rng a{7};
+  Rng b = a;  // value semantics
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng{11};
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = rng.uniform_int(2, 6);
+    ASSERT_GE(x, 2);
+    ASSERT_LE(x, 6);
+    ++seen[static_cast<std::size_t>(x - 2)];
+  }
+  // Every value of a 5-wide range appears in 5000 draws.
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{13};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng{17};
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(0.001, 1.0);
+    EXPECT_GE(x, 0.001);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedExponentialRespectsBounds) {
+  Rng rng{23};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.truncated_exponential(3000.0, 100.0, 10000.0);
+    ASSERT_GE(x, 100.0);
+    ASSERT_LE(x, 10000.0);
+  }
+}
+
+TEST(Rng, TruncatedExponentialIsSkewedLow) {
+  // An exponential truncated to [100, 10000] with mean 3000 puts much more
+  // mass in the lower half than a uniform would.
+  Rng rng{29};
+  int low = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.truncated_exponential(3000.0, 100.0, 10000.0) < 5050.0) ++low;
+  }
+  EXPECT_GT(low, kDraws * 0.70);
+}
+
+TEST(Rng, TruncatedExponentialMeanMatchesTheory) {
+  // E[X | lo <= X <= hi] for Exp(1/mean) shifted to lo:
+  // lo + mean - (hi - lo) * e^{-z} / (1 - e^{-z}), z = (hi - lo)/mean.
+  const double mean = 3000.0, lo = 100.0, hi = 10000.0;
+  const double z = (hi - lo) / mean;
+  const double expected = lo + mean - (hi - lo) * std::exp(-z) / (1.0 - std::exp(-z));
+  Rng rng{31};
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.truncated_exponential(mean, lo, hi);
+  }
+  EXPECT_NEAR(sum / kDraws, expected, 30.0);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent{37};
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1{41};
+  Rng p2{41};
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace e2e

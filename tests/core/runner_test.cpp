@@ -1,0 +1,81 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/analysis/sa_pm.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(Runner, RunsEveryProtocolOnExample2) {
+  const TaskSystem sys = paper::example2();
+  for (const ProtocolKind kind : kAllProtocolKinds) {
+    const SimulationRun run = simulate(sys, kind, {.horizon = 120});
+    EXPECT_GT(run.stats.jobs_completed, 0) << to_string(kind);
+    EXPECT_GT(run.eer.completed_instances(TaskId{1}), 0) << to_string(kind);
+  }
+}
+
+TEST(Runner, DefaultHorizonIsThirtyMaxPeriods) {
+  const TaskSystem sys = paper::example2();  // max period 6 -> horizon 180
+  const SimulationRun run = simulate(sys, ProtocolKind::kDirectSync);
+  // T1: arrivals 0,4,...,180 -> 46. T2,1: 0,6,...,180 -> 31; T2,2 follows
+  // completions, and T2,1(30) released at 180 completes past the horizon,
+  // so only 30 fire. T3 (phase 4): 4,10,...,178 -> 30.
+  EXPECT_EQ(run.stats.jobs_released, 46 + 31 + 30 + 30);
+}
+
+TEST(Runner, MatchesManualWiring) {
+  const TaskSystem sys = paper::example2();
+  const SimulationRun facade = simulate(sys, ProtocolKind::kReleaseGuard,
+                                        {.horizon = 200});
+  // Manual wiring of the same pieces gives identical metrics.
+  const AnalysisResult bounds = analyze_sa_pm(sys);
+  const auto protocol =
+      make_protocol(ProtocolKind::kReleaseGuard, sys, &bounds.subtask_bounds);
+  EerCollector eer{sys};
+  Engine engine{sys, *protocol, {.horizon = 200}};
+  engine.add_sink(&eer);
+  engine.run();
+  for (const Task& t : sys.tasks()) {
+    EXPECT_DOUBLE_EQ(facade.eer.average_eer(t.id), eer.average_eer(t.id));
+    EXPECT_EQ(facade.eer.worst_eer(t.id), eer.worst_eer(t.id));
+  }
+  EXPECT_EQ(facade.stats.jobs_completed, engine.stats().jobs_completed);
+}
+
+TEST(Runner, ForwardsMetricsOptions) {
+  const TaskSystem sys = paper::example2();
+  const SimulationRun run = simulate(sys, ProtocolKind::kDirectSync,
+                                     {.horizon = 60, .metrics = {.keep_series = true}});
+  EXPECT_FALSE(run.eer.eer_series(TaskId{0}).empty());
+}
+
+TEST(Runner, ForwardsExecutionModel) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 6, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  UniformExecutionVariation variation{Rng{5}, 0.5};
+  const SimulationRun run = simulate(sys, ProtocolKind::kDirectSync,
+                                     {.horizon = 2000, .execution = &variation});
+  EXPECT_LT(run.eer.average_eer(TaskId{0}), 6.0);
+}
+
+TEST(Runner, PmOnUnboundableSystemThrows) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 4})
+      .subtask(ProcessorId{0}, 3, Priority{0})
+      .subtask(ProcessorId{1}, 1, Priority{0});
+  b.add_task({.period = 4})
+      .subtask(ProcessorId{0}, 3, Priority{1})
+      .subtask(ProcessorId{1}, 1, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_THROW((void)simulate(sys, ProtocolKind::kPhaseModification),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,78 @@
+#include "experiments/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "experiments/figures.h"
+
+namespace e2e {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* key) : key_(key) { unsetenv(key); }
+  ~EnvGuard() { unsetenv(key_); }
+  void set(const char* value) { setenv(key_, value, 1); }
+  const char* key_;
+};
+
+TEST(Env, IntFallsBackWhenUnset) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), 42);
+}
+
+TEST(Env, IntParsesValue) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("123");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), 123);
+}
+
+TEST(Env, IntEmptyStringFallsBack) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 7), 7);
+}
+
+TEST(Env, IntNegative) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("-5");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 0), -5);
+}
+
+TEST(Env, DoubleFallsBackWhenUnset) {
+  EnvGuard guard{"E2E_TEST_DBL"};
+  EXPECT_DOUBLE_EQ(env_double("E2E_TEST_DBL", 1.5), 1.5);
+}
+
+TEST(Env, DoubleParsesValue) {
+  EnvGuard guard{"E2E_TEST_DBL"};
+  guard.set("2.75");
+  EXPECT_DOUBLE_EQ(env_double("E2E_TEST_DBL", 0.0), 2.75);
+}
+
+TEST(Env, SweepOptionsPickUpOverrides) {
+  EnvGuard systems{"E2E_SYSTEMS_PER_CONFIG"};
+  EnvGuard sim_systems{"E2E_SIM_SYSTEMS_PER_CONFIG"};
+  EnvGuard seed{"E2E_SEED"};
+  EnvGuard horizon{"E2E_HORIZON_PERIODS"};
+  systems.set("77");
+  seed.set("99");
+  horizon.set("12.5");
+
+  const SweepOptions analysis = sweep_options_from_env(false);
+  EXPECT_EQ(analysis.systems_per_config, 77);
+  EXPECT_EQ(analysis.seed, 99u);
+  EXPECT_DOUBLE_EQ(analysis.horizon_periods, 12.5);
+
+  // Simulation figures fall back to E2E_SYSTEMS_PER_CONFIG when the
+  // sim-specific variable is unset...
+  const SweepOptions sim = sweep_options_from_env(true);
+  EXPECT_EQ(sim.systems_per_config, 77);
+  // ...and prefer the specific one when set.
+  sim_systems.set("33");
+  EXPECT_EQ(sweep_options_from_env(true).systems_per_config, 33);
+  EXPECT_EQ(sweep_options_from_env(false).systems_per_config, 77);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,108 @@
+#include "experiments/breakdown.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/analysis/sa_pm.h"
+#include "workload/scaling.h"
+
+namespace e2e {
+namespace {
+
+TaskSystem sample_system(int subtasks, std::uint64_t seed) {
+  Rng rng{seed};
+  GeneratorOptions options =
+      options_for({.subtasks_per_task = subtasks, .utilization_percent = 50});
+  options.processors = 3;
+  options.tasks = 6;
+  options.ticks_per_unit = 100;
+  return generate_system(rng, options);
+}
+
+TEST(Scaling, ScalesExecutionTimesProportionally) {
+  const TaskSystem sys = sample_system(3, 1);
+  const TaskSystem scaled = scale_execution_times(sys, 1.5);
+  for (const Task& t : sys.tasks()) {
+    const Task& st = scaled.task(t.id);
+    EXPECT_EQ(st.period, t.period);
+    EXPECT_EQ(st.phase, t.phase);
+    for (std::size_t j = 0; j < t.subtasks.size(); ++j) {
+      const double expected = 1.5 * static_cast<double>(t.subtasks[j].execution_time);
+      EXPECT_NEAR(static_cast<double>(st.subtasks[j].execution_time), expected, 0.51);
+    }
+  }
+  EXPECT_NEAR(scaled.max_processor_utilization(),
+              1.5 * sys.max_processor_utilization(), 0.01);
+}
+
+TEST(Scaling, ClampsToOneTick) {
+  const TaskSystem sys = sample_system(3, 2);
+  const TaskSystem scaled = scale_execution_times(sys, 1e-9);
+  for (const Task& t : scaled.tasks()) {
+    for (const Subtask& s : t.subtasks) EXPECT_EQ(s.execution_time, 1);
+  }
+}
+
+TEST(Scaling, RejectsNonPositiveFactor) {
+  const TaskSystem sys = sample_system(2, 3);
+  EXPECT_THROW((void)scale_execution_times(sys, 0.0), InvalidArgument);
+  EXPECT_THROW((void)scale_execution_times(sys, -1.0), InvalidArgument);
+}
+
+TEST(Breakdown, DsNeverBeatsPmFamily) {
+  // SA/DS bounds dominate SA/PM bounds, so DS's breakdown utilization can
+  // never exceed the PM family's.
+  for (const int n : {2, 4, 6}) {
+    const TaskSystem sys = sample_system(n, static_cast<std::uint64_t>(n) * 17);
+    const double pm = breakdown_utilization(sys, AnalysisKind::kSaPm);
+    const double ds = breakdown_utilization(sys, AnalysisKind::kSaDs);
+    EXPECT_LE(ds, pm + 0.011) << "n=" << n;  // tolerance = search step
+  }
+}
+
+TEST(Breakdown, ResultWithinSearchRange) {
+  const TaskSystem sys = sample_system(4, 99);
+  const double u = breakdown_utilization(sys, AnalysisKind::kSaPm);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+  EXPECT_GT(u, 0.1);  // a 50%-base system is schedulable well above the floor
+}
+
+TEST(Breakdown, SchedulableAtReportedUtilization) {
+  const TaskSystem sys = sample_system(3, 7);
+  const double u = breakdown_utilization(sys, AnalysisKind::kSaPm, {.tolerance = 0.02});
+  ASSERT_GT(u, 0.0);
+  const double factor = u / sys.max_processor_utilization();
+  const TaskSystem scaled = scale_execution_times(sys, factor);
+  EXPECT_TRUE(analyze_sa_pm(scaled).system_schedulable());
+}
+
+TEST(Breakdown, ExperimentProducesSevenRows) {
+  const std::vector<BreakdownResult> rows =
+      run_breakdown_experiment(/*systems=*/2, /*seed=*/5, {.tolerance = 0.05});
+  ASSERT_EQ(rows.size(), 7u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].subtasks_per_task, static_cast<int>(i) + 2);
+    EXPECT_EQ(rows[i].sa_pm.count(), 2);
+    EXPECT_EQ(rows[i].sa_ds.count(), 2);
+  }
+}
+
+TEST(Breakdown, LongerChainsBreakEarlierAndDsAlwaysPays) {
+  const std::vector<BreakdownResult> rows =
+      run_breakdown_experiment(/*systems=*/4, /*seed=*/11, {.tolerance = 0.02});
+  // With end-to-end deadline == period, the sum of per-subtask bounds must
+  // fit one period, so breakdown utilization falls as chains lengthen...
+  EXPECT_GT(rows.front().sa_pm.mean(), rows.back().sa_pm.mean());
+  EXPECT_GT(rows.front().sa_ds.mean(), rows.back().sa_ds.mean());
+  // ...and DS pays a positive penalty at every chain length (the
+  // breakdown point sits at moderate utilization where clumping is mild,
+  // so the penalty stays in the ~10% band rather than exploding).
+  for (const BreakdownResult& row : rows) {
+    EXPECT_GE(row.sa_pm.mean(), row.sa_ds.mean() - 0.011)
+        << "n=" << row.subtasks_per_task;
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,139 @@
+// Differential test: the event-driven Engine vs a naive tick-by-tick
+// reference scheduler on random workloads. Both must produce the exact
+// same multiset of release/completion events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/release_guard.h"
+#include "sim/engine.h"
+#include "task/paper_examples.h"
+#include "tests/support/reference_scheduler.h"
+#include "workload/generator.h"
+
+namespace e2e {
+namespace {
+
+using test_support::ReferenceEvent;
+using test_support::ReferenceProtocol;
+using test_support::reference_schedule;
+
+/// Collects engine events in the reference format.
+class EventCollector final : public TraceSink {
+ public:
+  void on_release(const Job& job) override {
+    events.push_back(
+        ReferenceEvent{"release", job.release_time, job.ref, job.instance});
+  }
+  void on_complete(const Job& job, Time now) override {
+    events.push_back(ReferenceEvent{"complete", now, job.ref, job.instance});
+  }
+  std::vector<ReferenceEvent> events;
+};
+
+void sort_canonically(std::vector<ReferenceEvent>& events) {
+  std::sort(events.begin(), events.end(), [](const ReferenceEvent& a,
+                                             const ReferenceEvent& b) {
+    return std::tuple(a.time, a.kind, a.ref.task.value(), a.ref.index, a.instance) <
+           std::tuple(b.time, b.kind, b.ref.task.value(), b.ref.index, b.instance);
+  });
+}
+
+void expect_same_schedule(const TaskSystem& sys, ReferenceProtocol ref_protocol,
+                          Time horizon) {
+  std::vector<ReferenceEvent> expected = reference_schedule(sys, ref_protocol, horizon);
+
+  EventCollector collector;
+  DirectSyncProtocol ds;
+  ReleaseGuardProtocol rg{sys};
+  SyncProtocol& protocol =
+      ref_protocol == ReferenceProtocol::kDirectSync
+          ? static_cast<SyncProtocol&>(ds)
+          : static_cast<SyncProtocol&>(rg);
+  Engine engine{sys, protocol, {.horizon = horizon}};
+  engine.add_sink(&collector);
+  engine.run();
+
+  sort_canonically(expected);
+  sort_canonically(collector.events);
+  ASSERT_EQ(collector.events.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(collector.events[i], expected[i])
+        << "event " << i << ": engine(" << collector.events[i].kind << " t="
+        << collector.events[i].time << " T" << collector.events[i].ref.task.value() + 1
+        << "," << collector.events[i].ref.index + 1 << " m="
+        << collector.events[i].instance << ") vs reference(" << expected[i].kind
+        << " t=" << expected[i].time << " T" << expected[i].ref.task.value() + 1 << ","
+        << expected[i].ref.index + 1 << " m=" << expected[i].instance << ")";
+    if (collector.events[i] != expected[i]) break;  // avoid error spam
+  }
+}
+
+TaskSystem small_random_system(std::uint64_t seed, int subtasks, int utilization,
+                               double non_preemptible_fraction = 0.0) {
+  Rng rng{seed * 2654435761u};
+  GeneratorOptions options = options_for(
+      {.subtasks_per_task = subtasks, .utilization_percent = utilization});
+  options.processors = 3;
+  options.tasks = 4;
+  options.ticks_per_unit = 1;
+  options.period_min = 5;
+  options.period_max = 40;
+  options.period_mean = 15;
+  options.non_preemptible_fraction = non_preemptible_fraction;
+  return generate_system(rng, options);
+}
+
+TEST(Differential, Example2UnderDs) {
+  expect_same_schedule(paper::example2(), ReferenceProtocol::kDirectSync, 60);
+}
+
+TEST(Differential, Example2UnderRg) {
+  expect_same_schedule(paper::example2(), ReferenceProtocol::kReleaseGuard, 60);
+}
+
+struct Params {
+  std::uint64_t seed;
+  int subtasks;
+  int utilization;
+};
+
+class DifferentialRandom : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DifferentialRandom, Ds) {
+  const Params& p = GetParam();
+  const TaskSystem sys = small_random_system(p.seed, p.subtasks, p.utilization);
+  expect_same_schedule(sys, ReferenceProtocol::kDirectSync,
+                       15 * sys.max_period());
+}
+
+TEST_P(DifferentialRandom, Rg) {
+  const Params& p = GetParam();
+  const TaskSystem sys = small_random_system(p.seed, p.subtasks, p.utilization);
+  expect_same_schedule(sys, ReferenceProtocol::kReleaseGuard,
+                       15 * sys.max_period());
+}
+
+TEST_P(DifferentialRandom, DsWithNonPreemptibleSubtasks) {
+  const Params& p = GetParam();
+  const TaskSystem sys =
+      small_random_system(p.seed + 1000, p.subtasks, p.utilization, 0.4);
+  expect_same_schedule(sys, ReferenceProtocol::kDirectSync,
+                       15 * sys.max_period());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DifferentialRandom,
+    ::testing::Values(Params{1, 2, 50}, Params{2, 2, 90}, Params{3, 3, 70},
+                      Params{4, 4, 80}, Params{5, 5, 90}, Params{6, 3, 60},
+                      Params{7, 4, 50}, Params{8, 2, 70}, Params{9, 5, 60},
+                      Params{10, 4, 90}, Params{11, 3, 90}, Params{12, 5, 50}),
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_N" +
+             std::to_string(param_info.param.subtasks) + "_U" +
+             std::to_string(param_info.param.utilization);
+    });
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,95 @@
+#include "experiments/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis/sa_pm.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(MonteCarlo, CollectsSamplesForEveryTask) {
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult r = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                              {.runs = 5, .seed = 3});
+  ASSERT_EQ(r.per_task.size(), 3u);
+  EXPECT_EQ(r.runs, 5);
+  for (const TaskLatency& latency : r.per_task) {
+    EXPECT_GT(latency.instances, 0);
+    EXPECT_EQ(latency.eer.count(), latency.instances);
+  }
+}
+
+TEST(MonteCarlo, Example2DsT3MissesSometimes) {
+  // Under DS some phasings reproduce Figure 3's miss; with randomized
+  // phases the estimated probability lands strictly between 0 and 1.
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult r = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                              {.runs = 30, .seed = 7});
+  const TaskLatency& t3 = r.per_task[2];
+  EXPECT_GT(t3.miss_probability(), 0.0);
+  EXPECT_LT(t3.miss_probability(), 1.0);
+}
+
+TEST(MonteCarlo, Example2RgT3NeverMisses) {
+  // RG makes T3 schedulable (bound 5 <= 6) regardless of phasing.
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult r = estimate_latency(sys, ProtocolKind::kReleaseGuard,
+                                              {.runs = 30, .seed = 7});
+  EXPECT_EQ(r.per_task[2].misses, 0);
+}
+
+TEST(MonteCarlo, SamplesNeverExceedWorstCaseBounds) {
+  const TaskSystem sys = paper::example2();
+  const AnalysisResult bounds = analyze_sa_pm(sys);
+  const MonteCarloResult r = estimate_latency(
+      sys, ProtocolKind::kReleaseGuard,
+      {.runs = 10, .seed = 11, .execution_min_fraction = 0.5});
+  for (const Task& t : sys.tasks()) {
+    EXPECT_LE(r.per_task[t.id.index()].eer.max(),
+              static_cast<double>(bounds.eer_bound(t.id)))
+        << t.name;
+  }
+}
+
+TEST(MonteCarlo, ExecutionVariationLowersTheMean) {
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult wcet = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                                 {.runs = 10, .seed = 13});
+  const MonteCarloResult varied = estimate_latency(
+      sys, ProtocolKind::kDirectSync,
+      {.runs = 10, .seed = 13, .execution_min_fraction = 0.4});
+  EXPECT_LT(varied.per_task[1].eer.mean(), wcet.per_task[1].eer.mean());
+}
+
+TEST(MonteCarlo, HistogramPercentilesBracketTheMean) {
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult r = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                              {.runs = 10, .seed = 17});
+  const TaskLatency& t2 = r.per_task[1];
+  EXPECT_LE(t2.histogram.percentile(0.05), t2.eer.mean());
+  EXPECT_GE(t2.histogram.percentile(0.99), t2.eer.mean() - 1.0);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const TaskSystem sys = paper::example2();
+  const MonteCarloResult a = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                              {.runs = 5, .seed = 19});
+  const MonteCarloResult b = estimate_latency(sys, ProtocolKind::kDirectSync,
+                                              {.runs = 5, .seed = 19});
+  EXPECT_EQ(a.per_task[2].instances, b.per_task[2].instances);
+  EXPECT_DOUBLE_EQ(a.per_task[2].eer.mean(), b.per_task[2].eer.mean());
+}
+
+TEST(MonteCarlo, FixedPhasesReproduceTheInputSystem) {
+  const TaskSystem sys = paper::example2();
+  MonteCarloOptions options{.runs = 3, .seed = 23, .randomize_phases = false};
+  const MonteCarloResult r = estimate_latency(sys, ProtocolKind::kDirectSync, options);
+  // All runs identical (same phases, WCET-exact): zero variance in the
+  // worst sample across runs.
+  EXPECT_EQ(r.per_task[2].eer.max(), 8.0);  // Figure 3's first instance
+}
+
+}  // namespace
+}  // namespace e2e

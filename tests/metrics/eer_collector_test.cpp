@@ -1,0 +1,112 @@
+#include "metrics/eer_collector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/release_guard.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(EerCollector, SingleSubtaskEerIsResponseTime) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys};
+  Engine engine{sys, protocol, {.horizon = 35}};
+  engine.add_sink(&eer);
+  engine.run();
+  EXPECT_EQ(eer.completed_instances(TaskId{0}), 4);
+  EXPECT_DOUBLE_EQ(eer.average_eer(TaskId{0}), 3.0);
+  EXPECT_EQ(eer.worst_eer(TaskId{0}), 3);
+}
+
+TEST(EerCollector, ChainEerSpansProcessors) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 20})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 5, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys};
+  Engine engine{sys, protocol, {.horizon = 60}};
+  engine.add_sink(&eer);
+  engine.run();
+  EXPECT_DOUBLE_EQ(eer.average_eer(TaskId{0}), 7.0);  // 2 + 5, no contention
+}
+
+TEST(EerCollector, Example2DsValues) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys, {.keep_series = true}};
+  Engine engine{sys, protocol, {.horizon = 30}};
+  engine.add_sink(&eer);
+  engine.run();
+  // T2 instances (Figure 3): EERs 7 (0->7), 6 (6->12? T2,2(2) runs
+  // 8-11 -> completes 11; released 6 -> 5)... verified against the
+  // simulated schedule: {7, 5, ...}.
+  const auto& series = eer.eer_series(TaskId{1});
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_EQ(series[0], 7);
+}
+
+TEST(EerCollector, OutputJitterOfConstantResponseIsZero) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys};
+  Engine engine{sys, protocol, {.horizon = 100}};
+  engine.add_sink(&eer);
+  engine.run();
+  EXPECT_EQ(eer.output_jitter(TaskId{0}).count(), 9);
+  EXPECT_DOUBLE_EQ(eer.output_jitter(TaskId{0}).mean(), 0.0);
+}
+
+TEST(EerCollector, OutputJitterDetectsVariation) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys};
+  Engine engine{sys, protocol, {.horizon = 120}};
+  engine.add_sink(&eer);
+  engine.run();
+  // T3's EER varies under DS (8, then shorter ones).
+  EXPECT_GT(eer.output_jitter(TaskId{2}).max(), 0.0);
+}
+
+TEST(EerCollector, IeerTrackingPerSubtask) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys, {.track_ieer = true}};
+  Engine engine{sys, protocol, {.horizon = 60}};
+  engine.add_sink(&eer);
+  engine.run();
+  // IEER of T2,1's first instance is 4 (released 0, done 4); of T2,2 it is
+  // 7 (done 7). Means are over all instances; max reflects the worst.
+  EXPECT_GE(eer.ieer(SubtaskRef{TaskId{1}, 0}).max(), 4.0);
+  EXPECT_GE(eer.ieer(SubtaskRef{TaskId{1}, 1}).max(),
+            eer.ieer(SubtaskRef{TaskId{1}, 0}).max());
+}
+
+TEST(EerCollector, SeriesRequiresOptIn) {
+  const TaskSystem sys = paper::example2();
+  EerCollector eer{sys};
+  EXPECT_DEATH((void)eer.eer_series(TaskId{0}), "series tracking");
+}
+
+TEST(EerCollector, UnmatchedCompletionsZeroNormally) {
+  const TaskSystem sys = paper::example2();
+  ReleaseGuardProtocol rg{sys};
+  EerCollector eer{sys};
+  Engine engine{sys, rg, {.horizon = 60}};
+  engine.add_sink(&eer);
+  engine.run();
+  EXPECT_EQ(eer.unmatched_completions(), 0);
+}
+
+}  // namespace
+}  // namespace e2e

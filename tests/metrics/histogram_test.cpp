@@ -1,0 +1,84 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2e {
+namespace {
+
+TEST(Histogram, CountsIntoBuckets) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 2);
+  EXPECT_EQ(h.bucket(9), 1);
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h{10.0, 20.0, 5};
+  h.add(5.0);
+  h.add(25.0);
+  h.add(20.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(), 3);
+}
+
+TEST(Histogram, EmptyPercentileIsLo) {
+  Histogram h{3.0, 9.0, 3};
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
+}
+
+TEST(Histogram, MedianOfUniformSamples) {
+  Histogram h{0.0, 1.0, 100};
+  Rng rng{5};
+  for (int i = 0; i < 100'000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.percentile(0.50), 0.50, 0.02);
+  EXPECT_NEAR(h.percentile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.percentile(0.99), 0.99, 0.02);
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h{0.0, 100.0, 20};
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform_real(0.0, 100.0));
+  double previous = 0.0;
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double value = h.percentile(p);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(Histogram, OverflowMassPushesPercentileToHi) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 10.0);
+}
+
+TEST(Histogram, AddAllConsumesSeries) {
+  Histogram h{0.0, 10.0, 10};
+  const std::vector<Duration> series = {1, 2, 3, 4};
+  h.add_all(series);
+  EXPECT_EQ(h.count(), 4);
+}
+
+TEST(HistogramDeathTest, RejectsBadConstruction) {
+  EXPECT_DEATH((Histogram{5.0, 5.0, 3}), "non-empty");
+  EXPECT_DEATH((Histogram{0.0, 1.0, 0}), "at least one bucket");
+}
+
+TEST(HistogramDeathTest, RejectsBadPercentile) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_DEATH((void)h.percentile(1.5), "percentile");
+}
+
+}  // namespace
+}  // namespace e2e

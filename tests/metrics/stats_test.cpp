@@ -1,0 +1,104 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace e2e {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{3};
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-5.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  Rng rng{5};
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real(0.0, 1.0);
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci_half_width(0.90), large.ci_half_width(0.90));
+}
+
+TEST(RunningStats, Ci90CoversTrueMeanUsually) {
+  // 90% CI over uniform[0,1] samples should contain 0.5 most of the time.
+  Rng rng{7};
+  int covered = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RunningStats s;
+    for (int i = 0; i < 100; ++i) s.add(rng.uniform_real(0.0, 1.0));
+    const double half = s.ci_half_width(0.90);
+    if (std::abs(s.mean() - 0.5) <= half) ++covered;
+  }
+  EXPECT_GT(covered, 160);  // ~90% nominal; allow slack
+}
+
+TEST(RunningStats, HigherLevelWiderInterval) {
+  RunningStats s;
+  Rng rng{9};
+  for (int i = 0; i < 100; ++i) s.add(rng.uniform_real(0.0, 1.0));
+  EXPECT_LT(s.ci_half_width(0.90), s.ci_half_width(0.95));
+  EXPECT_LT(s.ci_half_width(0.95), s.ci_half_width(0.99));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,84 @@
+#include "core/protocols/direct_sync.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/eer_collector.h"
+#include "report/gantt.h"
+#include "sim/engine.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(DirectSync, ReleasesSuccessorImmediately) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 20};
+  Engine engine{sys, protocol, {.horizon = 20}};
+  engine.add_sink(&gantt);
+  engine.run();
+  // T2,1 completes at 4 and 8 (paper Figure 3); T2,2 releases then.
+  const SubtaskRef t22{TaskId{1}, 1};
+  ASSERT_GE(gantt.releases(t22).size(), 2u);
+  EXPECT_EQ(gantt.releases(t22)[0], 4);
+  EXPECT_EQ(gantt.releases(t22)[1], 8);
+}
+
+TEST(DirectSync, Figure3ReleasePattern) {
+  // Paper: "the instances of T2,2 are released at times 4, 8, 16, 20, 28".
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 30};
+  Engine engine{sys, protocol, {.horizon = 30}};
+  engine.add_sink(&gantt);
+  engine.run();
+  const SubtaskRef t22{TaskId{1}, 1};
+  const std::vector<Time> expected = {4, 8, 16, 20, 28};
+  ASSERT_GE(gantt.releases(t22).size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(gantt.releases(t22)[i], expected[i]) << "release " << i;
+  }
+}
+
+TEST(DirectSync, T3MissesDeadlineAsInFigure3) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  EerCollector eer{sys};
+  Engine engine{sys, protocol, {.horizon = 16}};
+  engine.add_sink(&eer);
+  engine.run();
+  // T3's first instance: released 4, completes 12 -> EER 8 > deadline 6.
+  EXPECT_EQ(eer.worst_eer(TaskId{2}), 8);
+  EXPECT_GE(engine.stats().deadline_misses, 1);
+}
+
+TEST(DirectSync, OneSignalPerNonLastInstance) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  Engine engine{sys, protocol, {.horizon = 60}};
+  engine.run();
+  // Signals == completed instances of non-last subtasks (only T2,1 here).
+  EXPECT_EQ(engine.stats().sync_signals,
+            engine.completed_instances(SubtaskRef{TaskId{1}, 0}));
+}
+
+TEST(DirectSync, NoTimersUsed) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  Engine engine{sys, protocol, {.horizon = 60}};
+  engine.run();
+  EXPECT_EQ(engine.stats().timer_interrupts, 0);
+}
+
+TEST(DirectSync, TraitsMatchPaperTable) {
+  const ProtocolTraits t = DirectSyncProtocol::traits();
+  EXPECT_EQ(t.interrupts_per_instance, 1);
+  EXPECT_EQ(t.variables_per_subtask, 0);
+  EXPECT_FALSE(t.needs_timer_interrupt_support);
+  EXPECT_TRUE(t.needs_sync_interrupt_support);
+  EXPECT_FALSE(t.needs_global_clock);
+  EXPECT_FALSE(t.needs_global_load_info);
+}
+
+}  // namespace
+}  // namespace e2e

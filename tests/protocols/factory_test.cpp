@@ -1,0 +1,74 @@
+#include "core/protocols/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/analysis/sa_pm.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(Factory, CreatesAllKinds) {
+  const TaskSystem sys = paper::example2();
+  for (const ProtocolKind kind : kAllProtocolKinds) {
+    const auto protocol = make_protocol(kind, sys);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->name(), to_string(kind));
+  }
+}
+
+TEST(Factory, Names) {
+  EXPECT_EQ(to_string(ProtocolKind::kDirectSync), "DS");
+  EXPECT_EQ(to_string(ProtocolKind::kPhaseModification), "PM");
+  EXPECT_EQ(to_string(ProtocolKind::kModifiedPm), "MPM");
+  EXPECT_EQ(to_string(ProtocolKind::kReleaseGuard), "RG");
+}
+
+TEST(Factory, UsesProvidedBounds) {
+  const TaskSystem sys = paper::example2();
+  const AnalysisResult bounds = analyze_sa_pm(sys);
+  const auto protocol =
+      make_protocol(ProtocolKind::kPhaseModification, sys, &bounds.subtask_bounds);
+  ASSERT_NE(protocol, nullptr);
+  // Factory-made PM runs end to end.
+  Engine engine{sys, *protocol, {.horizon = 50}};
+  engine.run();
+  EXPECT_GT(engine.stats().jobs_completed, 0);
+}
+
+TEST(Factory, ComputesBoundsWhenMissing) {
+  const TaskSystem sys = paper::example2();
+  const auto protocol = make_protocol(ProtocolKind::kModifiedPm, sys);
+  ASSERT_NE(protocol, nullptr);
+}
+
+TEST(Factory, PmOnUnboundableSystemThrows) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 4})
+      .subtask(ProcessorId{0}, 3, Priority{0})
+      .subtask(ProcessorId{1}, 1, Priority{0});
+  b.add_task({.period = 4})
+      .subtask(ProcessorId{0}, 3, Priority{1})
+      .subtask(ProcessorId{1}, 1, Priority{1});
+  const TaskSystem sys = std::move(b).build();  // P0 at 150% utilization
+  EXPECT_THROW((void)make_protocol(ProtocolKind::kPhaseModification, sys),
+               InvalidArgument);
+  // DS and RG do not need bounds; they still construct.
+  EXPECT_NE(make_protocol(ProtocolKind::kDirectSync, sys), nullptr);
+  EXPECT_NE(make_protocol(ProtocolKind::kReleaseGuard, sys), nullptr);
+}
+
+TEST(Factory, TraitsMatchPaperSection33) {
+  EXPECT_EQ(traits_of(ProtocolKind::kDirectSync).interrupts_per_instance, 1);
+  EXPECT_EQ(traits_of(ProtocolKind::kPhaseModification).interrupts_per_instance, 1);
+  EXPECT_EQ(traits_of(ProtocolKind::kModifiedPm).interrupts_per_instance, 2);
+  EXPECT_EQ(traits_of(ProtocolKind::kReleaseGuard).interrupts_per_instance, 2);
+  EXPECT_EQ(traits_of(ProtocolKind::kDirectSync).variables_per_subtask, 0);
+  EXPECT_EQ(traits_of(ProtocolKind::kReleaseGuard).variables_per_subtask, 1);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,52 @@
+// MPM under *wrong* (too small) response bounds: the timer fires before
+// the instance completes, the protocol records the overrun and still
+// sends the signal -- and the engine records the resulting precedence
+// violation. Documents the failure mode the paper's overrun check exists
+// to detect.
+#include <gtest/gtest.h>
+
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/modified_pm.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(MpmOverrun, UnderestimatedBoundsAreDetected) {
+  const TaskSystem sys = paper::example2();
+  // Claim R(T2,1) = 1 although its true bound is 4.
+  SubtaskTable bogus = analyze_sa_pm(sys).subtask_bounds;
+  bogus.set(SubtaskRef{TaskId{1}, 0}, 1);
+
+  ModifiedPmProtocol mpm{sys, bogus};
+  Engine engine{sys, mpm, {.horizon = 60}};
+  engine.run();
+  EXPECT_GT(mpm.overruns(), 0);
+  EXPECT_GT(engine.stats().precedence_violations, 0);
+}
+
+TEST(MpmOverrun, CorrectBoundsNeverOverrun) {
+  const TaskSystem sys = paper::example2();
+  ModifiedPmProtocol mpm{sys, analyze_sa_pm(sys).subtask_bounds};
+  Engine engine{sys, mpm, {.horizon = 600}};
+  engine.run();
+  EXPECT_EQ(mpm.overruns(), 0);
+  EXPECT_EQ(engine.stats().precedence_violations, 0);
+}
+
+TEST(MpmOverrun, LooseBoundsAreSafeJustSlow) {
+  // Over-estimated bounds delay successors but never violate anything.
+  const TaskSystem sys = paper::example2();
+  SubtaskTable loose = analyze_sa_pm(sys).subtask_bounds;
+  loose.set(SubtaskRef{TaskId{1}, 0}, 5);  // true bound is 4
+  ModifiedPmProtocol mpm{sys, loose};
+  Engine engine{sys, mpm, {.horizon = 600}};
+  engine.run();
+  EXPECT_EQ(mpm.overruns(), 0);
+  EXPECT_EQ(engine.stats().precedence_violations, 0);
+}
+
+}  // namespace
+}  // namespace e2e

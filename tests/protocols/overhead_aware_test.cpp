@@ -1,0 +1,83 @@
+#include "core/protocols/overhead_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/analysis/sa_pm.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(OverheadAware, PerInstanceFormulaFollowsSection33) {
+  const OverheadCosts costs{.context_switch = 3, .interrupt = 5};
+  // DS/PM: one interrupt; MPM/RG: two. Everyone: two context switches.
+  EXPECT_EQ(per_instance_overhead(ProtocolKind::kDirectSync, costs), 2 * 3 + 1 * 5);
+  EXPECT_EQ(per_instance_overhead(ProtocolKind::kPhaseModification, costs), 11);
+  EXPECT_EQ(per_instance_overhead(ProtocolKind::kModifiedPm, costs), 2 * 3 + 2 * 5);
+  EXPECT_EQ(per_instance_overhead(ProtocolKind::kReleaseGuard, costs), 16);
+}
+
+TEST(OverheadAware, ZeroCostsAreIdentity) {
+  const TaskSystem sys = paper::example2();
+  const TaskSystem inflated = inflate_for_overhead(sys, ProtocolKind::kReleaseGuard, {});
+  for (const Task& t : sys.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      EXPECT_EQ(inflated.subtask(s.ref).execution_time, s.execution_time);
+    }
+  }
+}
+
+TEST(OverheadAware, InflatesEveryExecutionTime) {
+  const TaskSystem sys = paper::example2();
+  const OverheadCosts costs{.context_switch = 1, .interrupt = 2};
+  const TaskSystem inflated =
+      inflate_for_overhead(sys, ProtocolKind::kModifiedPm, costs);  // +6 per instance
+  for (const Task& t : sys.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      EXPECT_EQ(inflated.subtask(s.ref).execution_time, s.execution_time + 6);
+    }
+  }
+  // Everything else is untouched.
+  EXPECT_EQ(inflated.task(TaskId{2}).phase, 4);
+  EXPECT_EQ(inflated.task(TaskId{1}).period, 6);
+}
+
+TEST(OverheadAware, SeparatesPmFromRgBounds) {
+  // On the overhead-free system the PM-family bounds coincide for PM and
+  // RG. With a nonzero interrupt cost, RG's extra interrupt per instance
+  // must make its bounds at least as large as PM's, and strictly larger
+  // for some task.
+  const TaskSystem sys = paper::example2();
+  const OverheadCosts costs{.context_switch = 0, .interrupt = 1};
+  const AnalysisResult pm_bounds =
+      analyze_sa_pm(inflate_for_overhead(sys, ProtocolKind::kPhaseModification, costs));
+  const AnalysisResult rg_bounds =
+      analyze_sa_pm(inflate_for_overhead(sys, ProtocolKind::kReleaseGuard, costs));
+  bool strictly = false;
+  for (const Task& t : sys.tasks()) {
+    EXPECT_GE(rg_bounds.eer_bound(t.id), pm_bounds.eer_bound(t.id)) << t.name;
+    if (rg_bounds.eer_bound(t.id) > pm_bounds.eer_bound(t.id)) strictly = true;
+  }
+  EXPECT_TRUE(strictly);
+}
+
+TEST(OverheadAware, OverheadCanBreakSchedulability) {
+  // Example 2's T3 is schedulable under RG with zero overhead (bound 5,
+  // deadline 6) but a 1-tick interrupt cost pushes it over.
+  const TaskSystem sys = paper::example2();
+  EXPECT_TRUE(analyze_sa_pm(sys).task_schedulable[2]);
+  const TaskSystem inflated = inflate_for_overhead(
+      sys, ProtocolKind::kReleaseGuard, {.context_switch = 0, .interrupt = 1});
+  EXPECT_FALSE(analyze_sa_pm(inflated).task_schedulable[2]);
+}
+
+TEST(OverheadAware, RejectsNegativeCosts) {
+  const TaskSystem sys = paper::example2();
+  EXPECT_THROW((void)inflate_for_overhead(sys, ProtocolKind::kDirectSync,
+                                          {.context_switch = -1}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace e2e

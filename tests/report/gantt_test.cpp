@@ -1,0 +1,93 @@
+#include "report/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocols/direct_sync.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(Gantt, RecordsSegmentsReleasesCompletions) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 25};
+  Engine engine{sys, protocol, {.horizon = 25}};
+  engine.add_sink(&gantt);
+  engine.run();
+
+  const SubtaskRef ref{TaskId{0}, 0};
+  EXPECT_EQ(gantt.releases(ref), (std::vector<Time>{0, 10, 20}));
+  EXPECT_EQ(gantt.completions(ref), (std::vector<Time>{3, 13, 23}));
+  ASSERT_EQ(gantt.segments(ref).size(), 3u);
+  EXPECT_EQ(gantt.segments(ref)[0],
+            (GanttRecorder::Segment{.begin = 0, .end = 3, .instance = 0}));
+}
+
+TEST(Gantt, PreemptionSplitsSegments) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 100, .phase = 2}).subtask(ProcessorId{0}, 3, Priority{0});
+  b.add_task({.period = 100}).subtask(ProcessorId{0}, 4, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 20};
+  Engine engine{sys, protocol, {.horizon = 20}};
+  engine.add_sink(&gantt);
+  engine.run();
+  // Low-priority task: runs 0-2, preempted, resumes 5-7.
+  const auto& segments = gantt.segments(SubtaskRef{TaskId{1}, 0});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].begin, 0);
+  EXPECT_EQ(segments[0].end, 2);
+  EXPECT_EQ(segments[1].begin, 5);
+  EXPECT_EQ(segments[1].end, 7);
+}
+
+TEST(Gantt, RenderShowsExecutionAndPending) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 12};
+  Engine engine{sys, protocol, {.horizon = 12}};
+  engine.add_sink(&gantt);
+  engine.run();
+  const std::string out = gantt.render();
+  EXPECT_NE(out.find("P1:"), std::string::npos);
+  EXPECT_NE(out.find("P2:"), std::string::npos);
+  EXPECT_NE(out.find("T2,2"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);  // T3 waits while preempted
+}
+
+TEST(Gantt, WindowClampsRecording) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 12};  // window shorter than horizon
+  Engine engine{sys, protocol, {.horizon = 50}};
+  engine.add_sink(&gantt);
+  engine.run();
+  const SubtaskRef ref{TaskId{0}, 0};
+  EXPECT_EQ(gantt.releases(ref), (std::vector<Time>{0, 10}));
+  ASSERT_EQ(gantt.segments(ref).size(), 2u);
+  EXPECT_EQ(gantt.segments(ref)[1].end, 12);  // clipped at the window
+}
+
+TEST(Gantt, TicksPerColumnCompressesOutput) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol protocol;
+  GanttRecorder gantt{sys, 24};
+  Engine engine{sys, protocol, {.horizon = 24}};
+  engine.add_sink(&gantt);
+  engine.run();
+  const std::string fine = gantt.render(1);
+  const std::string coarse = gantt.render(2);
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+}  // namespace
+}  // namespace e2e

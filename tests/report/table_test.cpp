@@ -1,0 +1,78 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "report/csv.h"
+
+#include <sstream>
+
+namespace e2e {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.to_string();
+  std::istringstream stream{out};
+  std::string header, rule, row1, row2;
+  std::getline(stream, header);
+  std::getline(stream, rule);
+  std::getline(stream, row1);
+  std::getline(stream, row2);
+  // "b" column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTableDeathTest, MismatchedArityAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "arity");
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(1.0, 3), "1.000");
+}
+
+TEST(TextTable, FmtOrInf) {
+  EXPECT_EQ(TextTable::fmt_or_inf(42, kTimeInfinity), "42");
+  EXPECT_EQ(TextTable::fmt_or_inf(kTimeInfinity, kTimeInfinity), "inf");
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"with,comma", "with\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"h1", "h2"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,94 @@
+#include "report/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/protocols/direct_sync.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream{text};
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceLogger, WritesHeaderImmediately) {
+  std::ostringstream out;
+  const TaskSystem sys = paper::example2();
+  TraceLogger logger{out, sys};
+  EXPECT_EQ(out.str(), "event,time,task,subtask,instance,processor\n");
+  EXPECT_EQ(logger.rows_written(), 0);
+}
+
+TEST(TraceLogger, LogsSimulationEvents) {
+  std::ostringstream out;
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10, .phase = 2}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  TraceLogger logger{out, sys};
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 10}};
+  engine.add_sink(&logger);
+  engine.run();
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);  // header + release/start/complete/idle
+  EXPECT_EQ(lines[1], "release,2,T1,\"T1,1\",0,1");
+  EXPECT_EQ(lines[2], "start,2,T1,\"T1,1\",0,1");
+  EXPECT_EQ(lines[3], "complete,5,T1,\"T1,1\",0,1");
+  EXPECT_EQ(lines[4], "idle,5,,,,1");
+  EXPECT_EQ(logger.rows_written(), 4);
+}
+
+TEST(TraceLogger, LogsPreemptions) {
+  std::ostringstream out;
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 100, .phase = 1, .name = "hi"})
+      .subtask(ProcessorId{0}, 2, Priority{0}, "hi_s");
+  b.add_task({.period = 100, .name = "lo"})
+      .subtask(ProcessorId{0}, 4, Priority{1}, "lo_s");
+  const TaskSystem sys = std::move(b).build();
+  TraceLogger logger{out, sys};
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 20}};
+  engine.add_sink(&logger);
+  engine.run();
+  EXPECT_NE(out.str().find("preempt,1,lo,lo_s,0,1"), std::string::npos);
+}
+
+TEST(TraceLogger, QuotesNamesWithCommas) {
+  std::ostringstream out;
+  const TaskSystem sys = paper::example2();
+  TraceLogger logger{out, sys};
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 8}};
+  engine.add_sink(&logger);
+  engine.run();
+  // Subtask name "T2,1" contains a comma and must be quoted.
+  EXPECT_NE(out.str().find("\"T2,1\""), std::string::npos);
+}
+
+TEST(TraceLogger, RowCountMatchesEventCount) {
+  std::ostringstream out;
+  const TaskSystem sys = paper::example2();
+  TraceLogger logger{out, sys};
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 50}};
+  engine.add_sink(&logger);
+  engine.run();
+  const SimStats& s = engine.stats();
+  EXPECT_EQ(logger.rows_written(), s.jobs_released + s.dispatches + s.preemptions +
+                                       s.jobs_completed + s.idle_points +
+                                       s.precedence_violations);
+}
+
+}  // namespace
+}  // namespace e2e

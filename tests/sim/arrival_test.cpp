@@ -1,0 +1,62 @@
+#include "sim/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+Task make_task(Duration period, Time phase) {
+  Task t;
+  t.period = period;
+  t.phase = phase;
+  return t;
+}
+
+TEST(PeriodicArrivals, FirstAtPhase) {
+  PeriodicArrivals arrivals;
+  EXPECT_EQ(arrivals.first(make_task(10, 3)), 3);
+}
+
+TEST(PeriodicArrivals, NextAddsExactlyOnePeriod) {
+  PeriodicArrivals arrivals;
+  const Task t = make_task(10, 3);
+  EXPECT_EQ(arrivals.next(t, 3), 13);
+  EXPECT_EQ(arrivals.next(t, 13), 23);
+}
+
+TEST(SporadicArrivals, InterArrivalAtLeastPeriod) {
+  SporadicArrivals arrivals{Rng{1}, /*max_jitter=*/5};
+  const Task t = make_task(10, 0);
+  Time previous = arrivals.first(t);
+  for (int i = 0; i < 1000; ++i) {
+    const Time next = arrivals.next(t, previous);
+    ASSERT_GE(next - previous, 10);
+    ASSERT_LE(next - previous, 15);
+    previous = next;
+  }
+}
+
+TEST(SporadicArrivals, ZeroJitterDegeneratesToPeriodic) {
+  SporadicArrivals arrivals{Rng{2}, 0};
+  const Task t = make_task(7, 4);
+  EXPECT_EQ(arrivals.first(t), 4);
+  EXPECT_EQ(arrivals.next(t, 4), 11);
+}
+
+TEST(SporadicArrivals, ActuallyJitters) {
+  SporadicArrivals arrivals{Rng{3}, 100};
+  const Task t = make_task(10, 0);
+  bool saw_jitter = false;
+  Time previous = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Time next = arrivals.next(t, previous);
+    if (next - previous != 10) saw_jitter = true;
+    previous = next;
+  }
+  EXPECT_TRUE(saw_jitter);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,100 @@
+// Engine misuse guards: the protocol-facing API must fail loudly on
+// contract violations rather than corrupt the simulation.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+/// Protocol that deliberately violates one engine contract.
+class MisbehavingProtocol final : public SyncProtocol {
+ public:
+  enum class Mode {
+    kSchedulePast,
+    kTimerPast,
+    kDoubleRelease,
+    kOutOfOrderRelease,
+    kUnknownSubtask,
+  };
+  explicit MisbehavingProtocol(Mode mode) : mode_(mode) {}
+  [[nodiscard]] std::string_view name() const override { return "evil"; }
+
+  void on_job_completed(Engine& engine, const Job& job) override {
+    if (fired_) return;
+    fired_ = true;
+    const SubtaskRef succ{job.ref.task, job.ref.index + 1};
+    switch (mode_) {
+      case Mode::kSchedulePast:
+        engine.schedule_release(succ, job.instance, engine.now() - 1);
+        break;
+      case Mode::kTimerPast:
+        engine.set_timer(engine.now() - 1, job.ref, job.instance);
+        break;
+      case Mode::kDoubleRelease:
+        engine.release_now(succ, job.instance);
+        engine.release_now(succ, job.instance);
+        break;
+      case Mode::kOutOfOrderRelease:
+        engine.release_now(succ, job.instance + 5);
+        break;
+      case Mode::kUnknownSubtask:
+        engine.release_now(SubtaskRef{TaskId{99}, 0}, 0);
+        break;
+    }
+  }
+
+ private:
+  Mode mode_;
+  bool fired_ = false;
+};
+
+TaskSystem chain_system() {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 2, Priority{0});
+  return std::move(b).build();
+}
+
+using EngineGuardDeathTest = ::testing::Test;
+
+TEST(EngineGuardDeathTest, ScheduleReleaseInThePastAborts) {
+  const TaskSystem sys = chain_system();
+  MisbehavingProtocol protocol{MisbehavingProtocol::Mode::kSchedulePast};
+  Engine engine{sys, protocol, {.horizon = 50}};
+  EXPECT_DEATH(engine.run(), "in the past");
+}
+
+TEST(EngineGuardDeathTest, TimerInThePastAborts) {
+  const TaskSystem sys = chain_system();
+  MisbehavingProtocol protocol{MisbehavingProtocol::Mode::kTimerPast};
+  Engine engine{sys, protocol, {.horizon = 50}};
+  EXPECT_DEATH(engine.run(), "in the past");
+}
+
+TEST(EngineGuardDeathTest, DoubleReleaseAborts) {
+  const TaskSystem sys = chain_system();
+  MisbehavingProtocol protocol{MisbehavingProtocol::Mode::kDoubleRelease};
+  Engine engine{sys, protocol, {.horizon = 50}};
+  EXPECT_DEATH(engine.run(), "in order, exactly once");
+}
+
+TEST(EngineGuardDeathTest, OutOfOrderReleaseAborts) {
+  const TaskSystem sys = chain_system();
+  MisbehavingProtocol protocol{MisbehavingProtocol::Mode::kOutOfOrderRelease};
+  Engine engine{sys, protocol, {.horizon = 50}};
+  EXPECT_DEATH(engine.run(), "in order, exactly once");
+}
+
+TEST(EngineGuardDeathTest, UnknownSubtaskAborts) {
+  const TaskSystem sys = chain_system();
+  MisbehavingProtocol protocol{MisbehavingProtocol::Mode::kUnknownSubtask};
+  Engine engine{sys, protocol, {.horizon = 50}};
+  EXPECT_DEATH(engine.run(), "unknown subtask");
+}
+
+}  // namespace
+}  // namespace e2e

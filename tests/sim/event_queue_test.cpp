@@ -1,0 +1,84 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+Event at(Time time, std::uint8_t phase) {
+  return Event{.time = time, .phase = phase, .kind = EventKind::kRelease};
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(at(30, kReleasePhase));
+  q.push(at(10, kReleasePhase));
+  q.push(at(20, kReleasePhase));
+  EXPECT_EQ(q.pop().time, 10);
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_EQ(q.pop().time, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PhaseBreaksTimeTies) {
+  EventQueue q;
+  q.push(at(10, kReleasePhase));
+  q.push(at(10, kCompletionPhase));
+  q.push(at(10, kTimerPhase));
+  EXPECT_EQ(q.pop().phase, kCompletionPhase);
+  EXPECT_EQ(q.pop().phase, kTimerPhase);
+  EXPECT_EQ(q.pop().phase, kReleasePhase);
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue q;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    Event e = at(5, kReleasePhase);
+    e.instance = i;
+    q.push(e);
+  }
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().instance, i);
+  }
+}
+
+TEST(EventQueue, CompletionAtTPrecedesReleaseAtT) {
+  // The idle-point semantics depend on this exact ordering.
+  EventQueue q;
+  q.push(at(7, kReleasePhase));
+  Event completion = at(7, kCompletionPhase);
+  completion.kind = EventKind::kCompletion;
+  q.push(completion);
+  EXPECT_EQ(q.pop().kind, EventKind::kCompletion);
+  EXPECT_EQ(q.pop().kind, EventKind::kRelease);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(at(1, 0));
+  q.push(at(2, 0));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueDeathTest, PopFromEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH((void)q.pop(), "empty event queue");
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push(at(10, kReleasePhase));
+  q.push(at(5, kReleasePhase));
+  EXPECT_EQ(q.pop().time, 5);
+  q.push(at(7, kReleasePhase));
+  q.push(at(12, kReleasePhase));
+  EXPECT_EQ(q.pop().time, 7);
+  EXPECT_EQ(q.pop().time, 10);
+  EXPECT_EQ(q.pop().time, 12);
+}
+
+}  // namespace
+}  // namespace e2e

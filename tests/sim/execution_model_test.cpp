@@ -1,0 +1,117 @@
+#include "sim/execution_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/release_guard.h"
+#include "metrics/eer_collector.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(WcetExecution, AlwaysWorstCase) {
+  WcetExecution model;
+  EXPECT_EQ(model.sample(SubtaskRef{TaskId{0}, 0}, 0, 17), 17);
+  EXPECT_EQ(model.sample(SubtaskRef{TaskId{1}, 2}, 5, 1), 1);
+}
+
+TEST(UniformExecutionVariation, StaysWithinBounds) {
+  UniformExecutionVariation model{Rng{3}, 0.5};
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = model.sample(SubtaskRef{TaskId{0}, 0}, i, 10);
+    ASSERT_GE(d, 5);
+    ASSERT_LE(d, 10);
+  }
+}
+
+TEST(UniformExecutionVariation, NeverBelowOneTick) {
+  UniformExecutionVariation model{Rng{5}, 0.01};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_GE(model.sample(SubtaskRef{TaskId{0}, 0}, i, 1), 1);
+  }
+}
+
+TEST(UniformExecutionVariation, ActuallyVaries) {
+  UniformExecutionVariation model{Rng{7}, 0.2};
+  bool varied = false;
+  const Duration first = model.sample(SubtaskRef{TaskId{0}, 0}, 0, 100);
+  for (int i = 1; i < 50 && !varied; ++i) {
+    varied = model.sample(SubtaskRef{TaskId{0}, 0}, i, 100) != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(UniformExecutionVariationDeathTest, RejectsBadFraction) {
+  EXPECT_DEATH((UniformExecutionVariation{Rng{1}, 0.0}), "min_fraction");
+  EXPECT_DEATH((UniformExecutionVariation{Rng{1}, 1.5}), "min_fraction");
+}
+
+TEST(ExecutionVariation, EngineUsesSampledTimes) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 6, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  UniformExecutionVariation variation{Rng{11}, 0.5};
+  DirectSyncProtocol ds;
+  EerCollector eer{sys};
+  Engine engine{sys, ds, {.horizon = 1000, .execution = &variation}};
+  engine.add_sink(&eer);
+  engine.run();
+  // Average response must fall strictly below the WCET (it runs alone).
+  EXPECT_LT(eer.average_eer(TaskId{0}), 6.0);
+  EXPECT_GE(eer.eer(TaskId{0}).min(), 3.0);
+}
+
+TEST(ExecutionVariation, WcetBoundsStillHold) {
+  // The analyses assume WCET; actual executions below WCET must stay
+  // within the bounds under DS and RG.
+  const TaskSystem sys = paper::example2();
+  const AnalysisResult pm_bounds = analyze_sa_pm(sys);
+  const SaDsResult ds_bounds = analyze_sa_ds(sys);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    UniformExecutionVariation ds_variation{Rng{seed}, 0.3};
+    DirectSyncProtocol ds;
+    EerCollector ds_eer{sys};
+    Engine ds_engine{sys, ds, {.horizon = 3000, .execution = &ds_variation}};
+    ds_engine.add_sink(&ds_eer);
+    ds_engine.run();
+
+    UniformExecutionVariation rg_variation{Rng{seed + 100}, 0.3};
+    ReleaseGuardProtocol rg{sys};
+    EerCollector rg_eer{sys};
+    Engine rg_engine{sys, rg, {.horizon = 3000, .execution = &rg_variation}};
+    rg_engine.add_sink(&rg_eer);
+    rg_engine.run();
+
+    for (const Task& t : sys.tasks()) {
+      EXPECT_LE(ds_eer.worst_eer(t.id), ds_bounds.analysis.eer_bound(t.id))
+          << "DS seed " << seed << " " << t.name;
+      EXPECT_LE(rg_eer.worst_eer(t.id), pm_bounds.eer_bound(t.id))
+          << "RG seed " << seed << " " << t.name;
+      EXPECT_EQ(ds_engine.stats().precedence_violations, 0);
+      EXPECT_EQ(rg_engine.stats().precedence_violations, 0);
+    }
+  }
+}
+
+TEST(ExecutionVariation, ShortensDsAverageEer) {
+  const TaskSystem sys = paper::example2();
+  const auto average_t2 = [&](ExecutionModel* model) {
+    DirectSyncProtocol ds;
+    EerCollector eer{sys};
+    Engine engine{sys, ds, {.horizon = 6000, .execution = model}};
+    engine.add_sink(&eer);
+    engine.run();
+    return eer.average_eer(TaskId{1});
+  };
+  UniformExecutionVariation variation{Rng{13}, 0.4};
+  EXPECT_LT(average_t2(&variation), average_t2(nullptr));
+}
+
+}  // namespace
+}  // namespace e2e

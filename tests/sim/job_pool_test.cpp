@@ -1,0 +1,78 @@
+#include "sim/job_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+Job make_job(std::int64_t instance) {
+  return Job{.ref = SubtaskRef{TaskId{0}, 0}, .instance = instance};
+}
+
+TEST(JobPool, AllocateAndRead) {
+  JobPool pool;
+  const JobSlot slot = pool.allocate(make_job(7));
+  EXPECT_TRUE(pool.occupied(slot));
+  EXPECT_EQ(pool.get(slot).instance, 7);
+  EXPECT_EQ(pool.live_count(), 1u);
+}
+
+TEST(JobPool, ReleaseFreesSlot) {
+  JobPool pool;
+  const JobSlot slot = pool.allocate(make_job(1));
+  pool.release(slot);
+  EXPECT_FALSE(pool.occupied(slot));
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(JobPool, RecyclesSlots) {
+  JobPool pool;
+  const JobSlot a = pool.allocate(make_job(1));
+  pool.release(a);
+  const JobSlot b = pool.allocate(make_job(2));
+  EXPECT_EQ(a, b);  // the free list reuses the slot
+  EXPECT_EQ(pool.get(b).instance, 2);
+}
+
+TEST(JobPool, GenerationSurvivesRecycling) {
+  // A completion event for the old occupant must never validate against
+  // the new occupant: the generation is preserved across allocate() and
+  // bumped on release().
+  JobPool pool;
+  const JobSlot a = pool.allocate(make_job(1));
+  pool.get(a).generation = 41;
+  const std::uint32_t old_generation = pool.get(a).generation;
+  pool.release(a);
+  const JobSlot b = pool.allocate(make_job(2));
+  ASSERT_EQ(a, b);
+  EXPECT_GT(pool.get(b).generation, old_generation);
+}
+
+TEST(JobPool, ManyLiveJobs) {
+  JobPool pool;
+  std::vector<JobSlot> slots;
+  for (std::int64_t i = 0; i < 100; ++i) slots.push_back(pool.allocate(make_job(i)));
+  EXPECT_EQ(pool.live_count(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.get(slots[static_cast<std::size_t>(i)]).instance, i);
+  }
+  for (const JobSlot s : slots) pool.release(s);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(JobPoolDeathTest, DoubleReleaseAborts) {
+  JobPool pool;
+  const JobSlot slot = pool.allocate(make_job(1));
+  pool.release(slot);
+  EXPECT_DEATH(pool.release(slot), "dead job slot");
+}
+
+TEST(JobPoolDeathTest, GetAfterReleaseAborts) {
+  JobPool pool;
+  const JobSlot slot = pool.allocate(make_job(1));
+  pool.release(slot);
+  EXPECT_DEATH((void)pool.get(slot), "dead job slot");
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,142 @@
+// Non-preemptible subtasks: engine behaviour and blocking-aware analysis
+// (the paper's Section 6 defers non-preemptivity; this is our extension).
+#include <gtest/gtest.h>
+
+#include "core/analysis/blocking.h"
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/direct_sync.h"
+#include "metrics/eer_collector.h"
+#include "report/gantt.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+
+namespace e2e {
+namespace {
+
+/// High-priority task (period 10, exec 2, phase 1) vs a non-preemptible
+/// low-priority task (period 10, exec 5, phase 0) on one processor.
+TaskSystem blocking_pair() {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10, .phase = 1, .name = "hi"})
+      .subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 10, .phase = 0, .name = "lo"})
+      .subtask(ProcessorId{0}, 5, Priority{1})
+      .non_preemptible();
+  return std::move(b).build();
+}
+
+TEST(NonPreemptive, RunningJobBlocksHigherPriority) {
+  const TaskSystem sys = blocking_pair();
+  DirectSyncProtocol ds;
+  GanttRecorder gantt{sys, 20};
+  Engine engine{sys, ds, {.horizon = 20}};
+  engine.add_sink(&gantt);
+  engine.run();
+  // lo starts at 0 and runs to 5 despite hi arriving at 1; hi runs 5-7.
+  const auto& lo = gantt.segments(SubtaskRef{TaskId{1}, 0});
+  ASSERT_GE(lo.size(), 1u);
+  EXPECT_EQ(lo[0], (GanttRecorder::Segment{0, 5, 0}));
+  const auto& hi = gantt.segments(SubtaskRef{TaskId{0}, 0});
+  ASSERT_GE(hi.size(), 1u);
+  EXPECT_EQ(hi[0], (GanttRecorder::Segment{5, 7, 0}));
+  EXPECT_EQ(engine.stats().preemptions, 0);
+}
+
+TEST(NonPreemptive, PreemptibleJobStillPreempted) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10, .phase = 1}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 10, .phase = 0}).subtask(ProcessorId{0}, 5, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 20}};
+  engine.run();
+  EXPECT_GT(engine.stats().preemptions, 0);
+}
+
+TEST(Blocking, TermIsLargestLowerPriorityNonPreemptibleExecMinusOne) {
+  const TaskSystem sys = blocking_pair();
+  EXPECT_EQ(blocking_term(sys, sys.subtask(SubtaskRef{TaskId{0}, 0})), 4);  // 5 - 1
+  EXPECT_EQ(blocking_term(sys, sys.subtask(SubtaskRef{TaskId{1}, 0})), 0);
+}
+
+TEST(Blocking, ZeroForFullyPreemptibleSystems) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 5, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(blocking_term(sys, sys.subtask(SubtaskRef{TaskId{0}, 0})), 0);
+  EXPECT_FALSE(has_non_preemptible_subtasks(sys));
+}
+
+TEST(Blocking, HigherPriorityNonPreemptibleDoesNotBlock) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0}).non_preemptible();
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 5, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  // The non-preemptible subtask is *higher* priority: it interferes (via
+  // the H set) rather than blocks.
+  EXPECT_EQ(blocking_term(sys, sys.subtask(SubtaskRef{TaskId{1}, 0})), 0);
+  EXPECT_TRUE(has_non_preemptible_subtasks(sys));
+}
+
+TEST(Blocking, SaPmAccountsForBlocking) {
+  const TaskSystem sys = blocking_pair();
+  const AnalysisResult r = analyze_sa_pm(sys);
+  // hi: blocking 4 + exec 2 = 6.
+  EXPECT_EQ(r.eer_bound(TaskId{0}), 6);
+}
+
+TEST(Blocking, SaPmBoundCoversWorstObservedBlocking) {
+  const TaskSystem sys = blocking_pair();
+  const AnalysisResult bounds = analyze_sa_pm(sys);
+  DirectSyncProtocol ds;
+  EerCollector eer{sys};
+  Engine engine{sys, ds, {.horizon = 400}};
+  engine.add_sink(&eer);
+  engine.run();
+  EXPECT_LE(eer.worst_eer(TaskId{0}), bounds.eer_bound(TaskId{0}));
+  // Blocking really happened: worst EER exceeds the blocking-free bound 2.
+  EXPECT_GT(eer.worst_eer(TaskId{0}), 2);
+}
+
+TEST(Blocking, SaDsAccountsForBlockingInChains) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 20, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 20, .name = "np"})
+      .subtask(ProcessorId{1}, 6, Priority{1})
+      .non_preemptible();
+  const TaskSystem sys = std::move(b).build();
+  const SaDsResult r = analyze_sa_ds(sys);
+  ASSERT_TRUE(r.converged);
+  // chain: 2 on P0, then 3 on P1 with up to 5 ticks blocking: 2+3+5 = 10.
+  EXPECT_EQ(r.analysis.eer_bound(TaskId{0}), 10);
+}
+
+TEST(Blocking, ObservedBlockingWithinSaDsBound) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 12, .name = "chain"})
+      .subtask(ProcessorId{0}, 2, Priority{0})
+      .subtask(ProcessorId{1}, 3, Priority{0});
+  b.add_task({.period = 9, .phase = 1, .name = "np"})
+      .subtask(ProcessorId{1}, 5, Priority{1})
+      .non_preemptible();
+  const TaskSystem sys = std::move(b).build();
+  const SaDsResult bounds = analyze_sa_ds(sys);
+  ASSERT_TRUE(bounds.converged);
+  DirectSyncProtocol ds;
+  EerCollector eer{sys};
+  Engine engine{sys, ds, {.horizon = 2000}};
+  engine.add_sink(&eer);
+  engine.run();
+  for (const Task& t : sys.tasks()) {
+    const Duration bound = bounds.analysis.eer_bound(t.id);
+    if (is_infinite(bound)) continue;
+    EXPECT_LE(eer.worst_eer(t.id), bound) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,153 @@
+// TraceSink contract tests: callback payloads, ordering, idle points.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/protocols/direct_sync.h"
+#include "sim/engine.h"
+#include "task/builder.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(TraceSink, DefaultImplementationsAreNoOps) {
+  // A sink overriding nothing must be usable as-is.
+  struct Passive final : TraceSink {
+  } sink;
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 50}};
+  engine.add_sink(&sink);
+  engine.run();
+  SUCCEED();
+}
+
+TEST(TraceSink, ReleasePayloadCarriesJobState) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10, .phase = 3}).subtask(ProcessorId{0}, 4, Priority{2});
+  const TaskSystem sys = std::move(b).build();
+
+  struct Checker final : TraceSink {
+    void on_release(const Job& job) override {
+      EXPECT_EQ(job.release_time, 3 + job.instance * 10);
+      EXPECT_EQ(job.remaining, 4);
+      EXPECT_EQ(job.execution_time, 4);
+      EXPECT_EQ(job.priority.level, 2);
+      EXPECT_EQ(job.processor, ProcessorId{0});
+      ++releases;
+    }
+    int releases = 0;
+  } sink;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 30}};
+  engine.add_sink(&sink);
+  engine.run();
+  EXPECT_EQ(sink.releases, 3);
+}
+
+TEST(TraceSink, CompletePayloadHasZeroRemaining) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 4, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  struct Checker final : TraceSink {
+    void on_complete(const Job& job, Time now) override {
+      EXPECT_EQ(job.remaining, 0);
+      EXPECT_EQ(now, job.release_time + 4);  // runs uncontended
+    }
+  } sink;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 30}};
+  engine.add_sink(&sink);
+  engine.run();
+}
+
+TEST(TraceSink, PreemptPayloadHasReducedRemaining) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 100, .phase = 3}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 100, .phase = 0}).subtask(ProcessorId{0}, 5, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  struct Checker final : TraceSink {
+    void on_preempt(const Job& job, Time now) override {
+      EXPECT_EQ(now, 3);
+      EXPECT_EQ(job.remaining, 2);  // ran 0-3 of its 5
+      ++preemptions;
+    }
+    int preemptions = 0;
+  } sink;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 30}};
+  engine.add_sink(&sink);
+  engine.run();
+  EXPECT_EQ(sink.preemptions, 1);
+}
+
+TEST(TraceSink, IdlePointsPerProcessor) {
+  // Two independent single-subtask tasks on different processors: every
+  // completion is an idle point on its own processor.
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 10}).subtask(ProcessorId{1}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  struct Counter final : TraceSink {
+    void on_idle_point(ProcessorId p, Time) override {
+      counts[static_cast<std::size_t>(p.value())]++;
+    }
+    std::array<int, 2> counts{};
+  } sink;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 35}};
+  engine.add_sink(&sink);
+  engine.run();
+  EXPECT_EQ(sink.counts[0], 4);  // completions at 2, 12, 22, 32
+  EXPECT_EQ(sink.counts[1], 4);  // completions at 3, 13, 23, 33
+  EXPECT_EQ(engine.stats().idle_points, 8);
+}
+
+TEST(TraceSink, BusyCompletionIsNotAnIdlePoint) {
+  // Two tasks on one processor with overlapping executions: the first
+  // completion happens while the second job is pending, so only the
+  // second completion is an idle point.
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 100, .phase = 0}).subtask(ProcessorId{0}, 2, Priority{0});
+  b.add_task({.period = 100, .phase = 1}).subtask(ProcessorId{0}, 2, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  struct Collector final : TraceSink {
+    void on_idle_point(ProcessorId, Time now) override { points.push_back(now); }
+    std::vector<Time> points;
+  } sink;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 50}};
+  engine.add_sink(&sink);
+  engine.run();
+  EXPECT_EQ(sink.points, (std::vector<Time>{4}));
+}
+
+TEST(TraceSink, MultipleSinksAllNotified) {
+  const TaskSystem sys = paper::example2();
+  struct Counter final : TraceSink {
+    void on_complete(const Job&, Time) override { ++completions; }
+    int completions = 0;
+  };
+  Counter a, b2, c;
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 24}};
+  engine.add_sink(&a);
+  engine.add_sink(&b2);
+  engine.add_sink(&c);
+  engine.run();
+  EXPECT_GT(a.completions, 0);
+  EXPECT_EQ(a.completions, b2.completions);
+  EXPECT_EQ(a.completions, c.completions);
+}
+
+TEST(TraceSinkDeathTest, NullSinkRejected) {
+  const TaskSystem sys = paper::example2();
+  DirectSyncProtocol ds;
+  Engine engine{sys, ds, {.horizon = 10}};
+  EXPECT_DEATH(engine.add_sink(nullptr), "null trace sink");
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,179 @@
+#include "tests/support/reference_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e::test_support {
+namespace {
+
+struct LiveJob {
+  SubtaskRef ref;
+  std::int64_t instance = 0;
+  Time release_time = 0;
+  Duration remaining = 0;
+  bool started = false;
+  bool preemptible = true;
+  std::int32_t priority_level = 0;
+};
+
+struct GuardState {
+  Time guard = 0;
+  std::deque<std::int64_t> held;
+};
+
+}  // namespace
+
+std::vector<ReferenceEvent> reference_schedule(const TaskSystem& system,
+                                               ReferenceProtocol protocol,
+                                               Time horizon) {
+  const bool rg = protocol == ReferenceProtocol::kReleaseGuard;
+
+  std::vector<ReferenceEvent> events;
+  std::vector<LiveJob> live;  // all incomplete jobs
+  std::vector<std::optional<std::size_t>> running(system.processor_count());
+
+  // Per-task next arrival; per-subtask counters and guards.
+  std::vector<Time> next_arrival(system.task_count());
+  std::vector<std::int64_t> next_arrival_instance(system.task_count(), 0);
+  std::map<SubtaskRef, GuardState> guards;
+  for (const Task& t : system.tasks()) next_arrival[t.id.index()] = t.phase;
+
+  const auto release_job = [&](SubtaskRef ref, std::int64_t instance, Time now) {
+    const Subtask& s = system.subtask(ref);
+    live.push_back(LiveJob{.ref = ref,
+                           .instance = instance,
+                           .release_time = now,
+                           .remaining = s.execution_time,
+                           .preemptible = s.preemptible,
+                           .priority_level = s.priority.level});
+    events.push_back(ReferenceEvent{"release", now, ref, instance});
+    if (rg) {
+      guards[ref].guard = now + system.task(ref.task).period;  // rule 1
+    }
+  };
+
+  const auto idle_at = [&](ProcessorId p, Time now) {
+    return std::none_of(live.begin(), live.end(), [&](const LiveJob& j) {
+      return system.subtask(j.ref).processor == p && j.release_time < now;
+    });
+  };
+
+  for (Time t = 0; t <= horizon; ++t) {
+    // Phase 0a: completions of jobs that ran out of work at this tick.
+    std::vector<LiveJob> completed;
+    for (std::size_t p = 0; p < running.size(); ++p) {
+      if (!running[p].has_value()) continue;
+      const std::size_t idx = *running[p];
+      if (live[idx].remaining == 0) {
+        completed.push_back(live[idx]);
+        events.push_back(
+            ReferenceEvent{"complete", t, live[idx].ref, live[idx].instance});
+        // Erase from `live`; fix up running indices.
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        for (auto& slot : running) {
+          if (slot.has_value() && *slot > idx) --*slot;
+        }
+        running[p].reset();
+      }
+    }
+
+    // Phase 0b: synchronization signals from the completions.
+    std::vector<std::pair<SubtaskRef, std::int64_t>> to_release;
+    for (const LiveJob& job : completed) {
+      const Task& task = system.task(job.ref.task);
+      if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) continue;
+      const SubtaskRef succ{job.ref.task, job.ref.index + 1};
+      if (!rg) {
+        to_release.emplace_back(succ, job.instance);
+        continue;
+      }
+      GuardState& gs = guards[succ];
+      const ProcessorId succ_p = system.subtask(succ).processor;
+      if (gs.held.empty() && (t >= gs.guard || idle_at(succ_p, t))) {
+        gs.guard = t;  // rule 2 at signal arrival (no-op when t >= guard)
+        to_release.emplace_back(succ, job.instance);
+        gs.guard = t + task.period;  // eager rule 1 (engine parity)
+      } else {
+        gs.held.push_back(job.instance);
+      }
+    }
+
+    // Phase 0c: idle points on processors that completed something: rule 2
+    // releases the front held instance of every held subtask there.
+    if (rg) {
+      for (const LiveJob& job : completed) {
+        const ProcessorId p = system.subtask(job.ref).processor;
+        if (!idle_at(p, t)) continue;
+        for (const SubtaskRef ref : system.subtasks_on(p)) {
+          auto it = guards.find(ref);
+          if (it == guards.end() || it->second.held.empty()) continue;
+          const std::int64_t instance = it->second.held.front();
+          it->second.held.pop_front();
+          to_release.emplace_back(ref, instance);
+          it->second.guard = t + system.task(ref.task).period;
+        }
+      }
+      // Phase 1: guard expiry releases the front held instance.
+      for (auto& [ref, gs] : guards) {
+        if (gs.held.empty() || t < gs.guard) continue;
+        const std::int64_t instance = gs.held.front();
+        gs.held.pop_front();
+        to_release.emplace_back(ref, instance);
+        gs.guard = t + system.task(ref.task).period;
+      }
+    }
+
+    // Phase 2: arrivals, then protocol-triggered releases.
+    for (const Task& task : system.tasks()) {
+      if (next_arrival[task.id.index()] == t) {
+        release_job(task.first_subtask().ref, next_arrival_instance[task.id.index()],
+                    t);
+        ++next_arrival_instance[task.id.index()];
+        next_arrival[task.id.index()] += task.period;
+      }
+    }
+    for (const auto& [ref, instance] : to_release) release_job(ref, instance, t);
+
+    if (t == horizon) break;
+
+    // Dispatch for [t, t+1): keep a started non-preemptible job, else run
+    // the highest-priority live job (FIFO among instances of one subtask).
+    for (std::size_t p = 0; p < running.size(); ++p) {
+      const ProcessorId proc{static_cast<std::int32_t>(p)};
+      if (running[p].has_value()) {
+        const LiveJob& current = live[*running[p]];
+        if (!current.preemptible && current.started) {
+          // continues
+        } else {
+          running[p].reset();
+        }
+      }
+      if (!running[p].has_value()) {
+        std::optional<std::size_t> best;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (system.subtask(live[i].ref).processor != proc) continue;
+          if (!best.has_value()) {
+            best = i;
+            continue;
+          }
+          const LiveJob& a = live[i];
+          const LiveJob& b = live[*best];
+          if (std::tuple(a.priority_level, a.release_time, a.instance) <
+              std::tuple(b.priority_level, b.release_time, b.instance)) {
+            best = i;
+          }
+        }
+        running[p] = best;
+      }
+      if (running[p].has_value()) {
+        live[*running[p]].started = true;
+        --live[*running[p]].remaining;
+        E2E_ASSERT(live[*running[p]].remaining >= 0, "negative remaining");
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace e2e::test_support

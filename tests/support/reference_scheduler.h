@@ -1,0 +1,43 @@
+// A deliberately naive tick-by-tick reference scheduler, used only by the
+// differential tests: it advances time one tick at a time and re-evaluates
+// the full scheduling rule at every tick. O(horizon * jobs) and obviously
+// correct by inspection -- the event-driven Engine must produce the exact
+// same schedule.
+//
+// Supported semantics (matching the Engine): fixed-priority preemptive
+// per-processor scheduling with FIFO tie-break by (release, sequence),
+// non-preemptible subtasks, periodic arrivals, and the DS / RG release
+// rules (the protocols whose logic lives in completion/idle events).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "task/system.h"
+
+namespace e2e::test_support {
+
+enum class ReferenceProtocol { kDirectSync, kReleaseGuard };
+
+struct ReferenceEvent {
+  std::string kind;  // "release" | "complete"
+  Time time;
+  SubtaskRef ref;
+  std::int64_t instance;
+
+  friend bool operator==(const ReferenceEvent&, const ReferenceEvent&) = default;
+};
+
+/// Simulates `system` tick by tick until `horizon` and returns the
+/// release/completion event list in time order (ties: releases ordered by
+/// task then index; completions before releases at the same tick,
+/// mirroring the engine's phase rule).
+[[nodiscard]] std::vector<ReferenceEvent> reference_schedule(const TaskSystem& system,
+                                                             ReferenceProtocol protocol,
+                                                             Time horizon);
+
+}  // namespace e2e::test_support

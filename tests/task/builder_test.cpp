@@ -1,0 +1,100 @@
+#include "task/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+TEST(Builder, BuildsAMinimalSystem) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 10}).subtask(ProcessorId{0}, 3, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.processor_count(), 1u);
+  EXPECT_EQ(sys.task_count(), 1u);
+  EXPECT_EQ(sys.subtask_count(), 1u);
+  EXPECT_EQ(sys.task(TaskId{0}).period, 10);
+}
+
+TEST(Builder, DeadlineDefaultsToPeriod) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 42}).subtask(ProcessorId{0}, 1, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.task(TaskId{0}).relative_deadline, 42);
+}
+
+TEST(Builder, ExplicitDeadlineKept) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 42, .deadline = 30}).subtask(ProcessorId{0}, 1, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.task(TaskId{0}).relative_deadline, 30);
+}
+
+TEST(Builder, DefaultNamesAreGenerated) {
+  TaskSystemBuilder b{2};
+  b.add_task({.period = 10})
+      .subtask(ProcessorId{0}, 1, Priority{0})
+      .subtask(ProcessorId{1}, 1, Priority{0});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.task(TaskId{0}).name, "T1");
+  EXPECT_EQ(sys.subtask(SubtaskRef{TaskId{0}, 0}).name, "T1,1");
+  EXPECT_EQ(sys.subtask(SubtaskRef{TaskId{0}, 1}).name, "T1,2");
+}
+
+TEST(Builder, RejectsZeroProcessors) {
+  EXPECT_THROW(TaskSystemBuilder{0}, InvalidArgument);
+}
+
+TEST(Builder, RejectsNonPositivePeriod) {
+  TaskSystemBuilder b{1};
+  EXPECT_THROW(b.add_task({.period = 0}), InvalidArgument);
+  EXPECT_THROW(b.add_task({.period = -5}), InvalidArgument);
+}
+
+TEST(Builder, RejectsNegativePhase) {
+  TaskSystemBuilder b{1};
+  EXPECT_THROW(b.add_task({.period = 5, .phase = -1}), InvalidArgument);
+}
+
+TEST(Builder, RejectsNonPositiveExecutionTime) {
+  TaskSystemBuilder b{1};
+  auto t = b.add_task({.period = 5});
+  EXPECT_THROW(t.subtask(ProcessorId{0}, 0, Priority{0}), InvalidArgument);
+}
+
+TEST(Builder, RejectsOutOfRangeProcessor) {
+  TaskSystemBuilder b{2};
+  auto t = b.add_task({.period = 5});
+  EXPECT_THROW(t.subtask(ProcessorId{2}, 1, Priority{0}), InvalidArgument);
+  EXPECT_THROW(t.subtask(ProcessorId{-1}, 1, Priority{0}), InvalidArgument);
+}
+
+TEST(Builder, RejectsEmptySystem) {
+  TaskSystemBuilder b{1};
+  EXPECT_THROW(std::move(b).build(), InvalidArgument);
+}
+
+TEST(Builder, RejectsTaskWithoutSubtasks) {
+  TaskSystemBuilder b{1};
+  b.add_task({.period = 5});
+  EXPECT_THROW(std::move(b).build(), InvalidArgument);
+}
+
+TEST(Builder, HandlesManyTasksWithStableHandles) {
+  TaskSystemBuilder b{2};
+  auto t1 = b.add_task({.period = 4});
+  auto t2 = b.add_task({.period = 6});
+  // Interleaved use of handles must target the right tasks even after the
+  // internal vector grows.
+  t1.subtask(ProcessorId{0}, 1, Priority{0});
+  t2.subtask(ProcessorId{1}, 2, Priority{0});
+  t2.subtask(ProcessorId{0}, 3, Priority{1});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.task(TaskId{0}).chain_length(), 1u);
+  EXPECT_EQ(sys.task(TaskId{1}).chain_length(), 2u);
+  EXPECT_EQ(sys.task(TaskId{1}).subtasks[1].execution_time, 3);
+}
+
+}  // namespace
+}  // namespace e2e

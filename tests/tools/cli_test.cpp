@@ -1,0 +1,139 @@
+// End-to-end tests of the `e2e` CLI, driven in-process through cli::run.
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "task/paper_examples.h"
+#include "task/serialize.h"
+
+namespace e2e {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(const std::vector<std::string>& args, const std::string& stdin_text = {}) {
+  std::istringstream in{stdin_text};
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run(args, in, out, err);
+  return CliResult{code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const CliResult r = run_cli({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("usage: e2e"), std::string::npos);
+  EXPECT_NE(r.out.find("analyze"), std::string::npos);
+}
+
+TEST(Cli, NoCommandIsAnError) {
+  const CliResult r = run_cli({});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsAnError) {
+  const CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, Example2EmitsParsableSystem) {
+  const CliResult r = run_cli({"example2"});
+  EXPECT_EQ(r.exit_code, 0);
+  const TaskSystem sys = from_text(r.out);  // round-trips
+  EXPECT_EQ(sys.task_count(), 3u);
+}
+
+TEST(Cli, AnalyzeExample2FromStdin) {
+  const CliResult r = run_cli({"analyze"}, to_text(paper::example2()));
+  // Example 2 is not fully schedulable (T2's bound 7 > 6): exit code 1.
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("bound PM/MPM/RG"), std::string::npos);
+  EXPECT_NE(r.out.find("T3"), std::string::npos);
+  EXPECT_NE(r.out.find("NO"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsGarbage) {
+  const CliResult r = run_cli({"analyze"}, "not a system\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("header"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsMissingFile) {
+  const CliResult r = run_cli({"analyze", "/nonexistent/system.txt"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, SimulateDefaultsToRg) {
+  const CliResult r = run_cli({"simulate"}, to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("protocol RG"), std::string::npos);
+  EXPECT_NE(r.out.find("avg EER"), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsUnknownProtocol) {
+  const CliResult r =
+      run_cli({"simulate", "--protocol=EDF"}, to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown protocol"), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsTypoedOption) {
+  const CliResult r =
+      run_cli({"simulate", "--horizn=10"}, to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, SimulateWithGantt) {
+  const CliResult r = run_cli({"simulate", "--protocol=DS", "--horizon=24", "--gantt"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("P1:"), std::string::npos);
+  EXPECT_NE(r.out.find('#'), std::string::npos);
+}
+
+TEST(Cli, SimulateTraceEmitsCsv) {
+  const CliResult r = run_cli({"simulate", "--trace", "--horizon=12"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("event,time,task,subtask,instance,processor"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("release,0,"), std::string::npos);
+}
+
+TEST(Cli, GenerateEmitsValidSystem) {
+  const CliResult r = run_cli(
+      {"generate", "--subtasks=3", "--utilization=50", "--tasks=6", "--seed=9"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  const TaskSystem sys = from_text(r.out);
+  EXPECT_EQ(sys.task_count(), 6u);
+  EXPECT_EQ(sys.task(TaskId{0}).chain_length(), 3u);
+}
+
+TEST(Cli, GeneratePipesIntoAnalyze) {
+  const CliResult generated = run_cli(
+      {"generate", "--subtasks=2", "--utilization=40", "--tasks=4", "--seed=3"});
+  ASSERT_EQ(generated.exit_code, 0);
+  const CliResult analyzed = run_cli({"analyze"}, generated.out);
+  EXPECT_NE(analyzed.out.find("bound PM/MPM/RG"), std::string::npos);
+}
+
+TEST(Cli, SimulateWithExecutionVariation) {
+  const CliResult r = run_cli(
+      {"simulate", "--protocol=DS", "--exec-var=0.5", "--seed=4", "--horizon=600"},
+      to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("avg EER"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace e2e

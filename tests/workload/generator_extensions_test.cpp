@@ -1,0 +1,104 @@
+// Tests for the generator's extension knobs (all default-off to preserve
+// the paper's exact recipe).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workload/generator.h"
+
+namespace e2e {
+namespace {
+
+GeneratorOptions base() {
+  return options_for({.subtasks_per_task = 4, .utilization_percent = 70});
+}
+
+TEST(GeneratorExtensions, UniformPeriodsStayInRange) {
+  Rng rng{31};
+  GeneratorOptions options = base();
+  options.period_distribution = GeneratorOptions::PeriodDistribution::kUniform;
+  const TaskSystem sys = generate_system(rng, options);
+  for (const Task& t : sys.tasks()) {
+    EXPECT_GE(t.period, 100 * options.ticks_per_unit);
+    EXPECT_LE(t.period, 10000 * options.ticks_per_unit);
+  }
+}
+
+TEST(GeneratorExtensions, UniformHasMoreMassUpHigh) {
+  // The paper prefers the exponential for its variation; sanity-check the
+  // distributions actually differ: uniform's mean period is much larger.
+  GeneratorOptions exponential = base();
+  GeneratorOptions uniform = base();
+  uniform.period_distribution = GeneratorOptions::PeriodDistribution::kUniform;
+
+  double exp_sum = 0.0;
+  double uni_sum = 0.0;
+  int count = 0;
+  Rng rng_exp{33};
+  Rng rng_uni{33};
+  for (int i = 0; i < 20; ++i) {
+    const TaskSystem e = generate_system(rng_exp, exponential);
+    const TaskSystem u = generate_system(rng_uni, uniform);
+    for (const Task& t : e.tasks()) exp_sum += static_cast<double>(t.period);
+    for (const Task& t : u.tasks()) uni_sum += static_cast<double>(t.period);
+    count += static_cast<int>(e.task_count());
+  }
+  EXPECT_GT(uni_sum / count, 1.4 * (exp_sum / count));
+}
+
+TEST(GeneratorExtensions, NonPreemptibleFractionZeroMeansAllPreemptible) {
+  Rng rng{35};
+  const TaskSystem sys = generate_system(rng, base());
+  for (const Task& t : sys.tasks()) {
+    for (const Subtask& s : t.subtasks) EXPECT_TRUE(s.preemptible);
+  }
+}
+
+TEST(GeneratorExtensions, NonPreemptibleFractionProducesRoughShare) {
+  Rng rng{37};
+  GeneratorOptions options = base();
+  options.non_preemptible_fraction = 0.5;
+  int non_preemptible = 0;
+  int total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TaskSystem sys = generate_system(rng, options);
+    for (const Task& t : sys.tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        ++total;
+        if (!s.preemptible) ++non_preemptible;
+      }
+    }
+  }
+  const double share = static_cast<double>(non_preemptible) / total;
+  EXPECT_GT(share, 0.40);
+  EXPECT_LT(share, 0.60);
+}
+
+TEST(GeneratorExtensions, ReleaseJitterFractionSetsTaskJitter) {
+  Rng rng{39};
+  GeneratorOptions options = base();
+  options.release_jitter_fraction = 0.1;
+  const TaskSystem sys = generate_system(rng, options);
+  for (const Task& t : sys.tasks()) {
+    EXPECT_EQ(t.release_jitter, static_cast<Duration>(
+                                    0.1 * static_cast<double>(t.period)));
+  }
+}
+
+TEST(GeneratorExtensions, JitterFractionZeroMeansNoJitter) {
+  Rng rng{41};
+  const TaskSystem sys = generate_system(rng, base());
+  for (const Task& t : sys.tasks()) EXPECT_EQ(t.release_jitter, 0);
+}
+
+TEST(GeneratorExtensions, RejectsBadFractions) {
+  Rng rng{43};
+  GeneratorOptions options = base();
+  options.non_preemptible_fraction = 1.5;
+  EXPECT_THROW((void)generate_system(rng, options), InvalidArgument);
+  options = base();
+  options.release_jitter_fraction = -0.1;
+  EXPECT_THROW((void)generate_system(rng, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,162 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+GeneratorOptions default_options() {
+  return options_for({.subtasks_per_task = 4, .utilization_percent = 70});
+}
+
+TEST(Generator, ShapeMatchesPaperSetting) {
+  Rng rng{1};
+  const TaskSystem sys = generate_system(rng, default_options());
+  EXPECT_EQ(sys.processor_count(), 4u);
+  EXPECT_EQ(sys.task_count(), 12u);
+  for (const Task& t : sys.tasks()) {
+    EXPECT_EQ(t.chain_length(), 4u);
+  }
+}
+
+TEST(Generator, PeriodsWithinScaledRange) {
+  Rng rng{2};
+  GeneratorOptions options = default_options();
+  const TaskSystem sys = generate_system(rng, options);
+  for (const Task& t : sys.tasks()) {
+    EXPECT_GE(t.period, 100 * options.ticks_per_unit);
+    EXPECT_LE(t.period, 10000 * options.ticks_per_unit);
+  }
+}
+
+TEST(Generator, NoConsecutiveSiblingsShareAProcessor) {
+  Rng rng{3};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskSystem sys = generate_system(rng, default_options());
+    for (const Task& t : sys.tasks()) {
+      for (std::size_t j = 1; j < t.subtasks.size(); ++j) {
+        EXPECT_NE(t.subtasks[j].processor, t.subtasks[j - 1].processor);
+      }
+    }
+  }
+}
+
+TEST(Generator, ProcessorUtilizationsHitTarget) {
+  Rng rng{4};
+  GeneratorOptions options = default_options();
+  const TaskSystem sys = generate_system(rng, options);
+  for (std::size_t p = 0; p < sys.processor_count(); ++p) {
+    const double u =
+        sys.processor_utilization(ProcessorId{static_cast<std::int32_t>(p)});
+    // Integer rounding of execution times distorts U by O(1/ticks).
+    EXPECT_NEAR(u, options.utilization, 1e-3);
+  }
+}
+
+TEST(Generator, EveryProcessorHosts) {
+  Rng rng{5};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskSystem sys = generate_system(rng, default_options());
+    for (std::size_t p = 0; p < sys.processor_count(); ++p) {
+      EXPECT_FALSE(
+          sys.subtasks_on(ProcessorId{static_cast<std::int32_t>(p)}).empty());
+    }
+  }
+}
+
+TEST(Generator, PhasesWithinPeriod) {
+  Rng rng{6};
+  const TaskSystem sys = generate_system(rng, default_options());
+  for (const Task& t : sys.tasks()) {
+    EXPECT_GE(t.phase, 0);
+    EXPECT_LT(t.phase, t.period);
+  }
+}
+
+TEST(Generator, ZeroPhasesWhenDisabled) {
+  Rng rng{7};
+  GeneratorOptions options = default_options();
+  options.random_phases = false;
+  const TaskSystem sys = generate_system(rng, options);
+  for (const Task& t : sys.tasks()) EXPECT_EQ(t.phase, 0);
+}
+
+TEST(Generator, DeadlineEqualsPeriod) {
+  Rng rng{8};
+  const TaskSystem sys = generate_system(rng, default_options());
+  for (const Task& t : sys.tasks()) EXPECT_EQ(t.relative_deadline, t.period);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  Rng rng1{9};
+  Rng rng2{9};
+  const TaskSystem a = generate_system(rng1, default_options());
+  const TaskSystem b = generate_system(rng2, default_options());
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    const Task& ta = a.task(TaskId{static_cast<std::int32_t>(i)});
+    const Task& tb = b.task(TaskId{static_cast<std::int32_t>(i)});
+    EXPECT_EQ(ta.period, tb.period);
+    EXPECT_EQ(ta.phase, tb.phase);
+    for (std::size_t j = 0; j < ta.subtasks.size(); ++j) {
+      EXPECT_EQ(ta.subtasks[j].processor, tb.subtasks[j].processor);
+      EXPECT_EQ(ta.subtasks[j].execution_time, tb.subtasks[j].execution_time);
+      EXPECT_EQ(ta.subtasks[j].priority, tb.subtasks[j].priority);
+    }
+  }
+}
+
+TEST(Generator, PrioritiesAreDensePerProcessor) {
+  Rng rng{10};
+  const TaskSystem sys = generate_system(rng, default_options());
+  for (std::size_t p = 0; p < sys.processor_count(); ++p) {
+    const auto refs = sys.subtasks_on(ProcessorId{static_cast<std::int32_t>(p)});
+    std::vector<bool> seen(refs.size(), false);
+    for (const SubtaskRef ref : refs) {
+      const std::int32_t level = sys.subtask(ref).priority.level;
+      ASSERT_GE(level, 0);
+      ASSERT_LT(static_cast<std::size_t>(level), refs.size());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(level)]) << "duplicate level";
+      seen[static_cast<std::size_t>(level)] = true;
+    }
+  }
+}
+
+TEST(Generator, RejectsBadOptions) {
+  Rng rng{11};
+  GeneratorOptions o = default_options();
+  o.utilization = 0.0;
+  EXPECT_THROW((void)generate_system(rng, o), InvalidArgument);
+  o = default_options();
+  o.utilization = 1.5;
+  EXPECT_THROW((void)generate_system(rng, o), InvalidArgument);
+  o = default_options();
+  o.processors = 1;  // chains of length 4 cannot alternate on 1 processor
+  EXPECT_THROW((void)generate_system(rng, o), InvalidArgument);
+  o = default_options();
+  o.period_min = -1.0;
+  EXPECT_THROW((void)generate_system(rng, o), InvalidArgument);
+}
+
+TEST(Generator, GridHas35Configurations) {
+  const auto grid = paper_configurations();
+  EXPECT_EQ(grid.size(), 35u);
+  EXPECT_EQ(grid.front().subtasks_per_task, 2);
+  EXPECT_EQ(grid.front().utilization_percent, 50);
+  EXPECT_EQ(grid.back().subtasks_per_task, 8);
+  EXPECT_EQ(grid.back().utilization_percent, 90);
+}
+
+TEST(Generator, OptionsForMapsConfiguration) {
+  const GeneratorOptions o = options_for({.subtasks_per_task = 6,
+                                          .utilization_percent = 80});
+  EXPECT_EQ(o.subtasks_per_task, 6u);
+  EXPECT_DOUBLE_EQ(o.utilization, 0.8);
+  EXPECT_EQ(o.processors, 4u);
+  EXPECT_EQ(o.tasks, 12u);
+}
+
+}  // namespace
+}  // namespace e2e

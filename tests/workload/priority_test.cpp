@@ -1,0 +1,95 @@
+#include "workload/priority_assignment.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+SubtaskDraft draft(int task, int index, int processor, Duration exec,
+                   Duration period, Duration total_exec, std::size_t chain = 2) {
+  return SubtaskDraft{
+      .ref = SubtaskRef{TaskId{task}, index},
+      .processor = ProcessorId{processor},
+      .execution_time = exec,
+      .task_period = period,
+      .task_deadline = period,
+      .task_total_execution = total_exec,
+      .chain_length = chain,
+  };
+}
+
+TEST(ProportionalDeadline, Formula) {
+  // PD = (e / total_e) * D: 2/8 * 40 = 10.
+  EXPECT_DOUBLE_EQ(proportional_deadline(draft(0, 0, 0, 2, 40, 8)), 10.0);
+}
+
+TEST(AssignPriorities, PdmShorterProportionalDeadlineWins) {
+  // Same processor: PD_a = (4/8)*16 = 8; PD_b = (2/10)*100 = 20.
+  std::vector<SubtaskDraft> drafts = {draft(0, 0, 0, 4, 16, 8),
+                                      draft(1, 0, 0, 2, 100, 10)};
+  assign_priorities(drafts, 1, PriorityPolicy::kProportionalDeadlineMonotonic);
+  EXPECT_EQ(drafts[0].priority.level, 0);
+  EXPECT_EQ(drafts[1].priority.level, 1);
+}
+
+TEST(AssignPriorities, RateMonotonicShorterPeriodWins) {
+  std::vector<SubtaskDraft> drafts = {draft(0, 0, 0, 4, 100, 8),
+                                      draft(1, 0, 0, 2, 10, 10)};
+  assign_priorities(drafts, 1, PriorityPolicy::kRateMonotonic);
+  EXPECT_EQ(drafts[0].priority.level, 1);
+  EXPECT_EQ(drafts[1].priority.level, 0);
+}
+
+TEST(AssignPriorities, DeadlineMonotonicUsesTaskDeadline) {
+  std::vector<SubtaskDraft> drafts = {draft(0, 0, 0, 4, 100, 8),
+                                      draft(1, 0, 0, 2, 10, 10)};
+  drafts[0].task_deadline = 5;  // shorter deadline despite longer period
+  assign_priorities(drafts, 1, PriorityPolicy::kDeadlineMonotonic);
+  EXPECT_EQ(drafts[0].priority.level, 0);
+  EXPECT_EQ(drafts[1].priority.level, 1);
+}
+
+TEST(AssignPriorities, EqualSliceDividesDeadlineByChainLength) {
+  // a: D/n = 100/10 = 10; b: 60/2 = 30.
+  std::vector<SubtaskDraft> drafts = {draft(0, 0, 0, 4, 100, 8, 10),
+                                      draft(1, 0, 0, 2, 60, 10, 2)};
+  assign_priorities(drafts, 1, PriorityPolicy::kEqualSliceDeadline);
+  EXPECT_EQ(drafts[0].priority.level, 0);
+  EXPECT_EQ(drafts[1].priority.level, 1);
+}
+
+TEST(AssignPriorities, IndependentPerProcessor) {
+  std::vector<SubtaskDraft> drafts = {draft(0, 0, 0, 4, 16, 8),
+                                      draft(1, 0, 1, 2, 100, 10)};
+  assign_priorities(drafts, 2, PriorityPolicy::kProportionalDeadlineMonotonic);
+  // Each is alone on its processor: both get level 0.
+  EXPECT_EQ(drafts[0].priority.level, 0);
+  EXPECT_EQ(drafts[1].priority.level, 0);
+}
+
+TEST(AssignPriorities, TieBrokenByTaskThenIndex) {
+  // Identical PD keys; task 0 must end up higher.
+  std::vector<SubtaskDraft> drafts = {draft(1, 0, 0, 2, 10, 2, 1),
+                                      draft(0, 0, 0, 2, 10, 2, 1)};
+  assign_priorities(drafts, 1, PriorityPolicy::kProportionalDeadlineMonotonic);
+  EXPECT_EQ(drafts[0].priority.level, 1);  // task 1
+  EXPECT_EQ(drafts[1].priority.level, 0);  // task 0
+}
+
+TEST(AssignPriorities, LevelsAreDense) {
+  std::vector<SubtaskDraft> drafts;
+  for (int i = 0; i < 6; ++i) {
+    drafts.push_back(draft(i, 0, 0, 1 + i, 10 * (i + 1), 10));
+  }
+  assign_priorities(drafts, 1, PriorityPolicy::kProportionalDeadlineMonotonic);
+  std::vector<bool> seen(drafts.size(), false);
+  for (const SubtaskDraft& d : drafts) {
+    ASSERT_GE(d.priority.level, 0);
+    ASSERT_LT(static_cast<std::size_t>(d.priority.level), drafts.size());
+    seen[static_cast<std::size_t>(d.priority.level)] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace e2e

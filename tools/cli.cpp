@@ -1,0 +1,178 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "core/analysis/utilization.h"
+#include "core/protocols/factory.h"
+#include "metrics/eer_collector.h"
+#include "report/gantt.h"
+#include "report/table.h"
+#include "report/trace_log.h"
+#include "sim/engine.h"
+#include "sim/execution_model.h"
+#include "task/paper_examples.h"
+#include "task/serialize.h"
+#include "workload/generator.h"
+
+namespace e2e::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: e2e <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  analyze  [file]      worst-case EER bounds and verdicts per protocol\n"
+    "  simulate [file]      simulate; --protocol=DS|PM|MPM|RG --horizon=N\n"
+    "                       --gantt[=ticks/col] --trace --exec-var=F --seed=N\n"
+    "  generate             random paper-style system; --subtasks=N\n"
+    "                       --utilization=PCT --tasks=N --processors=N\n"
+    "                       --seed=N --ticks=N\n"
+    "  example2             print the paper's Example 2 system description\n"
+    "  help                 this text\n"
+    "\n"
+    "analyze/simulate read the system from [file] or stdin (see\n"
+    "'e2e example2' for the format).\n";
+
+TaskSystem load_system(const ArgParser& args, std::istream& in) {
+  const std::string path = args.positional(1);
+  if (path.empty() || path == "-") return read_system(in);
+  std::ifstream file{path};
+  if (!file) throw InvalidArgument("cannot open '" + path + "'");
+  return read_system(file);
+}
+
+ProtocolKind parse_protocol(const std::string& name) {
+  for (const ProtocolKind kind : kAllProtocolKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw InvalidArgument("unknown protocol '" + name + "' (DS, PM, MPM, RG)");
+}
+
+int cmd_analyze(const ArgParser& args, std::istream& in, std::ostream& out) {
+  args.expect_known({});
+  const TaskSystem system = load_system(args, in);
+
+  const UtilizationReport utilization = utilization_report(system);
+  out << "processors: " << system.processor_count()
+      << ", tasks: " << system.task_count()
+      << ", subtasks: " << system.subtask_count()
+      << ", max utilization: " << TextTable::fmt(utilization.max, 3) << "\n\n";
+  if (!utilization.feasible()) {
+    out << "a processor exceeds 100% utilization; unschedulable under any "
+           "protocol\n";
+    return 2;
+  }
+
+  const AnalysisResult pm = analyze_sa_pm(system);
+  const SaDsResult ds = analyze_sa_ds(system);
+  TextTable table({"task", "deadline", "bound PM/MPM/RG", "ok?", "bound DS", "ok?"});
+  for (const Task& t : system.tasks()) {
+    table.add_row({t.name, std::to_string(t.relative_deadline),
+                   TextTable::fmt_or_inf(pm.eer_bound(t.id), kTimeInfinity),
+                   pm.task_schedulable[t.id.index()] ? "yes" : "NO",
+                   TextTable::fmt_or_inf(ds.analysis.eer_bound(t.id), kTimeInfinity),
+                   ds.analysis.task_schedulable[t.id.index()] ? "yes" : "NO"});
+  }
+  out << table.to_string();
+  return pm.system_schedulable() ? 0 : 1;
+}
+
+int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out) {
+  args.expect_known({"protocol", "horizon", "gantt", "trace", "exec-var", "seed"});
+  const TaskSystem system = load_system(args, in);
+
+  const ProtocolKind kind = parse_protocol(args.value_string("protocol", "RG"));
+  const Time horizon = args.value_int(
+      "horizon", static_cast<Time>(30.0 * static_cast<double>(system.max_period())));
+
+  const auto protocol = make_protocol(kind, system);
+  EerCollector eer{system};
+  GanttRecorder gantt{system, args.has("gantt") ? horizon : 1};
+
+  std::unique_ptr<UniformExecutionVariation> variation;
+  if (args.has("exec-var")) {
+    variation = std::make_unique<UniformExecutionVariation>(
+        Rng{static_cast<std::uint64_t>(args.value_int("seed", 1))},
+        args.value_double("exec-var", 1.0));
+  }
+
+  Engine engine{system, *protocol,
+                {.horizon = horizon, .execution = variation.get()}};
+  engine.add_sink(&eer);
+  if (args.has("gantt")) engine.add_sink(&gantt);
+  std::unique_ptr<TraceLogger> trace;
+  if (args.has("trace")) {
+    trace = std::make_unique<TraceLogger>(out, system);
+    engine.add_sink(trace.get());
+  }
+  engine.run();
+
+  if (trace) return 0;  // the CSV is the output
+
+  out << "protocol " << to_string(kind) << ", horizon " << horizon << "\n\n";
+  TextTable table({"task", "instances", "avg EER", "worst EER", "deadline"});
+  for (const Task& t : system.tasks()) {
+    table.add_row({t.name, std::to_string(eer.completed_instances(t.id)),
+                   TextTable::fmt(eer.average_eer(t.id), 2),
+                   std::to_string(eer.worst_eer(t.id)),
+                   std::to_string(t.relative_deadline)});
+  }
+  out << table.to_string() << "\nend-to-end deadline misses: "
+      << engine.stats().deadline_misses
+      << ", preemptions: " << engine.stats().preemptions
+      << ", events: " << engine.stats().events_processed << "\n";
+  if (args.has("gantt")) {
+    out << "\n" << gantt.render(std::max<Time>(1, args.value_int("gantt", 1)));
+  }
+  return 0;
+}
+
+int cmd_generate(const ArgParser& args, std::ostream& out) {
+  args.expect_known({"subtasks", "utilization", "tasks", "processors", "seed",
+                     "ticks"});
+  GeneratorOptions options;
+  options.subtasks_per_task =
+      static_cast<std::size_t>(args.value_int("subtasks", 4));
+  options.utilization = args.value_double("utilization", 60.0) / 100.0;
+  options.tasks = static_cast<std::size_t>(args.value_int("tasks", 12));
+  options.processors = static_cast<std::size_t>(args.value_int("processors", 4));
+  options.ticks_per_unit = args.value_int("ticks", 1000);
+  Rng rng{static_cast<std::uint64_t>(args.value_int("seed", 20260706))};
+  write_system(out, generate_system(rng, options));
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args_vector, std::istream& in,
+        std::ostream& out, std::ostream& err) {
+  try {
+    const ArgParser args{args_vector};
+    const std::string command = args.positional(0);
+    if (command.empty() || command == "help") {
+      out << kUsage;
+      return command.empty() ? 1 : 0;
+    }
+    if (command == "analyze") return cmd_analyze(args, in, out);
+    if (command == "simulate") return cmd_simulate(args, in, out);
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "example2") {
+      write_system(out, paper::example2());
+      return 0;
+    }
+    err << "e2e: unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const InvalidArgument& e) {
+    err << "e2e: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace e2e::cli

@@ -1,0 +1,30 @@
+// The `e2e` command-line tool, as a library so tests can drive it
+// in-process. Subcommands:
+//
+//   e2e analyze  [file]                     bounds + verdicts (stdin if no file)
+//   e2e simulate [file] --protocol=RG ...   metrics, optional gantt/trace
+//   e2e generate --subtasks=N --utilization=U ...   emit a random system
+//   e2e example2                            emit the paper's Example 2
+//   e2e help                                usage
+//
+// `simulate` options: --protocol=DS|PM|MPM|RG (default RG),
+// --horizon=<ticks> (default 30 max-periods), --gantt[=<ticks/col>],
+// --trace (CSV event log to stdout), --exec-var=<min fraction>,
+// --seed=<n>.
+// `generate` options: --subtasks, --utilization (percent), --tasks,
+// --processors, --seed, --ticks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace e2e::cli {
+
+/// Runs one invocation: `args` are argv[1..]; `in` feeds commands that
+/// read a system when no file operand is given; results go to `out`,
+/// diagnostics to `err`. Returns the process exit code.
+int run(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace e2e::cli

@@ -1,0 +1,12 @@
+// Entry point of the `e2e` command-line tool (see cli.h).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return e2e::cli::run(args, std::cin, std::cout, std::cerr);
+}
