@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hopa.dir/bench_hopa.cpp.o"
+  "CMakeFiles/bench_hopa.dir/bench_hopa.cpp.o.d"
+  "bench_hopa"
+  "bench_hopa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hopa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

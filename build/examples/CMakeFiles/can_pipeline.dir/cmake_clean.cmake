@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_pipeline.dir/can_pipeline.cpp.o"
+  "CMakeFiles/can_pipeline.dir/can_pipeline.cpp.o.d"
+  "can_pipeline"
+  "can_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_study.dir/jitter_study.cpp.o"
+  "CMakeFiles/jitter_study.dir/jitter_study.cpp.o.d"
+  "jitter_study"
+  "jitter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

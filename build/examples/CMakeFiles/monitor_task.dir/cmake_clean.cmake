@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_task.dir/monitor_task.cpp.o"
+  "CMakeFiles/monitor_task.dir/monitor_task.cpp.o.d"
+  "monitor_task"
+  "monitor_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

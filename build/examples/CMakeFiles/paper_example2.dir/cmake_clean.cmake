@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_example2.dir/paper_example2.cpp.o"
+  "CMakeFiles/paper_example2.dir/paper_example2.cpp.o.d"
+  "paper_example2"
+  "paper_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_realtime.dir/soft_realtime.cpp.o"
+  "CMakeFiles/soft_realtime.dir/soft_realtime.cpp.o.d"
+  "soft_realtime"
+  "soft_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

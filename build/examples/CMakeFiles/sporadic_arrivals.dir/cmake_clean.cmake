@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sporadic_arrivals.dir/sporadic_arrivals.cpp.o"
+  "CMakeFiles/sporadic_arrivals.dir/sporadic_arrivals.cpp.o.d"
+  "sporadic_arrivals"
+  "sporadic_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sporadic_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

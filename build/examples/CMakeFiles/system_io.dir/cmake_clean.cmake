@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_io.dir/system_io.cpp.o"
+  "CMakeFiles/system_io.dir/system_io.cpp.o.d"
+  "system_io"
+  "system_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o"
+  "CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o.d"
+  "workload_sweep"
+  "workload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_common.dir/args.cpp.o"
+  "CMakeFiles/e2e_common.dir/args.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/error.cpp.o"
+  "CMakeFiles/e2e_common.dir/error.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/math.cpp.o"
+  "CMakeFiles/e2e_common.dir/math.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/rng.cpp.o"
+  "CMakeFiles/e2e_common.dir/rng.cpp.o.d"
+  "libe2e_common.a"
+  "libe2e_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

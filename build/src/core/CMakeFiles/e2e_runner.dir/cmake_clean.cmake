@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_runner.dir/runner.cpp.o"
+  "CMakeFiles/e2e_runner.dir/runner.cpp.o.d"
+  "libe2e_runner.a"
+  "libe2e_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

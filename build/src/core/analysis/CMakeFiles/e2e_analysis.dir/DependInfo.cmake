@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis/blocking.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/blocking.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/blocking.cpp.o.d"
+  "/root/repo/src/core/analysis/bounds.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/bounds.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/analysis/fixpoint.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/fixpoint.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/fixpoint.cpp.o.d"
+  "/root/repo/src/core/analysis/holistic.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/holistic.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/holistic.cpp.o.d"
+  "/root/repo/src/core/analysis/hopa.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/hopa.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/hopa.cpp.o.d"
+  "/root/repo/src/core/analysis/ieert.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/ieert.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/ieert.cpp.o.d"
+  "/root/repo/src/core/analysis/interference.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/interference.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/interference.cpp.o.d"
+  "/root/repo/src/core/analysis/reconfiguration.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/reconfiguration.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/reconfiguration.cpp.o.d"
+  "/root/repo/src/core/analysis/sa_ds.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/sa_ds.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/sa_ds.cpp.o.d"
+  "/root/repo/src/core/analysis/sa_pm.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/sa_pm.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/sa_pm.cpp.o.d"
+  "/root/repo/src/core/analysis/utilization.cpp" "src/core/analysis/CMakeFiles/e2e_analysis.dir/utilization.cpp.o" "gcc" "src/core/analysis/CMakeFiles/e2e_analysis.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/e2e_task.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_analysis.dir/blocking.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/blocking.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/fixpoint.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/fixpoint.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/holistic.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/holistic.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/hopa.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/hopa.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/ieert.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/ieert.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/interference.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/interference.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/reconfiguration.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/reconfiguration.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/sa_ds.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/sa_ds.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/sa_pm.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/sa_pm.cpp.o.d"
+  "CMakeFiles/e2e_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/e2e_analysis.dir/utilization.cpp.o.d"
+  "libe2e_analysis.a"
+  "libe2e_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

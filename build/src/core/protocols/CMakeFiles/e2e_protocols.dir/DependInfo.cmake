@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/protocols/direct_sync.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/direct_sync.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/direct_sync.cpp.o.d"
+  "/root/repo/src/core/protocols/factory.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/factory.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/factory.cpp.o.d"
+  "/root/repo/src/core/protocols/modified_pm.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/modified_pm.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/modified_pm.cpp.o.d"
+  "/root/repo/src/core/protocols/overhead_aware.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/overhead_aware.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/overhead_aware.cpp.o.d"
+  "/root/repo/src/core/protocols/phase_modification.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/phase_modification.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/phase_modification.cpp.o.d"
+  "/root/repo/src/core/protocols/release_guard.cpp" "src/core/protocols/CMakeFiles/e2e_protocols.dir/release_guard.cpp.o" "gcc" "src/core/protocols/CMakeFiles/e2e_protocols.dir/release_guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/e2e_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/analysis/CMakeFiles/e2e_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_protocols.dir/direct_sync.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/direct_sync.cpp.o.d"
+  "CMakeFiles/e2e_protocols.dir/factory.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/factory.cpp.o.d"
+  "CMakeFiles/e2e_protocols.dir/modified_pm.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/modified_pm.cpp.o.d"
+  "CMakeFiles/e2e_protocols.dir/overhead_aware.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/overhead_aware.cpp.o.d"
+  "CMakeFiles/e2e_protocols.dir/phase_modification.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/phase_modification.cpp.o.d"
+  "CMakeFiles/e2e_protocols.dir/release_guard.cpp.o"
+  "CMakeFiles/e2e_protocols.dir/release_guard.cpp.o.d"
+  "libe2e_protocols.a"
+  "libe2e_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_experiments.dir/breakdown.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/breakdown.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/env.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/env.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/exhaustive.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/figures.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/figures.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/monte_carlo.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/paper_example_report.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/paper_example_report.cpp.o.d"
+  "CMakeFiles/e2e_experiments.dir/sweep.cpp.o"
+  "CMakeFiles/e2e_experiments.dir/sweep.cpp.o.d"
+  "libe2e_experiments.a"
+  "libe2e_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

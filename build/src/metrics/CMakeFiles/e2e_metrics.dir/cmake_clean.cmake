@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_metrics.dir/eer_collector.cpp.o"
+  "CMakeFiles/e2e_metrics.dir/eer_collector.cpp.o.d"
+  "CMakeFiles/e2e_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/e2e_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/e2e_metrics.dir/schedule_hash.cpp.o"
+  "CMakeFiles/e2e_metrics.dir/schedule_hash.cpp.o.d"
+  "CMakeFiles/e2e_metrics.dir/stats.cpp.o"
+  "CMakeFiles/e2e_metrics.dir/stats.cpp.o.d"
+  "libe2e_metrics.a"
+  "libe2e_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

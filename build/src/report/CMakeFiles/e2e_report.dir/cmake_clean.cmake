@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_report.dir/csv.cpp.o"
+  "CMakeFiles/e2e_report.dir/csv.cpp.o.d"
+  "CMakeFiles/e2e_report.dir/gantt.cpp.o"
+  "CMakeFiles/e2e_report.dir/gantt.cpp.o.d"
+  "CMakeFiles/e2e_report.dir/table.cpp.o"
+  "CMakeFiles/e2e_report.dir/table.cpp.o.d"
+  "CMakeFiles/e2e_report.dir/trace_log.cpp.o"
+  "CMakeFiles/e2e_report.dir/trace_log.cpp.o.d"
+  "libe2e_report.a"
+  "libe2e_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrival.cpp" "src/sim/CMakeFiles/e2e_sim.dir/arrival.cpp.o" "gcc" "src/sim/CMakeFiles/e2e_sim.dir/arrival.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/e2e_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/e2e_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/e2e_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/e2e_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/execution_model.cpp" "src/sim/CMakeFiles/e2e_sim.dir/execution_model.cpp.o" "gcc" "src/sim/CMakeFiles/e2e_sim.dir/execution_model.cpp.o.d"
+  "/root/repo/src/sim/job_pool.cpp" "src/sim/CMakeFiles/e2e_sim.dir/job_pool.cpp.o" "gcc" "src/sim/CMakeFiles/e2e_sim.dir/job_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/e2e_task.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

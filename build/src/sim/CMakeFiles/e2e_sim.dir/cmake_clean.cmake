@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_sim.dir/arrival.cpp.o"
+  "CMakeFiles/e2e_sim.dir/arrival.cpp.o.d"
+  "CMakeFiles/e2e_sim.dir/engine.cpp.o"
+  "CMakeFiles/e2e_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/e2e_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/e2e_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/e2e_sim.dir/execution_model.cpp.o"
+  "CMakeFiles/e2e_sim.dir/execution_model.cpp.o.d"
+  "CMakeFiles/e2e_sim.dir/job_pool.cpp.o"
+  "CMakeFiles/e2e_sim.dir/job_pool.cpp.o.d"
+  "libe2e_sim.a"
+  "libe2e_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/builder.cpp" "src/task/CMakeFiles/e2e_task.dir/builder.cpp.o" "gcc" "src/task/CMakeFiles/e2e_task.dir/builder.cpp.o.d"
+  "/root/repo/src/task/paper_examples.cpp" "src/task/CMakeFiles/e2e_task.dir/paper_examples.cpp.o" "gcc" "src/task/CMakeFiles/e2e_task.dir/paper_examples.cpp.o.d"
+  "/root/repo/src/task/serialize.cpp" "src/task/CMakeFiles/e2e_task.dir/serialize.cpp.o" "gcc" "src/task/CMakeFiles/e2e_task.dir/serialize.cpp.o.d"
+  "/root/repo/src/task/system.cpp" "src/task/CMakeFiles/e2e_task.dir/system.cpp.o" "gcc" "src/task/CMakeFiles/e2e_task.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_task.dir/builder.cpp.o"
+  "CMakeFiles/e2e_task.dir/builder.cpp.o.d"
+  "CMakeFiles/e2e_task.dir/paper_examples.cpp.o"
+  "CMakeFiles/e2e_task.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/e2e_task.dir/serialize.cpp.o"
+  "CMakeFiles/e2e_task.dir/serialize.cpp.o.d"
+  "CMakeFiles/e2e_task.dir/system.cpp.o"
+  "CMakeFiles/e2e_task.dir/system.cpp.o.d"
+  "libe2e_task.a"
+  "libe2e_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

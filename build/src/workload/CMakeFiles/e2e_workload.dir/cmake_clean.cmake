@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_workload.dir/generator.cpp.o"
+  "CMakeFiles/e2e_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/e2e_workload.dir/priority_assignment.cpp.o"
+  "CMakeFiles/e2e_workload.dir/priority_assignment.cpp.o.d"
+  "CMakeFiles/e2e_workload.dir/scaling.cpp.o"
+  "CMakeFiles/e2e_workload.dir/scaling.cpp.o.d"
+  "libe2e_workload.a"
+  "libe2e_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

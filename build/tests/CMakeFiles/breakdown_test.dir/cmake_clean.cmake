@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_test.dir/integration/breakdown_test.cpp.o"
+  "CMakeFiles/breakdown_test.dir/integration/breakdown_test.cpp.o.d"
+  "breakdown_test"
+  "breakdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

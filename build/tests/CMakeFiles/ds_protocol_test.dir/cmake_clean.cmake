@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_protocol_test.dir/protocols/ds_protocol_test.cpp.o"
+  "CMakeFiles/ds_protocol_test.dir/protocols/ds_protocol_test.cpp.o.d"
+  "ds_protocol_test"
+  "ds_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eer_collector_test.dir/metrics/eer_collector_test.cpp.o"
+  "CMakeFiles/eer_collector_test.dir/metrics/eer_collector_test.cpp.o.d"
+  "eer_collector_test"
+  "eer_collector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eer_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_guard_test.cpp" "tests/CMakeFiles/engine_guard_test.dir/sim/engine_guard_test.cpp.o" "gcc" "tests/CMakeFiles/engine_guard_test.dir/sim/engine_guard_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/e2e_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/e2e_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/protocols/CMakeFiles/e2e_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/analysis/CMakeFiles/e2e_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/e2e_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/e2e_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/e2e_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/e2e_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

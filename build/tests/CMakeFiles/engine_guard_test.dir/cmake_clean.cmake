@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_guard_test.dir/sim/engine_guard_test.cpp.o"
+  "CMakeFiles/engine_guard_test.dir/sim/engine_guard_test.cpp.o.d"
+  "engine_guard_test"
+  "engine_guard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example2_integration_test.dir/integration/example2_integration_test.cpp.o"
+  "CMakeFiles/example2_integration_test.dir/integration/example2_integration_test.cpp.o.d"
+  "example2_integration_test"
+  "example2_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example2_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

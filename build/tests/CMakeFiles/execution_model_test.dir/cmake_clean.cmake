@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_model_test.dir/sim/execution_model_test.cpp.o"
+  "CMakeFiles/execution_model_test.dir/sim/execution_model_test.cpp.o.d"
+  "execution_model_test"
+  "execution_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_extensions_test.dir/workload/generator_extensions_test.cpp.o"
+  "CMakeFiles/generator_extensions_test.dir/workload/generator_extensions_test.cpp.o.d"
+  "generator_extensions_test"
+  "generator_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

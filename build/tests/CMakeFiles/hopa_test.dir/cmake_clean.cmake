@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopa_test.dir/analysis/hopa_test.cpp.o"
+  "CMakeFiles/hopa_test.dir/analysis/hopa_test.cpp.o.d"
+  "hopa_test"
+  "hopa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

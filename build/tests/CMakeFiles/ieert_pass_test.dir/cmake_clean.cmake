@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ieert_pass_test.dir/analysis/ieert_pass_test.cpp.o"
+  "CMakeFiles/ieert_pass_test.dir/analysis/ieert_pass_test.cpp.o.d"
+  "ieert_pass_test"
+  "ieert_pass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ieert_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

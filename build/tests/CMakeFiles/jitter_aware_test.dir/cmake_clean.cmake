@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_aware_test.dir/analysis/jitter_aware_test.cpp.o"
+  "CMakeFiles/jitter_aware_test.dir/analysis/jitter_aware_test.cpp.o.d"
+  "jitter_aware_test"
+  "jitter_aware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

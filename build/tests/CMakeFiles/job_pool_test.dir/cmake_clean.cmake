@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_pool_test.dir/sim/job_pool_test.cpp.o"
+  "CMakeFiles/job_pool_test.dir/sim/job_pool_test.cpp.o.d"
+  "job_pool_test"
+  "job_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpm_overrun_test.dir/protocols/mpm_overrun_test.cpp.o"
+  "CMakeFiles/mpm_overrun_test.dir/protocols/mpm_overrun_test.cpp.o.d"
+  "mpm_overrun_test"
+  "mpm_overrun_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpm_overrun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

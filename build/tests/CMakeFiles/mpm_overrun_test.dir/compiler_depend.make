@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpm_overrun_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonpreemptive_test.dir/sim/nonpreemptive_test.cpp.o"
+  "CMakeFiles/nonpreemptive_test.dir/sim/nonpreemptive_test.cpp.o.d"
+  "nonpreemptive_test"
+  "nonpreemptive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonpreemptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_aware_test.dir/protocols/overhead_aware_test.cpp.o"
+  "CMakeFiles/overhead_aware_test.dir/protocols/overhead_aware_test.cpp.o.d"
+  "overhead_aware_test"
+  "overhead_aware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_protocol_test.dir/protocols/pm_protocol_test.cpp.o"
+  "CMakeFiles/pm_protocol_test.dir/protocols/pm_protocol_test.cpp.o.d"
+  "pm_protocol_test"
+  "pm_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

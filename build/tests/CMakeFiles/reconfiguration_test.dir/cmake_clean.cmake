@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_test.dir/analysis/reconfiguration_test.cpp.o"
+  "CMakeFiles/reconfiguration_test.dir/analysis/reconfiguration_test.cpp.o.d"
+  "reconfiguration_test"
+  "reconfiguration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

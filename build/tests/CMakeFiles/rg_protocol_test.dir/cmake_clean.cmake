@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_protocol_test.dir/protocols/rg_protocol_test.cpp.o"
+  "CMakeFiles/rg_protocol_test.dir/protocols/rg_protocol_test.cpp.o.d"
+  "rg_protocol_test"
+  "rg_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_ds_test.dir/analysis/sa_ds_test.cpp.o"
+  "CMakeFiles/sa_ds_test.dir/analysis/sa_ds_test.cpp.o.d"
+  "sa_ds_test"
+  "sa_ds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_ds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_pm_test.dir/analysis/sa_pm_test.cpp.o"
+  "CMakeFiles/sa_pm_test.dir/analysis/sa_pm_test.cpp.o.d"
+  "sa_pm_test"
+  "sa_pm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_pm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

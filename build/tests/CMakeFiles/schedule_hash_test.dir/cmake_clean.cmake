@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_hash_test.dir/metrics/schedule_hash_test.cpp.o"
+  "CMakeFiles/schedule_hash_test.dir/metrics/schedule_hash_test.cpp.o.d"
+  "schedule_hash_test"
+  "schedule_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

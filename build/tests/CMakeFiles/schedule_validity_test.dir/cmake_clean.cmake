@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_validity_test.dir/integration/schedule_validity_test.cpp.o"
+  "CMakeFiles/schedule_validity_test.dir/integration/schedule_validity_test.cpp.o.d"
+  "schedule_validity_test"
+  "schedule_validity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

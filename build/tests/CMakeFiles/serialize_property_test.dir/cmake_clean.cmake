@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_property_test.dir/task/serialize_property_test.cpp.o"
+  "CMakeFiles/serialize_property_test.dir/task/serialize_property_test.cpp.o.d"
+  "serialize_property_test"
+  "serialize_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

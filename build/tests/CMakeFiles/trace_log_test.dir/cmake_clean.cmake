@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_log_test.dir/report/trace_log_test.cpp.o"
+  "CMakeFiles/trace_log_test.dir/report/trace_log_test.cpp.o.d"
+  "trace_log_test"
+  "trace_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

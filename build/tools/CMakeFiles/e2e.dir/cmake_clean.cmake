@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e.dir/main.cpp.o"
+  "CMakeFiles/e2e.dir/main.cpp.o.d"
+  "e2e"
+  "e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

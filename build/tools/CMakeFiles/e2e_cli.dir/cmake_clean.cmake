@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_cli.dir/cli.cpp.o"
+  "CMakeFiles/e2e_cli.dir/cli.cpp.o.d"
+  "libe2e_cli.a"
+  "libe2e_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
