@@ -1,0 +1,26 @@
+// Robustness: protocol degradation under injected faults (non-ideal
+// clocks, lossy sync signals, timer jitter, transient stalls). See
+// src/experiments/faults.h for the severity ladder and metrics.
+//
+// Env overrides: E2E_FAULT_SYSTEMS (systems per cell), E2E_SEED,
+// E2E_HORIZON_PERIODS, E2E_FAULT_SUBTASKS (N), E2E_FAULT_UTILIZATION (%).
+#include <iostream>
+
+#include "experiments/env.h"
+#include "experiments/faults.h"
+
+int main() {
+  e2e::FaultSweepOptions options;
+  options.systems =
+      static_cast<int>(e2e::env_int("E2E_FAULT_SYSTEMS", options.systems));
+  options.seed = static_cast<std::uint64_t>(
+      e2e::env_int("E2E_SEED", static_cast<std::int64_t>(options.seed)));
+  options.horizon_periods =
+      e2e::env_double("E2E_HORIZON_PERIODS", options.horizon_periods);
+  options.config.subtasks_per_task = static_cast<int>(
+      e2e::env_int("E2E_FAULT_SUBTASKS", options.config.subtasks_per_task));
+  options.config.utilization_percent = static_cast<int>(e2e::env_int(
+      "E2E_FAULT_UTILIZATION", options.config.utilization_percent));
+  e2e::run_fault_report(std::cout, options);
+  return 0;
+}

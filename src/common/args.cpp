@@ -81,6 +81,34 @@ std::string ArgParser::value_string(const std::string& name, std::string fallbac
   return value(name).value_or(std::move(fallback));
 }
 
+std::vector<std::pair<std::string, std::string>> split_key_values(
+    const std::string& spec) {
+  const auto trim = [](std::string s) {
+    const auto first = s.find_first_not_of(" \t");
+    const auto last = s.find_last_not_of(" \t");
+    return first == std::string::npos ? std::string{}
+                                      : s.substr(first, last - first + 1);
+  };
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', start), spec.size());
+    const std::string segment = trim(spec.substr(start, comma - start));
+    start = comma + 1;
+    if (segment.empty()) continue;
+    const std::size_t equals = segment.find('=');
+    if (equals == std::string::npos) {
+      throw InvalidArgument("expected key=value, got '" + segment + "'");
+    }
+    std::string key = trim(segment.substr(0, equals));
+    if (key.empty()) {
+      throw InvalidArgument("expected key=value, got '" + segment + "'");
+    }
+    pairs.emplace_back(std::move(key), trim(segment.substr(equals + 1)));
+  }
+  return pairs;
+}
+
 void ArgParser::expect_known(const std::vector<std::string>& known) const {
   for (const auto& [name, _] : options_) {
     if (std::find(known.begin(), known.end(), name) == known.end()) {

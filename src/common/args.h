@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace e2e {
@@ -50,5 +51,13 @@ class ArgParser {
   std::vector<std::string> positionals_;
   std::map<std::string, std::optional<std::string>> options_;
 };
+
+/// Splits a `key=value,key=value,...` spec (the argument form of
+/// compound options such as --faults) into ordered pairs. Whitespace
+/// around keys, values, and commas is trimmed; empty segments (from a
+/// trailing comma) are ignored. Throws InvalidArgument on a segment
+/// without '=' or with an empty key.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> split_key_values(
+    const std::string& spec);
 
 }  // namespace e2e

@@ -5,8 +5,18 @@ namespace e2e {
 void DirectSyncProtocol::on_job_completed(Engine& engine, const Job& job) {
   const Task& task = engine.system().task(job.ref.task);
   if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
-  engine.count_sync_signal();
-  engine.release_now(SubtaskRef{job.ref.task, job.ref.index + 1}, job.instance);
+  engine.send_sync_signal(SubtaskRef{job.ref.task, job.ref.index + 1}, job.instance);
+}
+
+void DirectSyncProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
+                                        std::int64_t instance) {
+  // Catch-up rule: completions are in-order, so a signal for instance m
+  // proves the predecessors of every instance <= m completed. Releasing
+  // the whole backlog makes lost or reordered signals recoverable; under
+  // an ideal channel the loop runs exactly once.
+  for (std::int64_t i = engine.released_instances(ref); i <= instance; ++i) {
+    engine.release_now(ref, i);
+  }
 }
 
 }  // namespace e2e

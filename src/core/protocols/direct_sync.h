@@ -20,6 +20,8 @@ class DirectSyncProtocol final : public SyncProtocol {
   [[nodiscard]] std::string_view name() const override { return "DS"; }
 
   void on_job_completed(Engine& engine, const Job& job) override;
+  void on_sync_signal(Engine& engine, SubtaskRef ref,
+                      std::int64_t instance) override;
 
   [[nodiscard]] static ProtocolTraits traits() noexcept {
     return ProtocolTraits{.interrupts_per_instance = 1,

@@ -3,6 +3,7 @@
 #include "core/analysis/sa_pm.h"
 #include "core/protocols/direct_sync.h"
 #include "core/protocols/modified_pm.h"
+#include "core/protocols/mpm_retransmit.h"
 #include "core/protocols/phase_modification.h"
 #include "core/protocols/release_guard.h"
 
@@ -18,6 +19,8 @@ std::string_view to_string(ProtocolKind kind) noexcept {
       return "MPM";
     case ProtocolKind::kReleaseGuard:
       return "RG";
+    case ProtocolKind::kModifiedPmRetransmit:
+      return "MPM-R";
   }
   return "?";
 }
@@ -32,6 +35,8 @@ ProtocolTraits traits_of(ProtocolKind kind) noexcept {
       return ModifiedPmProtocol::traits();
     case ProtocolKind::kReleaseGuard:
       return ReleaseGuardProtocol::traits();
+    case ProtocolKind::kModifiedPmRetransmit:
+      return MpmRetransmitProtocol::traits();
   }
   return {};
 }
@@ -51,6 +56,8 @@ std::unique_ptr<SyncProtocol> make_protocol(ProtocolKind kind, const TaskSystem&
       return std::make_unique<ModifiedPmProtocol>(system, bounds_or_computed());
     case ProtocolKind::kReleaseGuard:
       return std::make_unique<ReleaseGuardProtocol>(system);
+    case ProtocolKind::kModifiedPmRetransmit:
+      return std::make_unique<MpmRetransmitProtocol>(system, bounds_or_computed());
   }
   return nullptr;
 }

@@ -12,12 +12,27 @@
 
 namespace e2e {
 
-enum class ProtocolKind { kDirectSync, kPhaseModification, kModifiedPm, kReleaseGuard };
+enum class ProtocolKind {
+  kDirectSync,
+  kPhaseModification,
+  kModifiedPm,
+  kReleaseGuard,
+  /// MPM hardened for lossy channels and skewed clocks (not in the paper;
+  /// see core/protocols/mpm_retransmit.h).
+  kModifiedPmRetransmit,
+};
 
-/// All kinds, in the paper's presentation order.
+/// The paper's four protocols, in presentation order. Figure benches,
+/// examples, and paper-reproduction tests iterate exactly these.
 inline constexpr ProtocolKind kAllProtocolKinds[] = {
     ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
     ProtocolKind::kModifiedPm, ProtocolKind::kReleaseGuard};
+
+/// The paper's four plus the hardened variants (robustness experiments).
+inline constexpr ProtocolKind kExtendedProtocolKinds[] = {
+    ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
+    ProtocolKind::kModifiedPm, ProtocolKind::kReleaseGuard,
+    ProtocolKind::kModifiedPmRetransmit};
 
 [[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
 

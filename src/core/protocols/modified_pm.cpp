@@ -31,8 +31,16 @@ void ModifiedPmProtocol::on_job_released(Engine& engine, const Job& job) {
 void ModifiedPmProtocol::on_timer(Engine& engine, SubtaskRef ref,
                                   std::int64_t instance) {
   if (engine.completed_instances(ref) <= instance) ++overruns_;
-  engine.count_sync_signal();
-  engine.release_now(SubtaskRef{ref.task, ref.index + 1}, instance);
+  engine.send_sync_signal(SubtaskRef{ref.task, ref.index + 1}, instance);
+}
+
+void ModifiedPmProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
+                                        std::int64_t instance) {
+  // Catch-up rule (see DirectSyncProtocol::on_sync_signal): the loop runs
+  // exactly once under an ideal channel.
+  for (std::int64_t i = engine.released_instances(ref); i <= instance; ++i) {
+    engine.release_now(ref, i);
+  }
 }
 
 }  // namespace e2e

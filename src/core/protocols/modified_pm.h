@@ -32,6 +32,8 @@ class ModifiedPmProtocol final : public SyncProtocol {
 
   void on_job_released(Engine& engine, const Job& job) override;
   void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) override;
+  void on_sync_signal(Engine& engine, SubtaskRef ref,
+                      std::int64_t instance) override;
 
   /// Number of bound overruns observed (0 when the bounds are correct).
   [[nodiscard]] std::int64_t overruns() const noexcept { return overruns_; }

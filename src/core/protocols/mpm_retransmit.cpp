@@ -1,0 +1,94 @@
+#include "core/protocols/mpm_retransmit.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace e2e {
+
+MpmRetransmitProtocol::MpmRetransmitProtocol(const TaskSystem& system,
+                                             SubtaskTable response_bounds,
+                                             Options options)
+    : bounds_(std::move(response_bounds)), retry_timeout_(options.retry_timeout) {
+  if (retry_timeout_ < 0) {
+    throw InvalidArgument("MPM-R retry timeout must be >= 0");
+  }
+  Duration min_period = kTimeInfinity;
+  senders_.resize(system.task_count());
+  for (const Task& t : system.tasks()) {
+    senders_[t.id.index()].resize(t.subtasks.size());
+    min_period = std::min(min_period, t.period);
+    for (const Subtask& s : t.subtasks) {
+      const bool is_last =
+          s.ref.index + 1 == static_cast<std::int32_t>(t.chain_length());
+      if (!is_last && is_infinite(bounds_.at(s.ref))) {
+        throw InvalidArgument(
+            "MPM-R protocol needs a finite response-time bound for every "
+            "non-last subtask (task '" +
+            t.name + "')");
+      }
+    }
+  }
+  if (retry_timeout_ == 0) {
+    retry_timeout_ = std::max<Duration>(1, min_period / 8);
+  }
+}
+
+MpmRetransmitProtocol::SenderState& MpmRetransmitProtocol::state(SubtaskRef ref) {
+  return senders_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+}
+
+void MpmRetransmitProtocol::on_job_released(Engine& engine, const Job& job) {
+  const Task& task = engine.system().task(job.ref.task);
+  if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
+  // Bound timer at release + R_{i,j}, exactly like MPM.
+  engine.set_timer(engine.now() + bounds_.at(job.ref), job.ref, job.instance);
+}
+
+void MpmRetransmitProtocol::on_timer(Engine& engine, SubtaskRef ref,
+                                     std::int64_t instance) {
+  // One handler serves both timer roles: the initial bound timer and the
+  // retry timers it chains into.
+  const SubtaskRef succ{ref.task, ref.index + 1};
+  SenderState& st = state(ref);
+  if (st.acked_next > instance) return;  // acked: done
+
+  if (engine.completed_instances(ref) <= instance) {
+    // Completion gate: where MPM would signal anyway (and structurally
+    // violate precedence), wait and re-check. Count the overrun once.
+    if (instance >= st.overrun_next) {
+      ++overruns_;
+      st.overrun_next = instance + 1;
+    }
+    engine.set_timer(engine.now() + retry_timeout_, ref, instance);
+    return;
+  }
+
+  if (instance >= st.sent_next) {
+    st.sent_next = instance + 1;
+  } else {
+    ++retransmits_;
+  }
+  engine.send_sync_signal(succ, instance);
+  // Delivery (on_sync_signal below, which accepts the release) is the
+  // acknowledgement; its reverse path is modelled as reliable. Synchronous
+  // delivery -- the ideal channel -- acks before we get here, so no retry
+  // timer is armed and the event stream is exactly MPM's.
+  if (st.acked_next > instance) return;
+  engine.set_timer(engine.now() + retry_timeout_, ref, instance);
+}
+
+void MpmRetransmitProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
+                                           std::int64_t instance) {
+  // Catch-up rule (see DirectSyncProtocol::on_sync_signal). The ack cursor
+  // doubles as the receive cursor, so same-instant duplicate deliveries
+  // cannot double-enqueue a release.
+  SenderState& st = state(SubtaskRef{ref.task, ref.index - 1});
+  for (std::int64_t i = std::max(st.acked_next, engine.released_instances(ref));
+       i <= instance; ++i) {
+    engine.release_now(ref, i);
+  }
+  st.acked_next = std::max(st.acked_next, instance + 1);
+}
+
+}  // namespace e2e

@@ -1,5 +1,7 @@
 #include "core/protocols/release_guard.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace e2e {
@@ -44,29 +46,47 @@ void ReleaseGuardProtocol::on_job_released(Engine& engine, const Job& job) {
 void ReleaseGuardProtocol::on_job_completed(Engine& engine, const Job& job) {
   const Task& task = engine.system().task(job.ref.task);
   if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
-  engine.count_sync_signal();
+  engine.send_sync_signal(SubtaskRef{job.ref.task, job.ref.index + 1}, job.instance);
+}
 
-  const SubtaskRef succ{job.ref.task, job.ref.index + 1};
-  GuardState& gs = state(succ);
+void ReleaseGuardProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
+                                          std::int64_t instance) {
+  GuardState& gs = state(ref);
+  // Catch-up rule: a signal for instance m implies the predecessors of
+  // every instance <= m completed, so admit the whole backlog (lost or
+  // reordered signals). Duplicates fall below the cursor and are ignored.
+  // Under an ideal channel the loop runs exactly once.
+  const std::int64_t upto = instance;
+  while (gs.signaled <= upto) {
+    const std::int64_t next = gs.signaled++;
+    admit(engine, ref, next);
+  }
+}
+
+void ReleaseGuardProtocol::admit(Engine& engine, SubtaskRef ref,
+                                 std::int64_t instance) {
+  GuardState& gs = state(ref);
   const Time now = engine.now();
 
   if (gs.held.empty()) {
     if (now >= gs.guard) {
-      release(engine, succ, job.instance);
+      release(engine, ref, instance);
       return;
     }
-    // Guard rule 2 at signal arrival: if the successor's processor is at
+    // Guard rule 2 at signal arrival: if the subtask's processor is at
     // an idle point right now, pull the guard down and release.
     if (options_.enable_idle_point_rule &&
-        engine.is_idle_point(engine.system().subtask(succ).processor)) {
+        engine.is_idle_point(engine.system().subtask(ref).processor)) {
       gs.guard = now;
-      release(engine, succ, job.instance);
+      release(engine, ref, instance);
       return;
     }
   }
   // Held: release when the guard is due (or at an earlier idle point).
-  gs.held.push_back(job.instance);
-  engine.set_timer(gs.guard, succ, job.instance);
+  // The guard can already be due here when a faulted timer fired late and
+  // left an earlier instance holding the queue; clamp to now.
+  gs.held.push_back(instance);
+  engine.set_timer(std::max(now, gs.guard), ref, instance);
 }
 
 void ReleaseGuardProtocol::on_timer(Engine& engine, SubtaskRef ref,

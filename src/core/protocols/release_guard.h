@@ -42,6 +42,8 @@ class ReleaseGuardProtocol final : public SyncProtocol {
 
   void on_job_released(Engine& engine, const Job& job) override;
   void on_job_completed(Engine& engine, const Job& job) override;
+  void on_sync_signal(Engine& engine, SubtaskRef ref,
+                      std::int64_t instance) override;
   void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) override;
   void on_idle_point(Engine& engine, ProcessorId processor) override;
 
@@ -61,7 +63,14 @@ class ReleaseGuardProtocol final : public SyncProtocol {
     /// Instances whose predecessor completed but whose release is held by
     /// the guard, in release order. Non-empty only transiently.
     std::deque<std::int64_t> held;
+    /// First instance whose sync signal has not been admitted yet: the
+    /// catch-up cursor (duplicated signals land below it and are ignored).
+    std::int64_t signaled = 0;
   };
+
+  /// Admits one instance whose predecessor completed: release it if the
+  /// guard (or an idle point) allows, else hold it and arm a guard timer.
+  void admit(Engine& engine, SubtaskRef ref, std::int64_t instance);
 
   /// Releases (ref, instance) now: pops it from `held` if queued there,
   /// applies guard rule 1 eagerly (so a same-instant second signal cannot

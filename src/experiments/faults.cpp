@@ -1,0 +1,205 @@
+#include "experiments/faults.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "core/analysis/sa_pm.h"
+#include "core/protocols/modified_pm.h"
+#include "core/protocols/mpm_retransmit.h"
+#include "report/table.h"
+#include "sim/engine.h"
+#include "sim/fault/fault_injector.h"
+
+namespace e2e {
+namespace {
+
+/// True if SA/PM bounded every non-last subtask, i.e. PM/MPM/MPM-R can be
+/// constructed for the system at all.
+bool pm_constructible(const TaskSystem& system, const SubtaskTable& bounds) {
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      const bool is_last =
+          s.ref.index + 1 == static_cast<std::int32_t>(t.chain_length());
+      if (!is_last && is_infinite(bounds.at(s.ref))) return false;
+    }
+  }
+  return true;
+}
+
+struct SystemCase {
+  TaskSystem system;
+  SubtaskTable bounds;
+  Time horizon = 0;
+  std::uint64_t fault_seed_mix = 0;
+};
+
+std::int64_t end_to_end_completions(const Engine& engine) {
+  std::int64_t total = 0;
+  for (const Task& t : engine.system().tasks()) {
+    const SubtaskRef last{t.id,
+                          static_cast<std::int32_t>(t.chain_length()) - 1};
+    total += engine.completed_instances(last);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<FaultSeverity> default_fault_severities() {
+  return {
+      // Drift is RC-oscillator class (1.5-3%): small enough that intervals
+      // stay sane, large enough that clock-trusting protocols accumulate a
+      // visible skew within the simulated window.
+      {"ideal", FaultPlan{}},
+      {"clock", FaultPlan{.clock_offset_max = 150'000, .drift_ppm_max = 15'000}},
+      {"loss", FaultPlan{.signal_loss_prob = 0.05,
+                         .signal_delay_max = 2'000,
+                         .signal_duplicate_prob = 0.02}},
+      {"clock+loss", FaultPlan{.clock_offset_max = 150'000,
+                               .drift_ppm_max = 15'000,
+                               .signal_loss_prob = 0.02,
+                               .signal_delay_max = 2'000,
+                               .signal_duplicate_prob = 0.02}},
+      {"severe", FaultPlan{.clock_offset_max = 300'000,
+                           .drift_ppm_max = 30'000,
+                           .signal_loss_prob = 0.10,
+                           .signal_delay_max = 5'000,
+                           .signal_duplicate_prob = 0.05,
+                           .timer_jitter_max = 1'000,
+                           .stall_prob = 0.02,
+                           .stall_max = 2'000}},
+  };
+}
+
+FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
+  E2E_ASSERT(options.systems > 0, "need at least one system");
+  const std::vector<FaultSeverity> severities =
+      options.severities.empty() ? default_fault_severities() : options.severities;
+  const std::vector<ProtocolKind> protocols =
+      options.protocols.empty()
+          ? std::vector<ProtocolKind>(std::begin(kExtendedProtocolKinds),
+                                      std::end(kExtendedProtocolKinds))
+          : options.protocols;
+
+  FaultSweepResult result;
+
+  // Shared system set: every (severity, protocol) cell simulates the same
+  // draws. Draws SA/PM cannot bound are replaced (and counted).
+  std::vector<SystemCase> cases;
+  cases.reserve(static_cast<std::size_t>(options.systems));
+  Rng master{options.seed};
+  const int max_attempts = options.systems * 20 + 50;
+  for (int attempt = 0;
+       attempt < max_attempts &&
+       cases.size() < static_cast<std::size_t>(options.systems);
+       ++attempt) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(attempt));
+    GeneratorOptions gen = options_for(options.config);
+    TaskSystem system = generate_system(rng, gen);
+    SubtaskTable bounds = analyze_sa_pm(system).subtask_bounds;
+    if (!pm_constructible(system, bounds)) {
+      ++result.skipped_systems;
+      continue;
+    }
+    const Time horizon = std::min<Time>(
+        static_cast<Time>(options.horizon_periods *
+                          static_cast<double>(system.max_period())),
+        400'000'000);
+    cases.push_back(SystemCase{
+        std::move(system), std::move(bounds), horizon,
+        // Distinct fault stream per system, identical across protocols so
+        // per-processor clock draws are paired.
+        std::uint64_t{0x9E3779B97F4A7C15} *
+            static_cast<std::uint64_t>(attempt + 1)});
+  }
+  E2E_ASSERT(!cases.empty(), "no PM-schedulable system in the sample budget");
+
+  for (const FaultSeverity& severity : severities) {
+    for (const ProtocolKind kind : protocols) {
+      FaultCell cell;
+      cell.severity = severity.label;
+      cell.kind = kind;
+      for (const SystemCase& sc : cases) {
+        FaultPlan plan = severity.plan;
+        plan.seed += sc.fault_seed_mix;
+        FaultInjector faults{sc.system, plan};
+        const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
+        Engine engine{sc.system, *protocol,
+                      {.horizon = sc.horizon, .faults = &faults}};
+        engine.run();
+
+        const SimStats& stats = engine.stats();
+        ++cell.systems;
+        cell.jobs_released += stats.jobs_released;
+        cell.violations += stats.precedence_violations;
+        cell.instances += end_to_end_completions(engine);
+        cell.misses += stats.deadline_misses;
+        cell.dropped_signals += stats.dropped_signals;
+        cell.late_signals += stats.late_signals;
+        cell.duplicated_signals += stats.duplicated_signals;
+        cell.stalls += stats.stalls;
+        if (const auto* mpm = dynamic_cast<const ModifiedPmProtocol*>(protocol.get())) {
+          cell.overruns += mpm->overruns();
+        }
+        if (const auto* mpmr =
+                dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
+          cell.overruns += mpmr->overruns();
+          cell.retransmits += mpmr->retransmits();
+        }
+      }
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+void run_fault_report(std::ostream& out, const FaultSweepOptions& options) {
+  const FaultSweepResult result = run_fault_sweep(options);
+
+  out << "Robustness under injected faults (" << options.systems
+      << " systems, N=" << options.config.subtasks_per_task
+      << ", U=" << options.config.utilization_percent << "%";
+  if (result.skipped_systems > 0) {
+    out << ", " << result.skipped_systems << " PM-unschedulable draws replaced";
+  }
+  out << ")\n"
+      << "Rates: viol = precedence violations per 1000 released jobs,\n"
+      << "       miss = end-to-end deadline misses per 1000 completed "
+         "instances.\n\n";
+
+  std::string current;
+  TextTable table({"protocol", "viol/1k", "miss/1k", "dropped", "late", "dup",
+                   "stalls", "overruns", "retransmits"});
+  const auto flush = [&](const std::string& next) {
+    if (!current.empty()) {
+      out << "severity: " << current << "\n" << table.to_string() << "\n";
+      table = TextTable({"protocol", "viol/1k", "miss/1k", "dropped", "late",
+                         "dup", "stalls", "overruns", "retransmits"});
+    }
+    current = next;
+  };
+  for (const FaultCell& cell : result.cells) {
+    if (cell.severity != current) flush(cell.severity);
+    table.add_row({std::string{to_string(cell.kind)},
+                   TextTable::fmt(1000.0 * cell.violation_rate(), 2),
+                   TextTable::fmt(1000.0 * cell.miss_rate(), 2),
+                   std::to_string(cell.dropped_signals),
+                   std::to_string(cell.late_signals),
+                   std::to_string(cell.duplicated_signals),
+                   std::to_string(cell.stalls), std::to_string(cell.overruns),
+                   std::to_string(cell.retransmits)});
+  }
+  flush("");
+
+  out << "expectations: PM (clock-scheduled phases) and MPM (trusting bound\n"
+      << "timers) accumulate precedence violations and misses under clock\n"
+      << "skew. DS/RG release on actual completions, so their violation\n"
+      << "rate stays ~0 and channel faults surface as late releases\n"
+      << "(missed deadlines) instead -- more so for RG, whose guards delay\n"
+      << "the post-loss catch-up. MPM-R gates its signal on completion and\n"
+      << "retransmits lost signals, keeping both rates near baseline at\n"
+      << "every rung.\n";
+}
+
+}  // namespace e2e

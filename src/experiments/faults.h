@@ -1,0 +1,98 @@
+// Robustness experiment: how each synchronization protocol degrades when
+// the paper's ideal-conditions assumptions are relaxed (sim/fault).
+//
+// A ladder of fault severities is applied to a shared set of random
+// paper-style systems, and every protocol (the paper's four plus the
+// hardened MPM-R) is simulated on each. Two degradation metrics:
+//   * precedence-violation rate -- violating releases per released job.
+//     PM trusts precomputed clock phases and MPM trusts bound timers, so
+//     both break under clock skew; DS/RG release on actual completion
+//     signals and MPM-R gates its signal on actual completion, so their
+//     structural violation rate stays zero.
+//   * end-to-end deadline-miss rate -- misses per completed end-to-end
+//     instance. Signal loss delays DS/MPM/RG successors until the next
+//     instance's signal catches them up (up to a period late); MPM-R
+//     retransmits within its retry timeout instead.
+// The same fault seed is used for every protocol within a (system,
+// severity) cell, so clock draws are paired across protocols.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/protocols/factory.h"
+#include "sim/fault/fault_plan.h"
+#include "workload/generator.h"
+
+namespace e2e {
+
+/// One rung of the severity ladder.
+struct FaultSeverity {
+  std::string label;
+  FaultPlan plan;
+};
+
+/// The ladder bench_faults sweeps: ideal -> clock skew -> lossy signals
+/// -> both -> both plus timer jitter and transient stalls. Tick scale
+/// assumes the generator's default 1000 ticks per paper time unit
+/// (periods span 100k..10M ticks).
+[[nodiscard]] std::vector<FaultSeverity> default_fault_severities();
+
+struct FaultSweepOptions {
+  /// Random systems shared by every (severity, protocol) cell.
+  int systems = 10;
+  std::uint64_t seed = 20260806;
+  /// Horizon per run, as a multiple of the system's maximum period.
+  double horizon_periods = 30.0;
+  /// Workload shape (paper Section 5.1 recipe).
+  Configuration config{.subtasks_per_task = 4, .utilization_percent = 60};
+  /// Empty = default_fault_severities().
+  std::vector<FaultSeverity> severities;
+  /// Empty = kExtendedProtocolKinds (DS, PM, MPM, RG, MPM-R).
+  std::vector<ProtocolKind> protocols;
+};
+
+/// Aggregates for one (severity, protocol) cell.
+struct FaultCell {
+  std::string severity;
+  ProtocolKind kind = ProtocolKind::kDirectSync;
+  int systems = 0;
+  std::int64_t jobs_released = 0;
+  std::int64_t violations = 0;
+  std::int64_t instances = 0;  ///< completed end-to-end instances
+  std::int64_t misses = 0;
+  std::int64_t dropped_signals = 0;
+  std::int64_t late_signals = 0;
+  std::int64_t duplicated_signals = 0;
+  std::int64_t stalls = 0;
+  std::int64_t overruns = 0;     ///< MPM / MPM-R bound overruns
+  std::int64_t retransmits = 0;  ///< MPM-R only
+
+  [[nodiscard]] double violation_rate() const noexcept {
+    return jobs_released > 0
+               ? static_cast<double>(violations) / static_cast<double>(jobs_released)
+               : 0.0;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return instances > 0
+               ? static_cast<double>(misses) / static_cast<double>(instances)
+               : 0.0;
+  }
+};
+
+struct FaultSweepResult {
+  /// Severity-major, protocol-minor (the order of the option vectors).
+  std::vector<FaultCell> cells;
+  /// Generated systems discarded because SA/PM left a non-last subtask
+  /// unbounded (PM/MPM/MPM-R could not be constructed for them).
+  int skipped_systems = 0;
+};
+
+[[nodiscard]] FaultSweepResult run_fault_sweep(const FaultSweepOptions& options);
+
+/// bench_faults driver: runs the sweep and prints one table per severity
+/// plus the headline comparison (PM vs RG/MPM-R degradation).
+void run_fault_report(std::ostream& out, const FaultSweepOptions& options);
+
+}  // namespace e2e

@@ -1,8 +1,10 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
+#include "sim/fault/fault_injector.h"
 
 namespace e2e {
 
@@ -14,14 +16,23 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions o
       execution_(options.execution != nullptr ? options.execution
                                               : &default_execution_) {
   E2E_ASSERT(options_.horizon > 0, "simulation horizon must be positive");
+  // A disabled plan is dropped here, so every fault hook below reduces to
+  // a single null check -- the zero-cost-when-off guarantee.
+  if (options_.faults != nullptr && options_.faults->enabled()) {
+    faults_ = options_.faults;
+  }
   processors_.resize(system.processor_count());
   dispatch_marked_.resize(system.processor_count(), false);
   released_count_.resize(system.task_count());
   completed_count_.resize(system.task_count());
+  requested_count_.resize(system.task_count());
+  deferred_.resize(system.task_count());
   first_release_times_.resize(system.task_count());
   for (const Task& t : system.tasks()) {
     released_count_[t.id.index()].assign(t.subtasks.size(), 0);
     completed_count_[t.id.index()].assign(t.subtasks.size(), 0);
+    requested_count_[t.id.index()].assign(t.subtasks.size(), 0);
+    deferred_[t.id.index()].resize(t.subtasks.size());
   }
 }
 
@@ -72,6 +83,13 @@ void Engine::release_now(SubtaskRef ref, std::int64_t instance) {
 void Engine::schedule_release(SubtaskRef ref, std::int64_t instance, Time at) {
   E2E_ASSERT(at >= now_, "cannot schedule a release in the past");
   E2E_ASSERT(system_.contains(ref), "release for unknown subtask");
+  if (faults_ != nullptr) {
+    // Clock-scheduled releases fire on the releasing processor's local
+    // clock. Only initialization-time schedules carry the initial clock
+    // offset; chained schedules inherit it from the release they chain off.
+    at = faults_->perturb_scheduled_release(system_.subtask(ref).processor, now_,
+                                            at, /*initial=*/initializing_);
+  }
   queue_.push(Event{.time = at,
                     .phase = kReleasePhase,
                     .kind = EventKind::kRelease,
@@ -81,11 +99,43 @@ void Engine::schedule_release(SubtaskRef ref, std::int64_t instance, Time at) {
 
 void Engine::set_timer(Time at, SubtaskRef ref, std::int64_t instance) {
   E2E_ASSERT(at >= now_, "cannot set a timer in the past");
+  if (faults_ != nullptr) {
+    at = faults_->perturb_timer(system_.subtask(ref).processor, now_, at);
+  }
   queue_.push(Event{.time = at,
                     .phase = kTimerPhase,
                     .kind = EventKind::kTimer,
                     .ref = ref,
                     .instance = instance});
+}
+
+void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
+  E2E_ASSERT(system_.contains(to), "sync signal for unknown subtask");
+  ++stats_.sync_signals;
+  if (faults_ == nullptr) {
+    // Ideal channel: zero-time delivery, exactly once -- semantically the
+    // pre-fault-layer direct call, so schedules are bit-identical.
+    protocol_.on_sync_signal(*this, to, instance);
+    return;
+  }
+  FaultInjector::SignalOutcome outcome = faults_->signal_outcome();
+  if (outcome.lost()) {
+    ++stats_.dropped_signals;
+    return;
+  }
+  stats_.duplicated_signals += static_cast<std::int64_t>(outcome.delays.size()) - 1;
+  for (const Duration delay : outcome.delays) {
+    if (delay == 0) {
+      protocol_.on_sync_signal(*this, to, instance);
+    } else {
+      ++stats_.late_signals;
+      queue_.push(Event{.time = now_ + delay,
+                        .phase = kTimerPhase,
+                        .kind = EventKind::kSignal,
+                        .ref = to,
+                        .instance = instance});
+    }
+  }
 }
 
 void Engine::run() {
@@ -103,7 +153,12 @@ void Engine::run() {
                         .instance = 0});
     }
   }
+  // Schedules made during initialize() are absolute-time alarms armed
+  // before the clocks could ever have been synchronized: they (and only
+  // they) carry the initial per-processor clock offset.
+  initializing_ = true;
   protocol_.initialize(*this);
+  initializing_ = false;
 
   while (!queue_.empty()) {
     if (queue_.top().time > options_.horizon) break;
@@ -123,6 +178,9 @@ void Engine::run() {
         break;
       case EventKind::kCompletion:
         handle_completion(event);
+        break;
+      case EventKind::kSignal:
+        handle_signal(event);
         break;
     }
     // Scheduling decisions fire once per instant, after every simultaneous
@@ -175,16 +233,53 @@ void Engine::handle_release(const Event& event) {
 }
 
 void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
-  auto& released = released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
-  E2E_ASSERT(instance == released,
+  auto& requested =
+      requested_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  if (instance < requested) {
+    // Re-request of an already-requested instance: a duplicated or
+    // retransmitted signal. Only the fault layer can produce these.
+    E2E_ASSERT(faults_ != nullptr,
+               "subtask instances must be released in order, exactly once");
+    return;
+  }
+  E2E_ASSERT(instance == requested,
              "subtask instances must be released in order, exactly once");
+  ++requested;
+
+  if (options_.precedence_policy == PrecedencePolicy::kDeferRelease &&
+      ref.index > 0) {
+    const SubtaskRef pred{ref.task, ref.index - 1};
+    auto& held = deferred_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+    // FIFO within the subtask: if anything is already held, queue behind it
+    // even when this instance's own predecessor has completed.
+    if (!held.empty() || completed_instances(pred) <= instance) {
+      held.push_back(instance);
+      ++stats_.deferred_releases;
+      return;
+    }
+  }
+  activate_release(ref, instance);
+}
+
+void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
+  auto& released = released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  E2E_ASSERT(instance == released, "releases activated out of order");
   ++released;
 
   const Subtask& subtask = system_.subtask(ref);
-  const Duration actual_execution =
+  Duration actual_execution =
       execution_->sample(ref, instance, subtask.execution_time);
   E2E_ASSERT(actual_execution >= 1 && actual_execution <= subtask.execution_time,
              "execution model must return a value in [1, WCET]");
+  if (faults_ != nullptr) {
+    const Duration stall = faults_->stall();
+    if (stall > 0) {
+      // Transient stalls model demand beyond the analysed WCET, so the
+      // execution-model invariant above deliberately does not apply.
+      actual_execution += stall;
+      ++stats_.stalls;
+    }
+  }
   Job job{.ref = ref,
           .instance = instance,
           .processor = subtask.processor,
@@ -207,11 +302,19 @@ void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
   ++stats_.jobs_released;
 
   // Precedence check: the matching predecessor instance must have completed.
+  // Under kDeferRelease this cannot fire: violating releases are held back.
   if (ref.index > 0) {
     const SubtaskRef pred{ref.task, ref.index - 1};
     if (completed_instances(pred) <= instance) {
       ++stats_.precedence_violations;
       for (TraceSink* sink : sinks_) sink->on_precedence_violation(stored, now_);
+      if (options_.precedence_policy == PrecedencePolicy::kAbort) {
+        throw PrecedenceViolationError(
+            "precedence violation: T_{" + std::to_string(ref.task.value()) + "," +
+            std::to_string(ref.index + 1) + "} instance " +
+            std::to_string(instance) + " released at t=" + std::to_string(now_) +
+            " before its predecessor completed");
+      }
     }
   }
 
@@ -225,9 +328,26 @@ void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
   mark_for_dispatch(subtask.processor);
 }
 
+void Engine::flush_deferred(SubtaskRef pred, std::int64_t completed) {
+  const auto succ_index = static_cast<std::size_t>(pred.index) + 1;
+  auto& held = deferred_[pred.task.index()][succ_index];
+  // Instance m may activate once completed_instances(pred) > m.
+  while (!held.empty() && held.front() < completed) {
+    const std::int64_t instance = held.front();
+    held.pop_front();
+    activate_release(SubtaskRef{pred.task, pred.index + 1}, instance);
+  }
+}
+
 void Engine::handle_timer(const Event& event) {
   ++stats_.timer_interrupts;
   protocol_.on_timer(*this, event.ref, event.instance);
+}
+
+void Engine::handle_signal(const Event& event) {
+  // Delayed delivery of a faulted sync signal (the ideal path never
+  // enqueues these). Accounting happened at send time.
+  protocol_.on_sync_signal(*this, event.ref, event.instance);
 }
 
 void Engine::handle_completion(const Event& event) {
@@ -270,6 +390,9 @@ void Engine::handle_completion(const Event& event) {
 
   for (TraceSink* sink : sinks_) sink->on_complete(completed_job, now_);
   protocol_.on_job_completed(*this, completed_job);
+  if (options_.precedence_policy == PrecedencePolicy::kDeferRelease && !is_last) {
+    flush_deferred(completed_job.ref, completed);
+  }
   check_idle_point(completed_job.processor);
   mark_for_dispatch(completed_job.processor);
 }

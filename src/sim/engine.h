@@ -1,7 +1,8 @@
 // Engine: deterministic discrete-event simulator of a distributed
 // fixed-priority preemptive real-time system (paper Section 2 semantics).
 //
-// Modelling choices, matching the paper's assumptions:
+// Modelling choices, matching the paper's assumptions (each of which the
+// optional fault layer, sim/fault/, can selectively relax):
 //  * inter-processor synchronization signals cost zero time;
 //  * scheduling/interrupt overhead is zero (overheads are *counted* in
 //    SimStats so Section 3.3 comparisons can be made, but they consume no
@@ -20,8 +21,10 @@
 //   engine.run();
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,18 +40,47 @@
 
 namespace e2e {
 
+class FaultInjector;
+
 /// Aggregate counters produced by a run.
 struct SimStats {
   std::int64_t jobs_released = 0;
   std::int64_t jobs_completed = 0;
   std::int64_t dispatches = 0;        ///< starts + resumes
   std::int64_t preemptions = 0;
-  std::int64_t sync_signals = 0;      ///< counted by protocols via count_sync_signal
+  std::int64_t sync_signals = 0;      ///< transmissions via send_sync_signal
   std::int64_t timer_interrupts = 0;  ///< kTimer events fired
   std::int64_t precedence_violations = 0;
   std::int64_t deadline_misses = 0;   ///< end-to-end deadline misses
   std::int64_t idle_points = 0;
   std::int64_t events_processed = 0;
+  // --- fault-layer counters (all zero under ideal conditions) ---------
+  std::int64_t dropped_signals = 0;     ///< no copy of the signal arrived
+  std::int64_t late_signals = 0;        ///< deliveries with nonzero delay
+  std::int64_t duplicated_signals = 0;  ///< extra copies delivered
+  std::int64_t stalls = 0;              ///< jobs hit by a transient stall
+  std::int64_t deferred_releases = 0;   ///< releases held by kDeferRelease
+};
+
+/// What the engine does when a release would violate its precedence
+/// constraint (the matching predecessor instance has not completed).
+enum class PrecedencePolicy {
+  /// Record it (stats + sinks) and release anyway -- the seed behaviour,
+  /// and what a runtime system without completion tracking would do.
+  kRecord,
+  /// Record it and throw PrecedenceViolationError: for harnesses that
+  /// treat any violation as fatal.
+  kAbort,
+  /// Hold the release until the predecessor instance completes, then
+  /// release at the completion instant. Trades lateness for correctness:
+  /// precedence_violations stays zero by construction.
+  kDeferRelease,
+};
+
+/// Thrown by Engine::run under PrecedencePolicy::kAbort.
+class PrecedenceViolationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 struct EngineOptions {
@@ -61,6 +93,10 @@ struct EngineOptions {
   /// Actual execution times; nullptr = exactly the WCET (the paper's
   /// setting). Not owned.
   ExecutionModel* execution = nullptr;
+  /// Fault layer; nullptr (or a disabled plan) = ideal conditions, in
+  /// which case the engine provably never consults it. Not owned.
+  FaultInjector* faults = nullptr;
+  PrecedencePolicy precedence_policy = PrecedencePolicy::kRecord;
 };
 
 class Engine {
@@ -103,22 +139,33 @@ class Engine {
 
   /// Enqueues the release of (ref, instance) at the current time (release
   /// phase of the current timestamp). Instances of each subtask must be
-  /// released in order, exactly once.
+  /// released in order; under an active fault layer a repeated request for
+  /// an already-released instance (duplicated signal) is silently ignored.
   void release_now(SubtaskRef ref, std::int64_t instance);
 
   /// Enqueues the release of (ref, instance) at absolute time `at` >= now.
+  /// Future releases are clock-scheduled: an active fault layer skews them
+  /// by the target processor's clock offset/drift (PM's failure mode).
   void schedule_release(SubtaskRef ref, std::int64_t instance, Time at);
 
   /// Schedules a protocol timer; on firing, SyncProtocol::on_timer is
   /// invoked with (ref, instance) and the timer-interrupt counter is
-  /// incremented.
+  /// incremented. An active fault layer applies the owning processor's
+  /// clock drift plus U[0, timer_jitter_max] lateness.
   void set_timer(Time at, SubtaskRef ref, std::int64_t instance);
 
-  /// Protocols call this for every synchronization signal they model
-  /// (Section 3.3 overhead accounting).
-  void count_sync_signal() noexcept { ++stats_.sync_signals; }
+  /// Transmits the synchronization signal that tells (to, instance)'s
+  /// release controller its predecessor instance finished (DS/RG) or its
+  /// bound elapsed (MPM/MPM-R). Counts one Section 3.3 sync signal per
+  /// call -- the single accounting point for all protocols, so retransmits
+  /// (extra calls) are charged to the sender while channel duplicates are
+  /// not. Under an ideal channel the protocol's on_sync_signal runs
+  /// synchronously; under a faulted one each surviving copy is delivered
+  /// after its drawn delay, and a lost signal is only counted in
+  /// stats().dropped_signals.
+  void send_sync_signal(SubtaskRef to, std::int64_t instance);
 
-  /// As above for timer interrupts that are not routed through set_timer
+  /// Counts timer interrupts that are not routed through set_timer
   /// (PM's strictly periodic releases are timer-driven conceptually but
   /// implemented as pre-scheduled release events).
   void count_timer_interrupt() noexcept { ++stats_.timer_interrupts; }
@@ -155,7 +202,14 @@ class Engine {
   void handle_release(const Event& event);
   void handle_completion(const Event& event);
   void handle_timer(const Event& event);
+  void handle_signal(const Event& event);
   void do_release(SubtaskRef ref, std::int64_t instance);
+  /// The release proper (job allocation, precedence check, dispatch),
+  /// after do_release's duplicate filtering and defer-policy gate.
+  void activate_release(SubtaskRef ref, std::int64_t instance);
+  /// Releases deferred successors of `pred` whose precedence constraint
+  /// `completed` completions now satisfy (kDeferRelease only).
+  void flush_deferred(SubtaskRef pred, std::int64_t completed);
   /// Marks a processor as needing a scheduling decision. Decisions are
   /// deferred to the end of the current instant (flush_dispatches) so
   /// that simultaneous releases resolve purely by priority -- in
@@ -178,11 +232,13 @@ class Engine {
   WcetExecution default_execution_;
   ArrivalModel* arrivals_;    // points at options_.arrivals or default_arrivals_
   ExecutionModel* execution_; // points at options_.execution or default_execution_
+  FaultInjector* faults_ = nullptr;  // options_.faults iff its plan is enabled
 
   EventQueue queue_;
   JobPool pool_;
   Time now_ = 0;
   bool ran_ = false;
+  bool initializing_ = false;  ///< inside protocol initialize(); see run()
   std::uint64_t next_job_seq_ = 0;
 
   std::vector<ProcessorState> processors_;
@@ -190,6 +246,11 @@ class Engine {
   std::vector<bool> dispatch_marked_;           ///< dedup for the list above
   std::vector<std::vector<std::int64_t>> released_count_;   // [task][index]
   std::vector<std::vector<std::int64_t>> completed_count_;  // [task][index]
+  /// Release *requests* per subtask; equals released_count_ except while
+  /// kDeferRelease holds a release back. Filters duplicated requests.
+  std::vector<std::vector<std::int64_t>> requested_count_;  // [task][index]
+  /// Held-back instances per subtask (kDeferRelease), ascending.
+  std::vector<std::vector<std::deque<std::int64_t>>> deferred_;
   std::vector<std::vector<Time>> first_release_times_;      // [task][instance]
   std::vector<TraceSink*> sinks_;
   SimStats stats_;

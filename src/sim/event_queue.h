@@ -25,6 +25,8 @@ enum class EventKind : std::uint8_t {
   kRelease,     ///< release of subtask instance (ref, instance)
   kTimer,       ///< protocol timer for (ref, instance) -- MPM bound timer, RG guard
   kCompletion,  ///< tentative completion of the job in (processor, slot, generation)
+  kSignal,      ///< delayed sync-signal delivery for (ref, instance); only the
+                ///< fault layer produces these (ideal signals are synchronous)
 };
 
 /// Intra-timestamp ordering phases (see file comment).

@@ -1,0 +1,83 @@
+// FaultInjector: the runtime side of a FaultPlan. The Engine consults it
+// (when one is configured and enabled) at its existing hook points:
+//
+//   schedule_release  -> perturb_scheduled_release  (clock offset + drift)
+//   set_timer         -> perturb_timer              (drift + timer jitter)
+//   send_sync_signal  -> signal_outcome             (loss / delay / dup)
+//   do_release        -> stall                      (transient stalls)
+//
+// Determinism: per-processor offsets and drifts are drawn once at
+// construction from the plan seed; per-event draws come from a dedicated
+// xoshiro stream advanced in engine call order. Since the engine itself
+// is deterministic, two runs of the same (system, protocol, plan) consume
+// the stream identically and inject identical faults -- asserted by
+// fault_injector_test. Like the Engine, one injector serves one run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/fault/fault_plan.h"
+#include "task/system.h"
+
+namespace e2e {
+
+class FaultInjector {
+ public:
+  /// Draws the per-processor clock parameters. Throws InvalidArgument if
+  /// the plan fails validation.
+  FaultInjector(const TaskSystem& system, FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+
+  // --- clock model ----------------------------------------------------
+  /// The initial clock offset of `p` (ticks, may be negative).
+  [[nodiscard]] Duration clock_offset(ProcessorId p) const;
+  /// The clock drift of `p` (ppm, may be negative).
+  [[nodiscard]] std::int64_t clock_drift_ppm(ProcessorId p) const;
+
+  /// Global time at which a release scheduled for (global-intent) time
+  /// `at` by `p`'s local clock actually fires. The local clock mismeasures
+  /// the interval [now, at] by its drift. `initial` marks schedules made
+  /// during protocol initialization (PM's precomputed phases): only those
+  /// absolute-time alarms additionally carry the processor's initial clock
+  /// offset, which thereafter propagates through the chained next-release
+  /// scheduling. (Applying it to every t=0 schedule instead would re-add
+  /// the offset to chained releases whose phase was clamped to t=0 and, for
+  /// offsets beyond a period, loop the chain at t=0 forever.) Clamped to
+  /// `now` (the engine cannot act in the past).
+  [[nodiscard]] Time perturb_scheduled_release(ProcessorId p, Time now, Time at,
+                                               bool initial) const;
+
+  /// Global time at which a timer set by `p` for `at` actually fires:
+  /// drift mismeasures the interval, plus U[0, timer_jitter_max] lateness.
+  /// Advances the fault stream. Never earlier than `now`.
+  [[nodiscard]] Time perturb_timer(ProcessorId p, Time now, Time at);
+
+  // --- signal channel -------------------------------------------------
+  struct SignalOutcome {
+    /// Delivery delays of each arriving copy, ascending; empty = lost.
+    /// One entry is the normal case; two = the signal was duplicated.
+    std::vector<Duration> delays;
+    [[nodiscard]] bool lost() const noexcept { return delays.empty(); }
+  };
+  /// Channel outcome for one transmission attempt. Advances the stream.
+  [[nodiscard]] SignalOutcome signal_outcome();
+
+  // --- stalls -----------------------------------------------------------
+  /// Extra execution demand injected into a released job (0 = no stall).
+  /// Advances the fault stream.
+  [[nodiscard]] Duration stall();
+
+ private:
+  FaultPlan plan_;
+  std::vector<Duration> offsets_;      ///< per processor
+  std::vector<std::int64_t> drifts_;   ///< per processor, ppm
+  Rng stream_;                         ///< per-event draws
+};
+
+}  // namespace e2e

@@ -1,0 +1,128 @@
+#include "sim/fault/fault_plan.h"
+
+#include <cstdlib>
+
+#include "common/args.h"
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+double parse_probability(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw InvalidArgument("fault key '" + key + "' expects a number, got '" +
+                          value + "'");
+  }
+  if (parsed < 0.0 || parsed > 1.0) {
+    throw InvalidArgument("fault key '" + key + "' expects a probability in "
+                          "[0, 1], got '" + value + "'");
+  }
+  return parsed;
+}
+
+std::int64_t parse_ticks(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw InvalidArgument("fault key '" + key + "' expects an integer, got '" +
+                          value + "'");
+  }
+  if (parsed < 0) {
+    throw InvalidArgument("fault key '" + key + "' must be non-negative, got '" +
+                          value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const noexcept {
+  return clock_offset_max != 0 || drift_ppm_max != 0 || signal_loss_prob > 0.0 ||
+         signal_delay_max != 0 || signal_duplicate_prob > 0.0 ||
+         timer_jitter_max != 0 || (stall_prob > 0.0 && stall_max != 0);
+}
+
+void FaultPlan::validate() const {
+  const auto check_prob = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw InvalidArgument(std::string{"fault plan: "} + name +
+                            " must be a probability in [0, 1]");
+    }
+  };
+  const auto check_ticks = [](Duration d, const char* name) {
+    if (d < 0) {
+      throw InvalidArgument(std::string{"fault plan: "} + name +
+                            " must be non-negative ticks");
+    }
+  };
+  check_prob(signal_loss_prob, "signal_loss_prob");
+  check_prob(signal_duplicate_prob, "signal_duplicate_prob");
+  check_prob(stall_prob, "stall_prob");
+  check_ticks(clock_offset_max, "clock_offset_max");
+  check_ticks(signal_delay_max, "signal_delay_max");
+  check_ticks(timer_jitter_max, "timer_jitter_max");
+  check_ticks(stall_max, "stall_max");
+  if (drift_ppm_max < 0) {
+    throw InvalidArgument("fault plan: drift_ppm_max must be non-negative");
+  }
+  if (drift_ppm_max >= 1'000'000) {
+    throw InvalidArgument("fault plan: drift_ppm_max must be below 1e6 "
+                          "(a clock cannot drift past real time)");
+  }
+  if (stall_prob > 0.0 && stall_max == 0) {
+    throw InvalidArgument("fault plan: stall_prob needs a positive stall "
+                          "duration (set 'stall')");
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> fault_plan_keys() {
+  return {
+      {"seed", "fault stream seed (default 1)"},
+      {"offset", "max per-processor clock offset, ticks"},
+      {"drift-ppm", "max per-processor clock drift, ppm"},
+      {"loss-prob", "sync-signal loss probability [0,1]"},
+      {"delay", "max sync-signal delivery delay, ticks"},
+      {"dup-prob", "sync-signal duplication probability [0,1]"},
+      {"timer-jitter", "max timer lateness, ticks"},
+      {"stall-prob", "per-job transient stall probability [0,1]"},
+      {"stall", "max stall duration, ticks"},
+  };
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (const auto& [key, value] : split_key_values(spec)) {
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_ticks(key, value));
+    } else if (key == "offset") {
+      plan.clock_offset_max = parse_ticks(key, value);
+    } else if (key == "drift-ppm") {
+      plan.drift_ppm_max = parse_ticks(key, value);
+    } else if (key == "loss-prob") {
+      plan.signal_loss_prob = parse_probability(key, value);
+    } else if (key == "delay") {
+      plan.signal_delay_max = parse_ticks(key, value);
+    } else if (key == "dup-prob") {
+      plan.signal_duplicate_prob = parse_probability(key, value);
+    } else if (key == "timer-jitter") {
+      plan.timer_jitter_max = parse_ticks(key, value);
+    } else if (key == "stall-prob") {
+      plan.stall_prob = parse_probability(key, value);
+    } else if (key == "stall") {
+      plan.stall_max = parse_ticks(key, value);
+    } else {
+      std::string known;
+      for (const auto& [k, _] : fault_plan_keys()) {
+        known += known.empty() ? k : ", " + k;
+      }
+      throw InvalidArgument("unknown fault key '" + key + "' (known: " + known +
+                            ")");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace e2e

@@ -1,0 +1,77 @@
+// FaultPlan: the declarative description of every non-ideal condition a
+// simulation run may be subjected to. All quantities default to zero /
+// disabled, in which case the plan is inert and the engine never consults
+// the fault layer at all (verified byte-identical by
+// fault_equivalence_test).
+//
+// Fault model, in terms of the paper's Section 2/3 machinery:
+//  * clock_offset_max / drift_ppm_max -- each processor's local clock
+//    disagrees with the global timeline by a fixed initial offset
+//    (U[-max, +max] ticks) and a rate error (U[-max, +max] parts per
+//    million). PM schedules successor releases on local clocks, so its
+//    precomputed phases skew; MPM/RG timers measure skewed intervals.
+//    Arrivals of first subtasks are environment events and never skew.
+//  * signal_loss_prob / signal_delay_max / signal_duplicate_prob -- the
+//    inter-processor synchronization-signal channel (DS/MPM/RG completion
+//    signals) may drop a signal, deliver it up to `signal_delay_max` ticks
+//    late, or deliver an extra copy. A later signal for the same subtask
+//    implies its predecessors' completions (completions are in-order), so
+//    receivers catch up on lost instances when the next signal lands.
+//  * timer_jitter_max -- a timer set via Engine::set_timer fires up to
+//    this many ticks late (interrupt latency).
+//  * stall_prob / stall_max -- a released instance's processor transiently
+//    stalls while executing it, adding U[1, stall_max] ticks of demand on
+//    top of the sampled execution time (which may exceed the WCET: that is
+//    the point -- MPM's bound timers then fire before completion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace e2e {
+
+struct FaultPlan {
+  /// Seeds every per-processor draw and the per-event fault stream.
+  std::uint64_t seed = 1;
+
+  // --- non-ideal clocks (per processor) ------------------------------
+  Duration clock_offset_max = 0;   ///< initial offset drawn U[-max, +max]
+  std::int64_t drift_ppm_max = 0;  ///< rate error drawn U[-max, +max] ppm
+
+  // --- lossy synchronization-signal channel --------------------------
+  double signal_loss_prob = 0.0;       ///< P(signal dropped), in [0, 1]
+  Duration signal_delay_max = 0;       ///< delivery delay drawn U[0, max]
+  double signal_duplicate_prob = 0.0;  ///< P(one extra copy), in [0, 1]
+
+  // --- timer service --------------------------------------------------
+  Duration timer_jitter_max = 0;  ///< timer lateness drawn U[0, max]
+
+  // --- transient processor stalls -------------------------------------
+  double stall_prob = 0.0;  ///< P(a released instance stalls), in [0, 1]
+  Duration stall_max = 0;   ///< extra demand drawn U[1, max]
+
+  /// True if any fault dimension is active. A disabled plan is
+  /// guaranteed zero-cost: the engine takes the ideal path everywhere.
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Throws InvalidArgument if any field is out of range (negative
+  /// durations, probabilities outside [0, 1], stall_prob without
+  /// stall_max, ...).
+  void validate() const;
+};
+
+/// Parses a `key=value,key=value,...` fault specification (the CLI's
+/// `--faults=` argument) into a validated plan. Keys: seed, offset,
+/// drift-ppm, loss-prob, delay, dup-prob, timer-jitter, stall-prob,
+/// stall. Throws InvalidArgument naming the offending key on unknown
+/// keys, malformed numbers, or out-of-range values.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// The key=value pairs accepted by parse_fault_plan, for help text.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> fault_plan_keys();
+
+}  // namespace e2e

@@ -50,6 +50,21 @@ class SyncProtocol {
     (void)engine, (void)ref, (void)instance;
   }
 
+  /// A synchronization signal addressed at (ref, instance) arrived: the
+  /// predecessor's instance `instance` reported completion (DS/RG) or its
+  /// response bound elapsed (MPM). Sent via Engine::send_sync_signal;
+  /// under an ideal channel this is invoked synchronously at the send,
+  /// under a faulted one it may arrive late, twice, or -- if the signal
+  /// is lost -- not at all. Implementations must therefore tolerate
+  /// duplicated and out-of-order signals; since predecessor completions
+  /// are in-order, a signal for instance m implies every earlier instance
+  /// may also be released (the catch-up rule protocols implement via
+  /// Engine::released_instances).
+  virtual void on_sync_signal(Engine& engine, SubtaskRef ref,
+                              std::int64_t instance) {
+    (void)engine, (void)ref, (void)instance;
+  }
+
   /// `now` is an idle point on `processor`. RG applies guard rule 2 here.
   virtual void on_idle_point(Engine& engine, ProcessorId processor) {
     (void)engine, (void)processor;

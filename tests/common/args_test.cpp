@@ -91,5 +91,46 @@ TEST(Args, NegativeNumericValues) {
   EXPECT_EQ(args.value_int("offset", 0), -5);
 }
 
+TEST(SplitKeyValues, BasicPairsInOrder) {
+  const auto pairs = split_key_values("a=1,b=two,c=3.5");
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"b", "two"}));
+  EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"c", "3.5"}));
+}
+
+TEST(SplitKeyValues, TrimsWhitespaceAndSkipsEmptySegments) {
+  const auto pairs = split_key_values("  a = 1 , ,b=2,  ");
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[0].second, "1");
+  EXPECT_EQ(pairs[1].first, "b");
+}
+
+TEST(SplitKeyValues, EmptyValueIsAllowed) {
+  const auto pairs = split_key_values("key=");
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, "key");
+  EXPECT_EQ(pairs[0].second, "");
+}
+
+TEST(SplitKeyValues, EmptySpecYieldsNothing) {
+  EXPECT_TRUE(split_key_values("").empty());
+  EXPECT_TRUE(split_key_values(" , ,").empty());
+}
+
+TEST(SplitKeyValues, MissingEqualsThrows) {
+  try {
+    (void)split_key_values("a=1,oops,b=2");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string{e.what()}.find("oops"), std::string::npos);
+  }
+}
+
+TEST(SplitKeyValues, EmptyKeyThrows) {
+  EXPECT_THROW((void)split_key_values("=5"), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace e2e

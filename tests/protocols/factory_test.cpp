@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "common/error.h"
 #include "core/analysis/sa_pm.h"
 #include "sim/engine.h"
@@ -25,6 +27,22 @@ TEST(Factory, Names) {
   EXPECT_EQ(to_string(ProtocolKind::kPhaseModification), "PM");
   EXPECT_EQ(to_string(ProtocolKind::kModifiedPm), "MPM");
   EXPECT_EQ(to_string(ProtocolKind::kReleaseGuard), "RG");
+  EXPECT_EQ(to_string(ProtocolKind::kModifiedPmRetransmit), "MPM-R");
+}
+
+TEST(Factory, ExtendedKindsArePaperKindsPlusHardenedVariants) {
+  // The paper's comparisons stay over the four paper protocols; MPM-R
+  // only joins the extended list used by the robustness experiments.
+  ASSERT_EQ(std::size(kAllProtocolKinds), 4u);
+  ASSERT_EQ(std::size(kExtendedProtocolKinds), 5u);
+  EXPECT_EQ(kExtendedProtocolKinds[4], ProtocolKind::kModifiedPmRetransmit);
+
+  const TaskSystem sys = paper::example2();
+  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto protocol = make_protocol(kind, sys);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->name(), to_string(kind));
+  }
 }
 
 TEST(Factory, UsesProvidedBounds) {
@@ -68,6 +86,11 @@ TEST(Factory, TraitsMatchPaperSection33) {
   EXPECT_EQ(traits_of(ProtocolKind::kReleaseGuard).interrupts_per_instance, 2);
   EXPECT_EQ(traits_of(ProtocolKind::kDirectSync).variables_per_subtask, 0);
   EXPECT_EQ(traits_of(ProtocolKind::kReleaseGuard).variables_per_subtask, 1);
+  // MPM-R: MPM's interrupt cost plus the transmit/ack bookkeeping.
+  EXPECT_EQ(traits_of(ProtocolKind::kModifiedPmRetransmit).interrupts_per_instance,
+            2);
+  EXPECT_EQ(traits_of(ProtocolKind::kModifiedPmRetransmit).variables_per_subtask,
+            3);
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// FaultPlan validation/parsing and FaultInjector determinism: the same
+// (system, plan) must yield the same per-processor clocks and the same
+// per-event draw sequence, because every robustness experiment leans on
+// seeded reproducibility.
+#include "sim/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/fault/fault_plan.h"
+#include "task/paper_examples.h"
+
+namespace e2e {
+namespace {
+
+TEST(FaultPlan, DisabledByDefault) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, AnySingleKnobEnables) {
+  EXPECT_TRUE((FaultPlan{.clock_offset_max = 1}).enabled());
+  EXPECT_TRUE((FaultPlan{.drift_ppm_max = 1}).enabled());
+  EXPECT_TRUE((FaultPlan{.signal_loss_prob = 0.1}).enabled());
+  EXPECT_TRUE((FaultPlan{.signal_delay_max = 1}).enabled());
+  EXPECT_TRUE((FaultPlan{.signal_duplicate_prob = 0.1}).enabled());
+  EXPECT_TRUE((FaultPlan{.timer_jitter_max = 1}).enabled());
+  EXPECT_TRUE((FaultPlan{.stall_prob = 0.1, .stall_max = 1}).enabled());
+  // A different seed alone changes nothing.
+  EXPECT_FALSE((FaultPlan{.seed = 99}).enabled());
+}
+
+TEST(FaultPlan, ValidateRejectsBadValues) {
+  EXPECT_THROW((FaultPlan{.clock_offset_max = -1}).validate(), InvalidArgument);
+  EXPECT_THROW((FaultPlan{.signal_loss_prob = 1.5}).validate(), InvalidArgument);
+  EXPECT_THROW((FaultPlan{.signal_duplicate_prob = -0.1}).validate(),
+               InvalidArgument);
+  EXPECT_THROW((FaultPlan{.drift_ppm_max = 1'000'000}).validate(),
+               InvalidArgument);
+  // Stall probability without a stall magnitude is a contradiction.
+  EXPECT_THROW((FaultPlan{.stall_prob = 0.5}).validate(), InvalidArgument);
+  EXPECT_NO_THROW((FaultPlan{.stall_prob = 0.5, .stall_max = 3}).validate());
+}
+
+TEST(FaultPlan, ParseRoundTrip) {
+  const FaultPlan plan = parse_fault_plan(
+      "seed=9, offset=5, drift-ppm=100, loss-prob=0.25, delay=3, "
+      "dup-prob=0.05, timer-jitter=2, stall-prob=0.01, stall=4");
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_EQ(plan.clock_offset_max, 5);
+  EXPECT_EQ(plan.drift_ppm_max, 100);
+  EXPECT_DOUBLE_EQ(plan.signal_loss_prob, 0.25);
+  EXPECT_EQ(plan.signal_delay_max, 3);
+  EXPECT_DOUBLE_EQ(plan.signal_duplicate_prob, 0.05);
+  EXPECT_EQ(plan.timer_jitter_max, 2);
+  EXPECT_DOUBLE_EQ(plan.stall_prob, 0.01);
+  EXPECT_EQ(plan.stall_max, 4);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, ParseErrorsNameTheKey) {
+  try {
+    (void)parse_fault_plan("offst=5");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offst"), std::string::npos);
+    EXPECT_NE(what.find("known:"), std::string::npos);  // lists valid keys
+  }
+  EXPECT_THROW((void)parse_fault_plan("offset=abc"), InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("loss-prob=2"), InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("offset"), InvalidArgument);
+}
+
+TEST(FaultInjector, ClockDrawsAreSeededAndPerProcessor) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 7, .clock_offset_max = 1000, .drift_ppm_max = 500};
+  FaultInjector a{sys, plan};
+  FaultInjector b{sys, plan};
+  for (std::size_t p = 0; p < sys.processor_count(); ++p) {
+    const ProcessorId pid{static_cast<std::int32_t>(p)};
+    EXPECT_EQ(a.clock_offset(pid), b.clock_offset(pid));
+    EXPECT_EQ(a.clock_drift_ppm(pid), b.clock_drift_ppm(pid));
+    EXPECT_GE(a.clock_offset(pid), -1000);
+    EXPECT_LE(a.clock_offset(pid), 1000);
+    EXPECT_GE(a.clock_drift_ppm(pid), -500);
+    EXPECT_LE(a.clock_drift_ppm(pid), 500);
+  }
+}
+
+TEST(FaultInjector, EventStreamIsReproducible) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 11,
+                       .signal_loss_prob = 0.3,
+                       .signal_delay_max = 50,
+                       .signal_duplicate_prob = 0.2,
+                       .stall_prob = 0.4,
+                       .stall_max = 9};
+  FaultInjector a{sys, plan};
+  FaultInjector b{sys, plan};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.signal_outcome().delays, b.signal_outcome().delays);
+    EXPECT_EQ(a.stall(), b.stall());
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const TaskSystem sys = paper::example2();
+  FaultPlan plan{.seed = 1, .signal_loss_prob = 0.5};
+  FaultInjector a{sys, plan};
+  plan.seed = 2;
+  FaultInjector b{sys, plan};
+  bool differed = false;
+  for (int i = 0; i < 200 && !differed; ++i) {
+    differed = a.signal_outcome().lost() != b.signal_outcome().lost();
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(FaultInjector, OffsetAppliesOnlyToInitialSchedules) {
+  const TaskSystem sys = paper::example2();
+  // Offset only, no drift: the perturbation is exactly the offset for
+  // initialization-time schedules and the identity otherwise.
+  const FaultPlan plan{.seed = 5, .clock_offset_max = 40};
+  const FaultInjector inj{sys, plan};
+  const ProcessorId p{0};
+  const Duration offset = inj.clock_offset(p);
+  EXPECT_EQ(inj.perturb_scheduled_release(p, 0, 100, /*initial=*/true),
+            std::max<Time>(0, 100 + offset));
+  EXPECT_EQ(inj.perturb_scheduled_release(p, 0, 100, /*initial=*/false), 100);
+  EXPECT_EQ(inj.perturb_scheduled_release(p, 90, 100, /*initial=*/false), 100);
+}
+
+TEST(FaultInjector, DriftMismeasuresTheInterval) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 3, .drift_ppm_max = 400};
+  const FaultInjector inj{sys, plan};
+  const ProcessorId p{1};
+  const std::int64_t ppm = inj.clock_drift_ppm(p);
+  // Over an interval of exactly 1e6 ticks the error is exactly `ppm`.
+  EXPECT_EQ(inj.perturb_scheduled_release(p, 0, 1'000'000, /*initial=*/false),
+            1'000'000 + ppm);
+  // Never earlier than now, even for a fast clock.
+  EXPECT_GE(inj.perturb_scheduled_release(p, 999'999, 1'000'000,
+                                          /*initial=*/false),
+            999'999);
+}
+
+TEST(FaultInjector, TimerJitterIsBoundedAndLate) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 13, .timer_jitter_max = 7};
+  FaultInjector inj{sys, plan};
+  for (int i = 0; i < 100; ++i) {
+    const Time fired = inj.perturb_timer(ProcessorId{0}, 10, 20);
+    EXPECT_GE(fired, 20);      // jitter is pure lateness
+    EXPECT_LE(fired, 20 + 7);  // bounded by the plan
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -86,6 +86,69 @@ TEST(Cli, SimulateRejectsUnknownProtocol) {
   EXPECT_NE(r.err.find("unknown protocol"), std::string::npos);
 }
 
+TEST(Cli, SimulateAcceptsMpmRetransmit) {
+  const CliResult r = run_cli({"simulate", "--protocol=MPM-R", "--horizon=60"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("protocol MPM-R"), std::string::npos);
+}
+
+TEST(Cli, UnknownProtocolErrorListsExtendedSet) {
+  const CliResult r =
+      run_cli({"simulate", "--protocol=EDF"}, to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("MPM-R"), std::string::npos);
+}
+
+TEST(Cli, SimulateWithFaultsPrintsFaultStats) {
+  const CliResult r = run_cli({"simulate", "--protocol=DS", "--horizon=600",
+                               "--faults=loss-prob=0.5,seed=3"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("faults:"), std::string::npos);
+  EXPECT_NE(r.out.find("dropped"), std::string::npos);
+}
+
+TEST(Cli, FaultsWithoutValueIsAnError) {
+  const CliResult r =
+      run_cli({"simulate", "--faults"}, to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--faults expects key=value"), std::string::npos);
+}
+
+TEST(Cli, FaultsUnknownKeyListsKnownKeys) {
+  const CliResult r = run_cli({"simulate", "--faults=losss-prob=0.5"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown fault key 'losss-prob'"), std::string::npos);
+  EXPECT_NE(r.err.find("loss-prob"), std::string::npos);  // suggests valid keys
+}
+
+TEST(Cli, FaultsOutOfRangeProbabilityIsAnError) {
+  const CliResult r = run_cli({"simulate", "--faults=loss-prob=1.5"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("loss-prob"), std::string::npos);
+  EXPECT_NE(r.err.find("probability"), std::string::npos);
+}
+
+TEST(Cli, UnknownPrecedencePolicyIsAnError) {
+  const CliResult r = run_cli({"simulate", "--precedence=panic"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown precedence policy"), std::string::npos);
+  EXPECT_NE(r.err.find("record, abort, defer"), std::string::npos);
+}
+
+TEST(Cli, AbortPolicyExitsWithCodeThree) {
+  // Example 2 under PM with a skewed clock: the violation aborts the run.
+  const CliResult r = run_cli({"simulate", "--protocol=PM", "--horizon=600",
+                               "--faults=offset=3,seed=4", "--precedence=abort"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.err.find("aborted: precedence violation"), std::string::npos);
+}
+
 TEST(Cli, SimulateRejectsTypoedOption) {
   const CliResult r =
       run_cli({"simulate", "--horizn=10"}, to_text(paper::example2()));

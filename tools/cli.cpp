@@ -17,6 +17,8 @@
 #include "report/trace_log.h"
 #include "sim/engine.h"
 #include "sim/execution_model.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
 #include "task/paper_examples.h"
 #include "task/serialize.h"
 #include "workload/generator.h"
@@ -29,8 +31,12 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  analyze  [file]      worst-case EER bounds and verdicts per protocol\n"
-    "  simulate [file]      simulate; --protocol=DS|PM|MPM|RG --horizon=N\n"
+    "  simulate [file]      simulate; --protocol=DS|PM|MPM|RG|MPM-R --horizon=N\n"
     "                       --gantt[=ticks/col] --trace --exec-var=F --seed=N\n"
+    "                       --faults=key=val,...  (keys: seed, offset, drift-ppm,\n"
+    "                         loss-prob, delay, dup-prob, timer-jitter,\n"
+    "                         stall-prob, stall)\n"
+    "                       --precedence=record|abort|defer\n"
     "  generate             random paper-style system; --subtasks=N\n"
     "                       --utilization=PCT --tasks=N --processors=N\n"
     "                       --seed=N --ticks=N\n"
@@ -49,10 +55,19 @@ TaskSystem load_system(const ArgParser& args, std::istream& in) {
 }
 
 ProtocolKind parse_protocol(const std::string& name) {
-  for (const ProtocolKind kind : kAllProtocolKinds) {
+  for (const ProtocolKind kind : kExtendedProtocolKinds) {
     if (name == to_string(kind)) return kind;
   }
-  throw InvalidArgument("unknown protocol '" + name + "' (DS, PM, MPM, RG)");
+  throw InvalidArgument("unknown protocol '" + name +
+                        "' (DS, PM, MPM, RG, MPM-R)");
+}
+
+PrecedencePolicy parse_precedence(const std::string& name) {
+  if (name == "record") return PrecedencePolicy::kRecord;
+  if (name == "abort") return PrecedencePolicy::kAbort;
+  if (name == "defer") return PrecedencePolicy::kDeferRelease;
+  throw InvalidArgument("unknown precedence policy '" + name +
+                        "' (record, abort, defer)");
 }
 
 int cmd_analyze(const ArgParser& args, std::istream& in, std::ostream& out) {
@@ -84,8 +99,10 @@ int cmd_analyze(const ArgParser& args, std::istream& in, std::ostream& out) {
   return pm.system_schedulable() ? 0 : 1;
 }
 
-int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out) {
-  args.expect_known({"protocol", "horizon", "gantt", "trace", "exec-var", "seed"});
+int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out,
+                 std::ostream& err) {
+  args.expect_known({"protocol", "horizon", "gantt", "trace", "exec-var", "seed",
+                     "faults", "precedence"});
   const TaskSystem system = load_system(args, in);
 
   const ProtocolKind kind = parse_protocol(args.value_string("protocol", "RG"));
@@ -103,8 +120,22 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out) {
         args.value_double("exec-var", 1.0));
   }
 
+  std::unique_ptr<FaultInjector> faults;
+  if (args.has("faults")) {
+    const std::optional<std::string> spec = args.value("faults");
+    if (!spec.has_value()) {
+      throw InvalidArgument("--faults expects key=value,... (see 'e2e help')");
+    }
+    faults = std::make_unique<FaultInjector>(system, parse_fault_plan(*spec));
+  }
+  const PrecedencePolicy policy =
+      parse_precedence(args.value_string("precedence", "record"));
+
   Engine engine{system, *protocol,
-                {.horizon = horizon, .execution = variation.get()}};
+                {.horizon = horizon,
+                 .execution = variation.get(),
+                 .faults = faults.get(),
+                 .precedence_policy = policy}};
   engine.add_sink(&eer);
   if (args.has("gantt")) engine.add_sink(&gantt);
   std::unique_ptr<TraceLogger> trace;
@@ -112,7 +143,12 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out) {
     trace = std::make_unique<TraceLogger>(out, system);
     engine.add_sink(trace.get());
   }
-  engine.run();
+  try {
+    engine.run();
+  } catch (const PrecedenceViolationError& e) {
+    err << "aborted: " << e.what() << "\n";
+    return 3;
+  }
 
   if (trace) return 0;  // the CSV is the output
 
@@ -128,6 +164,14 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out) {
       << engine.stats().deadline_misses
       << ", preemptions: " << engine.stats().preemptions
       << ", events: " << engine.stats().events_processed << "\n";
+  if (faults != nullptr) {
+    out << "faults: precedence violations: " << engine.stats().precedence_violations
+        << ", dropped signals: " << engine.stats().dropped_signals
+        << ", late signals: " << engine.stats().late_signals
+        << ", duplicated signals: " << engine.stats().duplicated_signals
+        << ", stalls: " << engine.stats().stalls
+        << ", deferred releases: " << engine.stats().deferred_releases << "\n";
+  }
   if (args.has("gantt")) {
     out << "\n" << gantt.render(std::max<Time>(1, args.value_int("gantt", 1)));
   }
@@ -161,7 +205,7 @@ int run(const std::vector<std::string>& args_vector, std::istream& in,
       return command.empty() ? 1 : 0;
     }
     if (command == "analyze") return cmd_analyze(args, in, out);
-    if (command == "simulate") return cmd_simulate(args, in, out);
+    if (command == "simulate") return cmd_simulate(args, in, out, err);
     if (command == "generate") return cmd_generate(args, out);
     if (command == "example2") {
       write_system(out, paper::example2());

@@ -7,10 +7,13 @@
 //   e2e example2                            emit the paper's Example 2
 //   e2e help                                usage
 //
-// `simulate` options: --protocol=DS|PM|MPM|RG (default RG),
+// `simulate` options: --protocol=DS|PM|MPM|RG|MPM-R (default RG),
 // --horizon=<ticks> (default 30 max-periods), --gantt[=<ticks/col>],
 // --trace (CSV event log to stdout), --exec-var=<min fraction>,
-// --seed=<n>.
+// --seed=<n>, --faults=<key=val,...> (non-ideal clocks / lossy signal
+// channel / stalls; see sim/fault/fault_plan.h for the keys),
+// --precedence=record|abort|defer (what a violating release does;
+// abort exits with code 3).
 // `generate` options: --subtasks, --utilization (percent), --tasks,
 // --processors, --seed, --ticks.
 #pragma once
