@@ -2,14 +2,25 @@
 // clocks, lossy sync signals, timer jitter, transient stalls). See
 // src/experiments/faults.h for the severity ladder and metrics.
 //
+// `--json[=path]` switches to perf mode: the sweep is timed once per
+// thread count (E2E_BENCH_THREADS or 1,2,4,8) and the measurements are
+// written as BENCH_faults.json (see src/report/perf_json.h). Exits
+// nonzero if any thread count produced a different schedule hash.
+//
 // Env overrides: E2E_FAULT_SYSTEMS (systems per cell), E2E_SEED,
-// E2E_HORIZON_PERIODS, E2E_FAULT_SUBTASKS (N), E2E_FAULT_UTILIZATION (%).
+// E2E_HORIZON_PERIODS, E2E_FAULT_SUBTASKS (N), E2E_FAULT_UTILIZATION (%),
+// E2E_THREADS (worker threads outside --json mode).
 #include <iostream>
+#include <sstream>
 
+#include "common/args.h"
+#include "common/error.h"
+#include "common/hash.h"
 #include "experiments/env.h"
 #include "experiments/faults.h"
+#include "report/perf_json.h"
 
-int main() {
+int main(int argc, char** argv) {
   e2e::FaultSweepOptions options;
   options.systems =
       static_cast<int>(e2e::env_int("E2E_FAULT_SYSTEMS", options.systems));
@@ -21,6 +32,40 @@ int main() {
       e2e::env_int("E2E_FAULT_SUBTASKS", options.config.subtasks_per_task));
   options.config.utilization_percent = static_cast<int>(e2e::env_int(
       "E2E_FAULT_UTILIZATION", options.config.utilization_percent));
-  e2e::run_fault_report(std::cout, options);
-  return 0;
+  options.threads = static_cast<int>(e2e::env_int("E2E_THREADS", 0));
+
+  try {
+    const e2e::ArgParser args{argc, argv};
+    args.expect_known({"json"});
+    if (!args.has("json")) {
+      e2e::run_fault_report(std::cout, options);
+      return 0;
+    }
+
+    const std::string path = args.value_string("json", "BENCH_faults.json");
+    std::ostringstream workload;
+    workload << options.systems << " systems, N="
+             << options.config.subtasks_per_task
+             << ", U=" << options.config.utilization_percent << "%, horizon "
+             << options.horizon_periods
+             << " max-periods, full severity ladder x all protocols";
+    return e2e::write_perf_report(
+        "faults", workload.str(), path, e2e::bench_thread_counts(),
+        [&](int threads) {
+          e2e::FaultSweepOptions timed = options;
+          timed.threads = threads;
+          const e2e::FaultSweepResult result = e2e::run_fault_sweep(timed);
+          e2e::PerfRunOutcome outcome;
+          for (const e2e::FaultCell& cell : result.cells) {
+            outcome.events += cell.events_processed;
+            outcome.schedule_hash =
+                e2e::hash_combine(outcome.schedule_hash, cell.schedule_hash);
+          }
+          return outcome;
+        },
+        std::cout);
+  } catch (const e2e::InvalidArgument& e) {
+    std::cerr << "bench_faults: " << e.what() << "\n";
+    return 1;
+  }
 }

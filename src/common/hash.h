@@ -1,0 +1,17 @@
+// Order-dependent hash combination (the boost::hash_combine recipe,
+// widened to 64 bits). Experiments use it to fold per-run schedule
+// hashes into one fingerprint in run-index order, so the combined value
+// is identical at every thread count but still sensitive to any
+// reordering of runs.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e {
+
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t acc,
+                                                   std::uint64_t h) noexcept {
+  return acc ^ (h + 0x9E3779B97F4A7C15ULL + (acc << 6) + (acc >> 2));
+}
+
+}  // namespace e2e

@@ -1,0 +1,86 @@
+// The shared parallel execution layer for experiments.
+//
+// Every experiment driver (sweep, monte_carlo, exhaustive, faults,
+// figures) fans independent work items out over one of these pools and
+// merges per-index partial results back in index order, which makes the
+// output byte-identical at every thread count:
+//
+//   * RNG streams are forked from the master generator *serially, in
+//     index order, before any worker starts* (Rng::fork advances the
+//     master, so fork order must not depend on scheduling);
+//   * each index writes only its own slot of a pre-sized result vector;
+//   * the calling thread merges the slots serially in index order.
+//
+// The pool keeps its workers alive across parallel_for_indexed calls, so
+// a grid experiment pays the thread-spawn cost once, not per cell.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace e2e::exec {
+
+/// Resolves a thread-count request: `requested` > 0 wins; otherwise the
+/// E2E_THREADS environment variable (if set to a positive integer);
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] int resolve_threads(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns resolve_threads(threads) - 1 workers; the calling thread
+  /// participates in every parallel_for_indexed, so `threads == 1` runs
+  /// everything inline with zero synchronization.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
+
+  /// Runs fn(index, worker) for every index in [0, n), distributing
+  /// indices over the pool dynamically (an atomic ticket counter).
+  /// `worker` is in [0, thread_count()); the calling thread is worker 0.
+  /// Blocks until all indices finish. If any invocation throws, the
+  /// exception raised by the *lowest* index is rethrown after the loop
+  /// drains (remaining indices are skipped), keeping failure behaviour
+  /// independent of thread scheduling.
+  void parallel_for_indexed(std::int64_t n,
+                            const std::function<void(std::int64_t, int)>& fn);
+
+ private:
+  void worker_loop(int worker);
+  /// Pulls tickets until the range is exhausted; records the first
+  /// (lowest-index) exception.
+  void run_indices(int worker);
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  std::uint64_t generation_ = 0;  ///< bumped per parallel_for_indexed call
+  bool shutdown_ = false;
+  int running_workers_ = 0;
+
+  // State of the in-flight loop (valid while running_workers_ > 0).
+  const std::function<void(std::int64_t, int)>* fn_ = nullptr;
+  std::int64_t n_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::exception_ptr error_;
+  std::int64_t error_index_ = -1;
+};
+
+/// One-shot convenience: runs fn(index, worker) over [0, n) on a
+/// transient pool of resolve_threads(threads) workers.
+void parallel_for_indexed(std::int64_t n, int threads,
+                          const std::function<void(std::int64_t, int)>& fn);
+
+}  // namespace e2e::exec

@@ -1,10 +1,12 @@
 #include "experiments/exhaustive.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.h"
 #include "common/math.h"
 #include "core/analysis/sa_pm.h"
+#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
 #include "sim/engine.h"
 #include "task/builder.h"
@@ -63,35 +65,72 @@ ExhaustiveResult exhaustive_worst_eer(const TaskSystem& system, ProtocolKind kin
   result.worst_eer.assign(system.task_count(), 0);
   result.worst_phasing.assign(system.task_count(), {});
 
-  std::vector<Time> phases(system.task_count(), 0);
-  for (;;) {
-    ++result.phasings_tried;
-    const TaskSystem phased = with_phases(system, phases);
-    const auto protocol = make_protocol(kind, phased, &pm_bounds.subtask_bounds);
-    EerCollector eer{phased};
-    Engine engine{phased, *protocol,
-                  {.horizon = phased.max_phase() + base_horizon}};
-    engine.add_sink(&eer);
-    engine.run();
-    for (const Task& t : phased.tasks()) {
-      const Duration worst = eer.worst_eer(t.id);
-      if (worst > result.worst_eer[t.id.index()]) {
-        result.worst_eer[t.id.index()] = worst;
-        result.worst_phasing[t.id.index()] = phases;
-      }
+  // The phase grid is a mixed-radix odometer with task 0 as the least
+  // significant digit; phasing k is decoded from k arithmetically, so
+  // workers need no shared iteration state.
+  std::vector<std::int64_t> steps;
+  steps.reserve(system.task_count());
+  for (const Task& t : system.tasks()) {
+    steps.push_back(ceil_div(t.period, options.phase_step));
+  }
+  const auto decode = [&](std::int64_t index, std::vector<Time>& phases) {
+    phases.resize(steps.size());
+    for (std::size_t task = 0; task < steps.size(); ++task) {
+      phases[task] = static_cast<Time>(index % steps[task]) * options.phase_step;
+      index /= steps[task];
     }
+  };
 
-    // Odometer increment over the phase grid.
-    std::size_t position = 0;
-    for (; position < phases.size(); ++position) {
-      phases[position] += options.phase_step;
-      if (phases[position] <
-          system.task(TaskId{static_cast<std::int32_t>(position)}).period) {
-        break;
+  exec::ThreadPool pool{options.threads};
+  // Per-phasing worst EERs are buffered per chunk and merged serially in
+  // phasing order, which reproduces the serial search exactly -- including
+  // which of several tying phasings is reported (the first one whose EER
+  // strictly exceeds the running maximum). Chunking bounds the buffer for
+  // multi-million-phasing searches.
+  const std::int64_t chunk_size =
+      std::max<std::int64_t>(1024, 8 * pool.thread_count());
+  std::vector<std::vector<Duration>> chunk_worst(
+      static_cast<std::size_t>(std::min(combinations, chunk_size)));
+  std::vector<std::optional<Engine>> engines(
+      static_cast<std::size_t>(pool.thread_count()));
+  std::vector<Time> merge_phases;
+
+  for (std::int64_t chunk_begin = 0; chunk_begin < combinations;
+       chunk_begin += chunk_size) {
+    const std::int64_t count = std::min(chunk_size, combinations - chunk_begin);
+    pool.parallel_for_indexed(count, [&](std::int64_t offset, int worker) {
+      std::vector<Time> phases;
+      decode(chunk_begin + offset, phases);
+      const TaskSystem phased = with_phases(system, phases);
+      const auto protocol = make_protocol(kind, phased, &pm_bounds.subtask_bounds);
+      const EngineOptions engine_options{.horizon =
+                                             phased.max_phase() + base_horizon};
+      std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
+      if (engine.has_value()) {
+        engine->reset(phased, *protocol, engine_options);
+      } else {
+        engine.emplace(phased, *protocol, engine_options);
       }
-      phases[position] = 0;
+      EerCollector eer{phased};
+      engine->add_sink(&eer);
+      engine->run();
+      std::vector<Duration>& worst = chunk_worst[static_cast<std::size_t>(offset)];
+      worst.resize(phased.task_count());
+      for (const Task& t : phased.tasks()) worst[t.id.index()] = eer.worst_eer(t.id);
+    });
+
+    for (std::int64_t offset = 0; offset < count; ++offset) {
+      ++result.phasings_tried;
+      const std::vector<Duration>& worst =
+          chunk_worst[static_cast<std::size_t>(offset)];
+      for (std::size_t task = 0; task < worst.size(); ++task) {
+        if (worst[task] > result.worst_eer[task]) {
+          result.worst_eer[task] = worst[task];
+          decode(chunk_begin + offset, merge_phases);
+          result.worst_phasing[task] = merge_phases;
+        }
+      }
     }
-    if (position == phases.size()) break;  // odometer wrapped: done
   }
   return result;
 }

@@ -30,6 +30,9 @@ struct ExhaustiveOptions {
   double horizon_hyperperiods = 2.0;
   /// Safety valve: refuse absurd searches (phasing count above this).
   std::int64_t max_phasings = 2'000'000;
+  /// Worker threads; 0 = E2E_THREADS env var, else hardware concurrency.
+  /// Results are identical at every thread count.
+  int threads = 0;
 };
 
 struct ExhaustiveResult {

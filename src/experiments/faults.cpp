@@ -1,12 +1,16 @@
 #include "experiments/faults.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "core/analysis/sa_pm.h"
 #include "core/protocols/modified_pm.h"
 #include "core/protocols/mpm_retransmit.h"
+#include "exec/thread_pool.h"
+#include "metrics/schedule_hash.h"
 #include "report/table.h"
 #include "sim/engine.h"
 #include "sim/fault/fault_injector.h"
@@ -43,6 +47,16 @@ std::int64_t end_to_end_completions(const Engine& engine) {
   }
   return total;
 }
+
+/// What one (severity, protocol, system) simulation contributes to its
+/// cell; merged serially in item order.
+struct RunOutcome {
+  SimStats stats;
+  std::int64_t completions = 0;
+  std::int64_t overruns = 0;
+  std::int64_t retransmits = 0;
+  std::uint64_t schedule_hash = 0;
+};
 
 }  // namespace
 
@@ -115,38 +129,77 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
   }
   E2E_ASSERT(!cases.empty(), "no PM-schedulable system in the sample budget");
 
+  // One work item per (severity, protocol, system) triple, system-minor;
+  // every simulation is independent (the fault RNG is re-seeded from the
+  // plan per run), so items fan out over the pool freely and the serial
+  // in-order merge below keeps cells identical at every thread count.
+  const std::int64_t per_cell = static_cast<std::int64_t>(cases.size());
+  const std::int64_t items =
+      static_cast<std::int64_t>(severities.size() * protocols.size()) * per_cell;
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(items));
+  exec::ThreadPool pool{options.threads};
+  std::vector<std::optional<Engine>> engines(
+      static_cast<std::size_t>(pool.thread_count()));
+
+  pool.parallel_for_indexed(items, [&](std::int64_t item, int worker) {
+    const std::int64_t cell_index = item / per_cell;
+    const FaultSeverity& severity =
+        severities[static_cast<std::size_t>(cell_index) / protocols.size()];
+    const ProtocolKind kind =
+        protocols[static_cast<std::size_t>(cell_index) % protocols.size()];
+    const SystemCase& sc = cases[static_cast<std::size_t>(item % per_cell)];
+
+    FaultPlan plan = severity.plan;
+    plan.seed += sc.fault_seed_mix;
+    FaultInjector faults{sc.system, plan};
+    const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
+    const EngineOptions engine_options{.horizon = sc.horizon, .faults = &faults};
+    std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
+    if (engine.has_value()) {
+      engine->reset(sc.system, *protocol, engine_options);
+    } else {
+      engine.emplace(sc.system, *protocol, engine_options);
+    }
+    ScheduleHash hash;
+    engine->add_sink(&hash);
+    engine->run();
+
+    RunOutcome& outcome = outcomes[static_cast<std::size_t>(item)];
+    outcome.stats = engine->stats();
+    outcome.completions = end_to_end_completions(*engine);
+    outcome.schedule_hash = hash.value();
+    if (const auto* mpm = dynamic_cast<const ModifiedPmProtocol*>(protocol.get())) {
+      outcome.overruns = mpm->overruns();
+    }
+    if (const auto* mpmr =
+            dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
+      outcome.overruns = mpmr->overruns();
+      outcome.retransmits = mpmr->retransmits();
+    }
+  });
+
+  std::int64_t item = 0;
   for (const FaultSeverity& severity : severities) {
     for (const ProtocolKind kind : protocols) {
       FaultCell cell;
       cell.severity = severity.label;
       cell.kind = kind;
-      for (const SystemCase& sc : cases) {
-        FaultPlan plan = severity.plan;
-        plan.seed += sc.fault_seed_mix;
-        FaultInjector faults{sc.system, plan};
-        const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
-        Engine engine{sc.system, *protocol,
-                      {.horizon = sc.horizon, .faults = &faults}};
-        engine.run();
-
-        const SimStats& stats = engine.stats();
+      for (std::int64_t i = 0; i < per_cell; ++i, ++item) {
+        const RunOutcome& outcome = outcomes[static_cast<std::size_t>(item)];
+        const SimStats& stats = outcome.stats;
         ++cell.systems;
         cell.jobs_released += stats.jobs_released;
         cell.violations += stats.precedence_violations;
-        cell.instances += end_to_end_completions(engine);
+        cell.instances += outcome.completions;
         cell.misses += stats.deadline_misses;
         cell.dropped_signals += stats.dropped_signals;
         cell.late_signals += stats.late_signals;
         cell.duplicated_signals += stats.duplicated_signals;
         cell.stalls += stats.stalls;
-        if (const auto* mpm = dynamic_cast<const ModifiedPmProtocol*>(protocol.get())) {
-          cell.overruns += mpm->overruns();
-        }
-        if (const auto* mpmr =
-                dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
-          cell.overruns += mpmr->overruns();
-          cell.retransmits += mpmr->retransmits();
-        }
+        cell.overruns += outcome.overruns;
+        cell.retransmits += outcome.retransmits;
+        cell.schedule_hash = hash_combine(cell.schedule_hash, outcome.schedule_hash);
+        cell.events_processed += stats.events_processed;
       }
       result.cells.push_back(std::move(cell));
     }

@@ -51,6 +51,9 @@ struct FaultSweepOptions {
   std::vector<FaultSeverity> severities;
   /// Empty = kExtendedProtocolKinds (DS, PM, MPM, RG, MPM-R).
   std::vector<ProtocolKind> protocols;
+  /// Worker threads; 0 = E2E_THREADS env var, else hardware concurrency.
+  /// Results are identical at every thread count.
+  int threads = 0;
 };
 
 /// Aggregates for one (severity, protocol) cell.
@@ -68,6 +71,10 @@ struct FaultCell {
   std::int64_t stalls = 0;
   std::int64_t overruns = 0;     ///< MPM / MPM-R bound overruns
   std::int64_t retransmits = 0;  ///< MPM-R only
+  /// Per-run schedule hashes combined in system order; identical at every
+  /// thread count.
+  std::uint64_t schedule_hash = 0;
+  std::int64_t events_processed = 0;
 
   [[nodiscard]] double violation_rate() const noexcept {
     return jobs_released > 0

@@ -1,8 +1,14 @@
 #include "experiments/monte_carlo.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/error.h"
+#include "common/hash.h"
 #include "core/analysis/sa_pm.h"
+#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
+#include "metrics/schedule_hash.h"
 #include "sim/engine.h"
 #include "sim/execution_model.h"
 #include "task/builder.h"
@@ -26,6 +32,14 @@ TaskSystem with_random_phases(const TaskSystem& system, Rng& rng) {
   return std::move(builder).build();
 }
 
+/// Everything one run contributes, extracted from the run's collectors
+/// (the per-run phased system dies with the run).
+struct RunOutcome {
+  std::vector<std::vector<Duration>> series;  ///< [task] -> EER samples
+  std::uint64_t schedule_hash = 0;
+  std::int64_t events = 0;
+};
+
 }  // namespace
 
 MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
@@ -47,31 +61,72 @@ MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
   const Time horizon = static_cast<Time>(
       options.horizon_periods * static_cast<double>(system.max_period()));
 
+  // Fork one RNG stream per run serially, before any worker starts
+  // (fork advances the master, so fork order must stay index order).
   Rng master{options.seed};
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(options.runs));
   for (int run = 0; run < options.runs; ++run) {
-    Rng rng = master.fork(static_cast<std::uint64_t>(run));
-    const TaskSystem variant =
-        options.randomize_phases ? with_random_phases(system, rng) : system;
+    streams.push_back(master.fork(static_cast<std::uint64_t>(run)));
+  }
+
+  exec::ThreadPool pool{options.threads};
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(options.runs));
+  // One engine per worker, reset between runs: reset is observationally
+  // identical to fresh construction, so which worker simulates a run
+  // cannot affect its outcome.
+  std::vector<std::optional<Engine>> engines(
+      static_cast<std::size_t>(pool.thread_count()));
+
+  pool.parallel_for_indexed(options.runs, [&](std::int64_t run, int worker) {
+    Rng rng = streams[static_cast<std::size_t>(run)];
+    std::optional<TaskSystem> phased;
+    const TaskSystem& variant = options.randomize_phases
+                                    ? phased.emplace(with_random_phases(system, rng))
+                                    : system;
 
     const auto protocol = make_protocol(kind, variant, &bounds.subtask_bounds);
     UniformExecutionVariation variation{rng.fork(1), options.execution_min_fraction};
-    EerCollector eer{variant, {.keep_series = true}};
-    Engine engine{variant, *protocol,
-                  {.horizon = variant.max_phase() + horizon,
-                   .execution = options.execution_min_fraction < 1.0 ? &variation
-                                                                     : nullptr}};
-    engine.add_sink(&eer);
-    engine.run();
+    const EngineOptions engine_options{
+        .horizon = variant.max_phase() + horizon,
+        .execution =
+            options.execution_min_fraction < 1.0 ? &variation : nullptr};
+    std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
+    if (engine.has_value()) {
+      engine->reset(variant, *protocol, engine_options);
+    } else {
+      engine.emplace(variant, *protocol, engine_options);
+    }
 
-    for (const Task& t : variant.tasks()) {
-      TaskLatency& latency = result.per_task[t.id.index()];
-      for (const Duration sample : eer.eer_series(t.id)) {
+    EerCollector eer{variant, {.keep_series = true}};
+    ScheduleHash hash;
+    engine->add_sink(&eer);
+    engine->add_sink(&hash);
+    engine->run();
+
+    RunOutcome& outcome = outcomes[static_cast<std::size_t>(run)];
+    outcome.series.reserve(variant.task_count());
+    for (const Task& t : variant.tasks()) outcome.series.push_back(eer.eer_series(t.id));
+    outcome.schedule_hash = hash.value();
+    outcome.events = engine->stats().events_processed;
+  });
+
+  // Ordered serial merge: run-major, then task, then sample -- exactly the
+  // serial accumulation order, so Welford stats match bit for bit.
+  for (const RunOutcome& outcome : outcomes) {
+    for (std::size_t task = 0; task < outcome.series.size(); ++task) {
+      TaskLatency& latency = result.per_task[task];
+      const Duration deadline =
+          system.task(TaskId{static_cast<std::int32_t>(task)}).relative_deadline;
+      for (const Duration sample : outcome.series[task]) {
         latency.eer.add(static_cast<double>(sample));
         latency.histogram.add(static_cast<double>(sample));
         ++latency.instances;
-        if (sample > t.relative_deadline) ++latency.misses;
+        if (sample > deadline) ++latency.misses;
       }
     }
+    result.schedule_hash = hash_combine(result.schedule_hash, outcome.schedule_hash);
+    result.events_processed += outcome.events;
   }
   result.runs = options.runs;
   return result;

@@ -29,6 +29,9 @@ struct MonteCarloOptions {
   double execution_min_fraction = 1.0;
   /// Histogram buckets per task (range: [0, 2 x deadline)).
   std::size_t histogram_buckets = 64;
+  /// Worker threads; 0 = E2E_THREADS env var, else hardware concurrency.
+  /// Results are identical at every thread count.
+  int threads = 0;
 };
 
 struct TaskLatency {
@@ -50,6 +53,11 @@ struct TaskLatency {
 struct MonteCarloResult {
   std::vector<TaskLatency> per_task;  ///< indexed by TaskId
   int runs = 0;
+  /// Per-run schedule hashes combined in run order: a fingerprint of the
+  /// whole experiment, identical at every thread count.
+  std::uint64_t schedule_hash = 0;
+  /// Total simulation events processed across all runs.
+  std::int64_t events_processed = 0;
 };
 
 /// Estimates the latency profile of `system` under `kind`.

@@ -1,17 +1,18 @@
 #include "experiments/sweep.h"
 
 #include <algorithm>
-#include <atomic>
 #include <optional>
-#include <thread>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "core/analysis/holistic.h"
 #include "core/analysis/sa_pm.h"
 #include "core/protocols/direct_sync.h"
 #include "core/protocols/phase_modification.h"
 #include "core/protocols/release_guard.h"
+#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
+#include "metrics/schedule_hash.h"
 #include "sim/engine.h"
 
 namespace e2e {
@@ -33,18 +34,34 @@ struct SystemEvaluation {
   std::vector<double> rg_jitter;
   std::vector<double> rg_pessimism;
   std::vector<double> ds_pessimism;
+  std::uint64_t schedule_hash = 0;  ///< per-protocol hashes, fixed order
+  std::int64_t events = 0;
 };
 
-/// Simulates `system` under `protocol`; returns the EER collector.
-EerCollector simulate(const TaskSystem& system, SyncProtocol& protocol, Time horizon) {
+/// Simulates `system` under `protocol`, reusing the worker's engine (a
+/// reset engine reproduces a fresh one exactly, so which worker runs a
+/// system cannot affect its evaluation); returns the EER collector and
+/// folds the run's schedule hash and event count into `eval`.
+EerCollector simulate(std::optional<Engine>& engine, const TaskSystem& system,
+                      SyncProtocol& protocol, Time horizon,
+                      SystemEvaluation& eval) {
   EerCollector collector{system};
-  Engine engine{system, protocol, {.horizon = horizon}};
-  engine.add_sink(&collector);
-  engine.run();
+  ScheduleHash hash;
+  if (engine.has_value()) {
+    engine->reset(system, protocol, {.horizon = horizon});
+  } else {
+    engine.emplace(system, protocol, EngineOptions{.horizon = horizon});
+  }
+  engine->add_sink(&collector);
+  engine->add_sink(&hash);
+  engine->run();
+  eval.schedule_hash = hash_combine(eval.schedule_hash, hash.value());
+  eval.events += engine->stats().events_processed;
   return collector;
 }
 
-SystemEvaluation evaluate_system(Rng rng, const GeneratorOptions& gen_options,
+SystemEvaluation evaluate_system(std::optional<Engine>& engine, Rng rng,
+                                 const GeneratorOptions& gen_options,
                                  const SweepOptions& options) {
   SystemEvaluation eval;
   const TaskSystem system = generate_system(rng, gen_options);
@@ -99,9 +116,9 @@ SystemEvaluation evaluate_system(Rng rng, const GeneratorOptions& gen_options,
   PhaseModificationProtocol pm_protocol{system, pm.subtask_bounds};
   ReleaseGuardProtocol rg_protocol{system};
 
-  const EerCollector ds_eer = simulate(system, ds_protocol, horizon);
-  const EerCollector pm_eer = simulate(system, pm_protocol, horizon);
-  const EerCollector rg_eer = simulate(system, rg_protocol, horizon);
+  const EerCollector ds_eer = simulate(engine, system, ds_protocol, horizon, eval);
+  const EerCollector pm_eer = simulate(engine, system, pm_protocol, horizon, eval);
+  const EerCollector rg_eer = simulate(engine, system, rg_protocol, horizon, eval);
 
   for (const Task& t : system.tasks()) {
     const double ds_avg = ds_eer.average_eer(t.id);
@@ -139,7 +156,7 @@ SystemEvaluation evaluate_system(Rng rng, const GeneratorOptions& gen_options,
 
   if (options.run_rg_no_idle_rule) {
     ReleaseGuardProtocol rg_noidle{system, {.enable_idle_point_rule = false}};
-    const EerCollector noidle_eer = simulate(system, rg_noidle, horizon);
+    const EerCollector noidle_eer = simulate(engine, system, rg_noidle, horizon, eval);
     for (const Task& t : system.tasks()) {
       const double ds_avg = ds_eer.average_eer(t.id);
       if (ds_avg > 0.0 && noidle_eer.completed_instances(t.id) > 0) {
@@ -165,11 +182,19 @@ void merge(const SystemEvaluation& eval, ConfigResult& result) {
   for (const double r : eval.rg_jitter) result.rg_jitter.add(r);
   for (const double r : eval.rg_pessimism) result.rg_bound_pessimism.add(r);
   for (const double r : eval.ds_pessimism) result.ds_bound_pessimism.add(r);
+  result.schedule_hash = hash_combine(result.schedule_hash, eval.schedule_hash);
+  result.events_processed += eval.events;
 }
 
 }  // namespace
 
 ConfigResult run_configuration(const Configuration& config, const SweepOptions& options) {
+  exec::ThreadPool pool{options.threads};
+  return run_configuration(config, options, pool);
+}
+
+ConfigResult run_configuration(const Configuration& config, const SweepOptions& options,
+                               exec::ThreadPool& pool) {
   E2E_ASSERT(options.systems_per_config > 0, "need at least one system per config");
 
   GeneratorOptions gen_options = options_for(config);
@@ -192,24 +217,15 @@ ConfigResult run_configuration(const Configuration& config, const SweepOptions& 
 
   std::vector<SystemEvaluation> evaluations(
       static_cast<std::size_t>(options.systems_per_config));
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int n_threads =
-      std::max(1, std::min(options.threads > 0 ? options.threads : hw,
-                           options.systems_per_config));
-
-  std::atomic<int> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const int i = next.fetch_add(1);
-      if (i >= options.systems_per_config) break;
-      evaluations[static_cast<std::size_t>(i)] =
-          evaluate_system(streams[static_cast<std::size_t>(i)], gen_options, options);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(n_threads));
-  for (int t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  std::vector<std::optional<Engine>> engines(
+      static_cast<std::size_t>(pool.thread_count()));
+  pool.parallel_for_indexed(
+      options.systems_per_config, [&](std::int64_t i, int worker) {
+        evaluations[static_cast<std::size_t>(i)] =
+            evaluate_system(engines[static_cast<std::size_t>(worker)],
+                            streams[static_cast<std::size_t>(i)], gen_options,
+                            options);
+      });
 
   ConfigResult result;
   result.config = config;
@@ -218,9 +234,10 @@ ConfigResult run_configuration(const Configuration& config, const SweepOptions& 
 }
 
 std::vector<ConfigResult> run_grid(const SweepOptions& options) {
+  exec::ThreadPool pool{options.threads};
   std::vector<ConfigResult> results;
   for (const Configuration& config : paper_configurations()) {
-    results.push_back(run_configuration(config, options));
+    results.push_back(run_configuration(config, options, pool));
   }
   return results;
 }

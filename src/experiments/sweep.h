@@ -20,6 +20,10 @@
 
 namespace e2e {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 struct SweepOptions {
   int systems_per_config = 100;
   std::uint64_t seed = 20260706;
@@ -27,7 +31,8 @@ struct SweepOptions {
   double horizon_periods = 30.0;
   /// Hard cap on the horizon (guards against extreme period spreads).
   Time max_horizon_ticks = 400'000'000;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads; 0 = E2E_THREADS env var, else hardware concurrency.
+  /// Results are identical at every thread count.
   int threads = 0;
   /// Skip the simulations (Figures 12/13 need analysis only).
   bool run_simulation = true;
@@ -85,14 +90,27 @@ struct ConfigResult {
   RunningStats pm_jitter;
   RunningStats rg_jitter;
 
+  /// Per-system schedule hashes (all protocols simulated on it) combined
+  /// in system-index order; identical at every thread count.
+  std::uint64_t schedule_hash = 0;
+  /// Total simulation events processed across the cell.
+  std::int64_t events_processed = 0;
+
   [[nodiscard]] double failure_rate() const noexcept {
     return systems > 0 ? static_cast<double>(ds_failures) / systems : 0.0;
   }
 };
 
-/// Evaluates one configuration cell.
+/// Evaluates one configuration cell on a transient pool of
+/// `options.threads` workers.
 [[nodiscard]] ConfigResult run_configuration(const Configuration& config,
                                              const SweepOptions& options);
+
+/// Evaluates one configuration cell on an existing pool (run_grid shares
+/// one pool across all 35 cells, paying the thread-spawn cost once).
+[[nodiscard]] ConfigResult run_configuration(const Configuration& config,
+                                             const SweepOptions& options,
+                                             exec::ThreadPool& pool);
 
 /// Evaluates the full 35-cell grid (paper order).
 [[nodiscard]] std::vector<ConfigResult> run_grid(const SweepOptions& options);

@@ -1,0 +1,336 @@
+#include "report/perf_json.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+std::string hex_hash(std::uint64_t hash) {
+  std::ostringstream stream;
+  stream << "0x" << std::hex << std::setfill('0') << std::setw(16) << hash;
+  return stream.str();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// A minimal recursive-descent JSON reader: just enough structure to
+/// verify the perf-report schema without pulling in a JSON dependency.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw InvalidArgument("perf json: expected '" + std::string(1, c) +
+                            "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      if (pos_ >= text_.size()) break;
+      out.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      throw InvalidArgument("perf json: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double read_number() {
+    skip_space();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      throw InvalidArgument("perf json: expected a number at offset " +
+                            std::to_string(pos_));
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  [[nodiscard]] bool read_bool() {
+    skip_space();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    throw InvalidArgument("perf json: expected true/false at offset " +
+                          std::to_string(pos_));
+  }
+
+  void expect_end() {
+    skip_space();
+    if (pos_ != text_.size()) {
+      throw InvalidArgument("perf json: trailing characters at offset " +
+                            std::to_string(pos_));
+    }
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void check_hash_string(const std::string& value) {
+  if (value.size() != 18 || value.compare(0, 2, "0x") != 0) {
+    throw InvalidArgument("perf json: schedule_hash must be an 18-char 0x... "
+                          "hex string, got '" + value + "'");
+  }
+  for (std::size_t i = 2; i < value.size(); ++i) {
+    if (std::isxdigit(static_cast<unsigned char>(value[i])) == 0) {
+      throw InvalidArgument("perf json: schedule_hash has a non-hex digit: '" +
+                            value + "'");
+    }
+  }
+}
+
+void validate_entry(JsonReader& reader) {
+  reader.expect('{');
+  bool saw_threads = false, saw_wall = false, saw_events = false,
+       saw_rate = false, saw_speedup = false, saw_hash = false;
+  do {
+    const std::string key = reader.read_string();
+    reader.expect(':');
+    if (key == "threads") {
+      saw_threads = true;
+      if (reader.read_number() < 1.0) {
+        throw InvalidArgument("perf json: threads must be positive");
+      }
+    } else if (key == "wall_seconds") {
+      saw_wall = true;
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: wall_seconds must be non-negative");
+      }
+    } else if (key == "events") {
+      saw_events = true;
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: events must be non-negative");
+      }
+    } else if (key == "events_per_second") {
+      saw_rate = true;
+      (void)reader.read_number();
+    } else if (key == "speedup_vs_1_thread") {
+      saw_speedup = true;
+      (void)reader.read_number();
+    } else if (key == "schedule_hash") {
+      saw_hash = true;
+      check_hash_string(reader.read_string());
+    } else {
+      throw InvalidArgument("perf json: unknown entry key '" + key + "'");
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  if (!saw_threads || !saw_wall || !saw_events || !saw_rate || !saw_speedup ||
+      !saw_hash) {
+    throw InvalidArgument("perf json: an entry is missing a required field");
+  }
+}
+
+}  // namespace
+
+const PerfEntry* PerfReport::entry_for(int threads) const noexcept {
+  for (const PerfEntry& entry : entries) {
+    if (entry.threads == threads) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<int> bench_thread_counts() {
+  if (const char* env = std::getenv("E2E_BENCH_THREADS");
+      env != nullptr && *env != '\0') {
+    std::vector<int> counts;
+    const char* cursor = env;
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const long value = std::strtol(cursor, &end, 10);
+      if (end == cursor || value <= 0) {
+        throw InvalidArgument(
+            "E2E_BENCH_THREADS must be comma-separated positive integers");
+      }
+      counts.push_back(static_cast<int>(value));
+      cursor = end;
+      if (*cursor == ',') ++cursor;
+    }
+    if (!counts.empty()) return counts;
+  }
+  return {1, 2, 4, 8};
+}
+
+PerfReport run_perf_harness(
+    const std::string& bench, const std::string& workload,
+    const std::vector<int>& thread_counts,
+    const std::function<PerfRunOutcome(int threads)>& run) {
+  E2E_ASSERT(!thread_counts.empty(), "perf harness needs a thread count");
+  PerfReport report;
+  report.bench = bench;
+  report.workload = workload;
+  report.deterministic = true;
+
+  for (const int threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    const PerfRunOutcome outcome = run(threads);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    PerfEntry entry;
+    entry.threads = threads;
+    entry.wall_seconds = elapsed.count();
+    entry.events = outcome.events;
+    entry.events_per_second =
+        entry.wall_seconds > 0.0
+            ? static_cast<double>(outcome.events) / entry.wall_seconds
+            : 0.0;
+    entry.schedule_hash = outcome.schedule_hash;
+    const double baseline = report.entries.empty()
+                                ? entry.wall_seconds
+                                : report.entries.front().wall_seconds;
+    entry.speedup_vs_1_thread =
+        entry.wall_seconds > 0.0 ? baseline / entry.wall_seconds : 0.0;
+    report.entries.push_back(entry);
+  }
+  for (const PerfEntry& entry : report.entries) {
+    if (entry.schedule_hash != report.entries.front().schedule_hash) {
+      report.deterministic = false;
+    }
+  }
+  return report;
+}
+
+std::string to_json(const PerfReport& report) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"" << escape(report.bench) << "\",\n"
+      << "  \"workload\": \"" << escape(report.workload) << "\",\n"
+      << "  \"deterministic\": " << (report.deterministic ? "true" : "false")
+      << ",\n"
+      << "  \"entries\": [";
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    const PerfEntry& entry = report.entries[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"threads\": " << entry.threads << ", \"wall_seconds\": "
+        << std::setprecision(6) << std::fixed << entry.wall_seconds
+        << ", \"events\": " << entry.events << ", \"events_per_second\": "
+        << std::setprecision(1) << entry.events_per_second
+        << ", \"speedup_vs_1_thread\": " << std::setprecision(3)
+        << entry.speedup_vs_1_thread << ", \"schedule_hash\": \""
+        << hex_hash(entry.schedule_hash) << "\"}";
+    out.unsetf(std::ios::floatfield);
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void validate_perf_json(const std::string& json) {
+  JsonReader reader{json};
+  reader.expect('{');
+  bool saw_bench = false, saw_workload = false, saw_deterministic = false,
+       saw_entries = false;
+  do {
+    const std::string key = reader.read_string();
+    reader.expect(':');
+    if (key == "bench") {
+      saw_bench = true;
+      if (reader.read_string().empty()) {
+        throw InvalidArgument("perf json: bench name must be non-empty");
+      }
+    } else if (key == "workload") {
+      saw_workload = true;
+      (void)reader.read_string();
+    } else if (key == "deterministic") {
+      saw_deterministic = true;
+      (void)reader.read_bool();
+    } else if (key == "entries") {
+      saw_entries = true;
+      reader.expect('[');
+      if (!reader.consume(']')) {
+        do {
+          validate_entry(reader);
+        } while (reader.consume(','));
+        reader.expect(']');
+      }
+    } else {
+      throw InvalidArgument("perf json: unknown top-level key '" + key + "'");
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.expect_end();
+  if (!saw_bench || !saw_workload || !saw_deterministic || !saw_entries) {
+    throw InvalidArgument("perf json: missing a required top-level field");
+  }
+}
+
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      std::ostream& out) {
+  const PerfReport report =
+      run_perf_harness(bench, workload, thread_counts, run);
+  const std::string json = to_json(report);
+  validate_perf_json(json);  // the harness checks its own output schema
+
+  std::ofstream file{path};
+  if (!file) {
+    out << "cannot write '" << path << "'\n";
+    return 2;
+  }
+  file << json;
+
+  for (const PerfEntry& entry : report.entries) {
+    out << bench << ": threads=" << entry.threads << " wall="
+        << std::setprecision(3) << std::fixed << entry.wall_seconds
+        << "s events=" << entry.events << " speedup=" << entry.speedup_vs_1_thread
+        << " hash=" << hex_hash(entry.schedule_hash) << "\n";
+    out.unsetf(std::ios::floatfield);
+  }
+  out << "wrote " << path
+      << (report.deterministic ? "" : " (NOT deterministic across threads!)")
+      << "\n";
+  return report.deterministic ? 0 : 4;
+}
+
+}  // namespace e2e

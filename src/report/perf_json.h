@@ -1,0 +1,79 @@
+// Perf-regression harness: times one experiment workload at several
+// thread counts and serializes the measurements as a small JSON document
+// (BENCH_<name>.json) that successive commits can diff.
+//
+// The harness is also a determinism check: each timed run reports its
+// combined schedule hash, and the report records whether every thread
+// count produced the identical hash. A bench in --json mode exits
+// nonzero when they differ, so a parallelism bug fails CI even if the
+// timings look fine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+/// One timed run of the workload at a fixed thread count.
+struct PerfEntry {
+  int threads = 0;
+  double wall_seconds = 0.0;
+  std::int64_t events = 0;          ///< simulation events processed
+  double events_per_second = 0.0;
+  double speedup_vs_1_thread = 0.0; ///< wall(1 thread) / wall(this)
+  std::uint64_t schedule_hash = 0;  ///< workload fingerprint for this run
+};
+
+struct PerfReport {
+  std::string bench;     ///< e.g. "faults"
+  std::string workload;  ///< human-readable workload description
+  /// True iff every entry produced the same schedule hash.
+  bool deterministic = false;
+  std::vector<PerfEntry> entries;
+
+  [[nodiscard]] const PerfEntry* entry_for(int threads) const noexcept;
+};
+
+/// What one timed run hands back to the harness.
+struct PerfRunOutcome {
+  std::int64_t events = 0;
+  std::uint64_t schedule_hash = 0;
+};
+
+/// Thread counts a bench measures: E2E_BENCH_THREADS (comma-separated
+/// positive integers) when set, otherwise {1, 2, 4, 8}.
+[[nodiscard]] std::vector<int> bench_thread_counts();
+
+/// Runs `run(threads)` once per requested thread count, timing each with
+/// a monotonic clock, and assembles the report. The first count is the
+/// speedup baseline (callers normally put 1 first).
+[[nodiscard]] PerfReport run_perf_harness(
+    const std::string& bench, const std::string& workload,
+    const std::vector<int>& thread_counts,
+    const std::function<PerfRunOutcome(int threads)>& run);
+
+/// Serializes the report (schedule hashes as "0x..." strings so 64-bit
+/// values survive JSON consumers that parse numbers as doubles).
+[[nodiscard]] std::string to_json(const PerfReport& report);
+
+/// Validates that `json` is a well-formed perf report document: a JSON
+/// object with bench/workload strings, a deterministic bool, and an
+/// entries array whose objects carry the numeric fields above (threads
+/// positive, wall_seconds and events non-negative, schedule_hash a
+/// "0x..." hex string). Throws InvalidArgument with the first problem.
+void validate_perf_json(const std::string& json);
+
+/// Bench driver: runs the harness, validates its own JSON, writes it to
+/// `path`, prints a one-line summary per thread count to `out`, and
+/// returns the process exit code (nonzero when the workload was not
+/// deterministic across thread counts).
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      std::ostream& out);
+
+}  // namespace e2e

@@ -9,20 +9,47 @@
 namespace e2e {
 
 Engine::Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options)
-    : system_(system),
-      protocol_(protocol),
-      options_(options),
-      arrivals_(options.arrivals != nullptr ? options.arrivals : &default_arrivals_),
-      execution_(options.execution != nullptr ? options.execution
-                                              : &default_execution_) {
+    : system_(&system), protocol_(&protocol) {
+  bind(system, protocol, options);
+}
+
+void Engine::reset(const TaskSystem& system, SyncProtocol& protocol,
+                   EngineOptions options) {
+  bind(system, protocol, options);
+}
+
+void Engine::bind(const TaskSystem& system, SyncProtocol& protocol,
+                  EngineOptions options) {
+  system_ = &system;
+  protocol_ = &protocol;
+  options_ = options;
+  arrivals_ = options.arrivals != nullptr ? options.arrivals : &default_arrivals_;
+  execution_ =
+      options.execution != nullptr ? options.execution : &default_execution_;
   E2E_ASSERT(options_.horizon > 0, "simulation horizon must be positive");
   // A disabled plan is dropped here, so every fault hook below reduces to
   // a single null check -- the zero-cost-when-off guarantee.
-  if (options_.faults != nullptr && options_.faults->enabled()) {
-    faults_ = options_.faults;
-  }
+  faults_ = options_.faults != nullptr && options_.faults->enabled()
+                ? options_.faults
+                : nullptr;
+
+  // Per-run state: rewind everything, recycle every allocation. All of
+  // the containers below keep their capacity across clear()/assign(), so
+  // a reset engine replays the allocation pattern of a fresh one without
+  // touching the allocator on the hot path.
+  queue_.clear();
+  pool_.clear();
+  now_ = 0;
+  ran_ = false;
+  initializing_ = false;
+  next_job_seq_ = 0;
+  stats_ = SimStats{};
+  sinks_.clear();
+  dispatch_pending_.clear();
+
   processors_.resize(system.processor_count());
-  dispatch_marked_.resize(system.processor_count(), false);
+  for (ProcessorState& proc : processors_) proc.rewind();
+  dispatch_marked_.assign(system.processor_count(), false);
   released_count_.resize(system.task_count());
   completed_count_.resize(system.task_count());
   requested_count_.resize(system.task_count());
@@ -33,6 +60,8 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions o
     completed_count_[t.id.index()].assign(t.subtasks.size(), 0);
     requested_count_[t.id.index()].assign(t.subtasks.size(), 0);
     deferred_[t.id.index()].resize(t.subtasks.size());
+    for (auto& held : deferred_[t.id.index()]) held.clear();
+    first_release_times_[t.id.index()].clear();
   }
 }
 
@@ -82,12 +111,12 @@ void Engine::release_now(SubtaskRef ref, std::int64_t instance) {
 
 void Engine::schedule_release(SubtaskRef ref, std::int64_t instance, Time at) {
   E2E_ASSERT(at >= now_, "cannot schedule a release in the past");
-  E2E_ASSERT(system_.contains(ref), "release for unknown subtask");
+  E2E_ASSERT(system_->contains(ref), "release for unknown subtask");
   if (faults_ != nullptr) {
     // Clock-scheduled releases fire on the releasing processor's local
     // clock. Only initialization-time schedules carry the initial clock
     // offset; chained schedules inherit it from the release they chain off.
-    at = faults_->perturb_scheduled_release(system_.subtask(ref).processor, now_,
+    at = faults_->perturb_scheduled_release(system_->subtask(ref).processor, now_,
                                             at, /*initial=*/initializing_);
   }
   queue_.push(Event{.time = at,
@@ -100,7 +129,7 @@ void Engine::schedule_release(SubtaskRef ref, std::int64_t instance, Time at) {
 void Engine::set_timer(Time at, SubtaskRef ref, std::int64_t instance) {
   E2E_ASSERT(at >= now_, "cannot set a timer in the past");
   if (faults_ != nullptr) {
-    at = faults_->perturb_timer(system_.subtask(ref).processor, now_, at);
+    at = faults_->perturb_timer(system_->subtask(ref).processor, now_, at);
   }
   queue_.push(Event{.time = at,
                     .phase = kTimerPhase,
@@ -110,12 +139,12 @@ void Engine::set_timer(Time at, SubtaskRef ref, std::int64_t instance) {
 }
 
 void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
-  E2E_ASSERT(system_.contains(to), "sync signal for unknown subtask");
+  E2E_ASSERT(system_->contains(to), "sync signal for unknown subtask");
   ++stats_.sync_signals;
   if (faults_ == nullptr) {
     // Ideal channel: zero-time delivery, exactly once -- semantically the
     // pre-fault-layer direct call, so schedules are bit-identical.
-    protocol_.on_sync_signal(*this, to, instance);
+    protocol_->on_sync_signal(*this, to, instance);
     return;
   }
   FaultInjector::SignalOutcome outcome = faults_->signal_outcome();
@@ -126,7 +155,7 @@ void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
   stats_.duplicated_signals += static_cast<std::int64_t>(outcome.delays.size()) - 1;
   for (const Duration delay : outcome.delays) {
     if (delay == 0) {
-      protocol_.on_sync_signal(*this, to, instance);
+      protocol_->on_sync_signal(*this, to, instance);
     } else {
       ++stats_.late_signals;
       queue_.push(Event{.time = now_ + delay,
@@ -142,7 +171,7 @@ void Engine::run() {
   E2E_ASSERT(!ran_, "Engine::run may be called only once");
   ran_ = true;
 
-  for (const Task& t : system_.tasks()) {
+  for (const Task& t : system_->tasks()) {
     const Time first = arrivals_->first(t);
     E2E_ASSERT(first >= 0, "arrival model produced a negative first arrival");
     if (first <= options_.horizon) {
@@ -157,7 +186,7 @@ void Engine::run() {
   // before the clocks could ever have been synchronized: they (and only
   // they) carry the initial per-processor clock offset.
   initializing_ = true;
-  protocol_.initialize(*this);
+  protocol_->initialize(*this);
   initializing_ = false;
 
   while (!queue_.empty()) {
@@ -207,7 +236,7 @@ void Engine::flush_dispatches() {
 }
 
 void Engine::handle_arrival(const Event& event) {
-  const Task& task = system_.task(event.ref.task);
+  const Task& task = system_->task(event.ref.task);
   auto& first_times = first_release_times_[task.id.index()];
   E2E_ASSERT(static_cast<std::int64_t>(first_times.size()) == event.instance,
              "arrival out of order");
@@ -266,7 +295,7 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
   E2E_ASSERT(instance == released, "releases activated out of order");
   ++released;
 
-  const Subtask& subtask = system_.subtask(ref);
+  const Subtask& subtask = system_->subtask(ref);
   Duration actual_execution =
       execution_->sample(ref, instance, subtask.execution_time);
   E2E_ASSERT(actual_execution >= 1 && actual_execution <= subtask.execution_time,
@@ -307,7 +336,9 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
     const SubtaskRef pred{ref.task, ref.index - 1};
     if (completed_instances(pred) <= instance) {
       ++stats_.precedence_violations;
-      for (TraceSink* sink : sinks_) sink->on_precedence_violation(stored, now_);
+      if (!sinks_.empty()) {
+        for (TraceSink* sink : sinks_) sink->on_precedence_violation(stored, now_);
+      }
       if (options_.precedence_policy == PrecedencePolicy::kAbort) {
         throw PrecedenceViolationError(
             "precedence violation: T_{" + std::to_string(ref.task.value()) + "," +
@@ -318,13 +349,15 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
     }
   }
 
-  for (TraceSink* sink : sinks_) sink->on_release(stored);
-  protocol_.on_job_released(*this, stored);
+  if (!sinks_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_release(stored);
+  }
+  protocol_->on_job_released(*this, stored);
 
-  proc.ready.push(ProcessorState::ReadyEntry{.priority_level = stored.priority.level,
-                                             .release_time = stored.release_time,
-                                             .seq = stored.seq,
-                                             .slot = slot});
+  push_ready(proc, ProcessorState::ReadyEntry{.priority_level = stored.priority.level,
+                                              .release_time = stored.release_time,
+                                              .seq = stored.seq,
+                                              .slot = slot});
   mark_for_dispatch(subtask.processor);
 }
 
@@ -341,13 +374,13 @@ void Engine::flush_deferred(SubtaskRef pred, std::int64_t completed) {
 
 void Engine::handle_timer(const Event& event) {
   ++stats_.timer_interrupts;
-  protocol_.on_timer(*this, event.ref, event.instance);
+  protocol_->on_timer(*this, event.ref, event.instance);
 }
 
 void Engine::handle_signal(const Event& event) {
   // Delayed delivery of a faulted sync signal (the ideal path never
   // enqueues these). Accounting happened at send time.
-  protocol_.on_sync_signal(*this, event.ref, event.instance);
+  protocol_->on_sync_signal(*this, event.ref, event.instance);
 }
 
 void Engine::handle_completion(const Event& event) {
@@ -373,7 +406,7 @@ void Engine::handle_completion(const Event& event) {
   ++completed;
   ++stats_.jobs_completed;
 
-  const Task& task = system_.task(job.ref.task);
+  const Task& task = system_->task(job.ref.task);
   const bool is_last = job.ref.index + 1 == static_cast<std::int32_t>(task.chain_length());
   if (is_last) {
     const std::optional<Time> released = first_release_time(task.id, job.instance);
@@ -388,8 +421,10 @@ void Engine::handle_completion(const Event& event) {
   const Job completed_job = job;  // keep a copy past the slot's lifetime
   pool_.release(event.slot);
 
-  for (TraceSink* sink : sinks_) sink->on_complete(completed_job, now_);
-  protocol_.on_job_completed(*this, completed_job);
+  if (!sinks_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_complete(completed_job, now_);
+  }
+  protocol_->on_job_completed(*this, completed_job);
   if (options_.precedence_policy == PrecedencePolicy::kDeferRelease && !is_last) {
     flush_deferred(completed_job.ref, completed);
   }
@@ -400,23 +435,35 @@ void Engine::handle_completion(const Event& event) {
 void Engine::check_idle_point(ProcessorId processor) {
   if (!is_idle_point(processor)) return;
   ++stats_.idle_points;
-  for (TraceSink* sink : sinks_) sink->on_idle_point(processor, now_);
-  protocol_.on_idle_point(*this, processor);
+  if (!sinks_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_idle_point(processor, now_);
+  }
+  protocol_->on_idle_point(*this, processor);
+}
+
+void Engine::push_ready(ProcessorState& proc, ProcessorState::ReadyEntry entry) {
+  proc.ready.push_back(entry);
+  std::push_heap(proc.ready.begin(), proc.ready.end());
+}
+
+JobSlot Engine::pop_ready(ProcessorState& proc) {
+  std::pop_heap(proc.ready.begin(), proc.ready.end());
+  const JobSlot slot = proc.ready.back().slot;
+  proc.ready.pop_back();
+  return slot;
 }
 
 void Engine::dispatch(ProcessorState& proc) {
   if (proc.ready.empty()) return;
 
   if (proc.running_slot < 0) {
-    const JobSlot slot = proc.ready.top().slot;
-    proc.ready.pop();
-    start_job(proc, slot);
+    start_job(proc, pop_ready(proc));
     return;
   }
 
   Job& running = pool_.get(static_cast<JobSlot>(proc.running_slot));
   if (!running.preemptible) return;  // runs to completion once dispatched
-  const ProcessorState::ReadyEntry& top = proc.ready.top();
+  const ProcessorState::ReadyEntry& top = proc.ready.front();
   if (top.priority_level >= running.priority.level) return;  // no strict preemption
 
   // Preempt: account for the work done since the last dispatch and
@@ -427,17 +474,17 @@ void Engine::dispatch(ProcessorState& proc) {
              "a job with no remaining work must have completed, not preempted");
   ++running.generation;
   ++stats_.preemptions;
-  for (TraceSink* sink : sinks_) sink->on_preempt(running, now_);
+  if (!sinks_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_preempt(running, now_);
+  }
 
-  proc.ready.push(ProcessorState::ReadyEntry{.priority_level = running.priority.level,
-                                             .release_time = running.release_time,
-                                             .seq = running.seq,
-                                             .slot = static_cast<JobSlot>(
-                                                 proc.running_slot)});
-  const JobSlot slot = proc.ready.top().slot;
-  proc.ready.pop();
+  push_ready(proc, ProcessorState::ReadyEntry{.priority_level = running.priority.level,
+                                              .release_time = running.release_time,
+                                              .seq = running.seq,
+                                              .slot = static_cast<JobSlot>(
+                                                  proc.running_slot)});
   proc.running_slot = -1;
-  start_job(proc, slot);
+  start_job(proc, pop_ready(proc));
 }
 
 void Engine::start_job(ProcessorState& proc, JobSlot slot) {
@@ -452,7 +499,9 @@ void Engine::start_job(ProcessorState& proc, JobSlot slot) {
                     .processor = job.processor,
                     .slot = slot,
                     .generation = job.generation});
-  for (TraceSink* sink : sinks_) sink->on_start(job, now_);
+  if (!sinks_.empty()) {
+    for (TraceSink* sink : sinks_) sink->on_start(job, now_);
+  }
 }
 
 }  // namespace e2e

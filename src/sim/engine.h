@@ -19,6 +19,13 @@
 //   EerCollector eer{system};                // a TraceSink
 //   engine.add_sink(&eer);
 //   engine.run();
+//
+// Reuse: experiments that simulate thousands of runs recycle one Engine
+// via reset(), which rebinds the (system, protocol, options) triple and
+// rewinds all simulation state while keeping every allocation warm (event
+// heap, job-slot arena, ready queues, counter tables). A reset engine is
+// observationally identical to a freshly constructed one -- same events,
+// same schedule hash -- asserted by engine_reuse_test.
 #pragma once
 
 #include <deque>
@@ -101,20 +108,33 @@ struct EngineOptions {
 
 class Engine {
  public:
-  /// `system` and `protocol` must outlive the engine.
+  /// `system` and `protocol` must outlive the engine (or its next reset).
   Engine(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Registers an observer (not owned; must outlive run()).
+  /// Re-arms the engine for another run: rebinds system/protocol/options,
+  /// rewinds all simulation state (clock, stats, counters, event queue,
+  /// job pool), and drops registered sinks -- while keeping allocated
+  /// storage for reuse. `system` may differ from the previous one.
+  void reset(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
+  /// Same-system reuse (new protocol instance and/or options).
+  void reset(SyncProtocol& protocol, EngineOptions options) {
+    reset(*system_, protocol, options);
+  }
+
+  /// Registers an observer (not owned; must outlive run()). Sinks are
+  /// cleared by reset(); a run with no sinks skips trace dispatch
+  /// entirely (the no-sink fast path).
   void add_sink(TraceSink* sink);
 
-  /// Runs the simulation to the horizon. Call at most once.
+  /// Runs the simulation to the horizon. Call at most once per
+  /// construction/reset.
   void run();
 
   // --- accessors -----------------------------------------------------
-  [[nodiscard]] const TaskSystem& system() const noexcept { return system_; }
+  [[nodiscard]] const TaskSystem& system() const noexcept { return *system_; }
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] Time horizon() const noexcept { return options_.horizon; }
   [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
@@ -179,8 +199,8 @@ class Engine {
       Time release_time;
       std::uint64_t seq;
       JobSlot slot;
-      /// std::priority_queue keeps the *largest* on top, so "a < b" must
-      /// mean "a is dispatched after b".
+      /// The std heap algorithms keep the *largest* element first, so
+      /// "a < b" must mean "a is dispatched after b".
       friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) noexcept {
         if (a.priority_level != b.priority_level)
           return a.priority_level > b.priority_level;
@@ -188,7 +208,10 @@ class Engine {
         return a.seq > b.seq;
       }
     };
-    std::priority_queue<ReadyEntry> ready;
+    /// Binary heap (std::push_heap/std::pop_heap) rather than a
+    /// std::priority_queue so reset() can clear it without freeing its
+    /// storage.
+    std::vector<ReadyEntry> ready;
     std::int64_t running_slot = -1;  ///< JobSlot or -1
     // Idle-point bookkeeping: incomplete jobs, split by whether they were
     // released strictly before the current timestamp.
@@ -196,8 +219,24 @@ class Engine {
     Time last_release_time = -1;
     std::int64_t released_at_last = 0;
     Duration busy_time = 0;  ///< accumulated at completion/preemption
+
+    /// Rewinds to the fresh state, keeping the ready heap's storage.
+    void rewind() noexcept {
+      ready.clear();
+      running_slot = -1;
+      incomplete_total = 0;
+      last_release_time = -1;
+      released_at_last = 0;
+      busy_time = 0;
+    }
   };
 
+  /// Shared by the constructor and reset(): binds the run's inputs and
+  /// (re)initializes all per-run state, recycling allocations.
+  void bind(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
+  static void push_ready(ProcessorState& proc, ProcessorState::ReadyEntry entry);
+  /// Removes and returns the dispatch-first ready entry's slot.
+  static JobSlot pop_ready(ProcessorState& proc);
   void handle_arrival(const Event& event);
   void handle_release(const Event& event);
   void handle_completion(const Event& event);
@@ -225,8 +264,8 @@ class Engine {
   [[nodiscard]] std::int64_t incomplete_released_before_now(
       const ProcessorState& proc) const;
 
-  const TaskSystem& system_;
-  SyncProtocol& protocol_;
+  const TaskSystem* system_;  // rebindable via reset()
+  SyncProtocol* protocol_;
   EngineOptions options_;
   PeriodicArrivals default_arrivals_;
   WcetExecution default_execution_;

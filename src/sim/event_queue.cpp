@@ -1,19 +1,33 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace e2e {
 
 void EventQueue::push(Event event) {
   event.seq = next_seq_++;
-  heap_.push(event);
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+const Event& EventQueue::top() const {
+  E2E_ASSERT(!heap_.empty(), "top of empty event queue");
+  return heap_.front();
 }
 
 Event EventQueue::pop() {
   E2E_ASSERT(!heap_.empty(), "pop from empty event queue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event e = heap_.back();
+  heap_.pop_back();
   return e;
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  next_seq_ = 0;
 }
 
 }  // namespace e2e

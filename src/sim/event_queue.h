@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/ids.h"
@@ -51,13 +50,26 @@ struct Event {
 };
 
 /// Min-heap by (time, phase, seq). push() assigns the sequence number.
+///
+/// Storage is a plain vector managed with std::push_heap/std::pop_heap
+/// (rather than std::priority_queue) so that a reused engine can clear()
+/// the queue without surrendering its allocation: a reset queue starts
+/// from seq 0 with warm capacity, making reuse bit-identical to a fresh
+/// queue while skipping the per-run reallocation ramp-up.
 class EventQueue {
  public:
   void push(Event event);
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  [[nodiscard]] const Event& top() const;
   Event pop();
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Drops every pending event and restarts the insertion-sequence
+  /// counter at 0. Keeps the heap's allocated storage.
+  void clear() noexcept;
+  /// Pre-sizes the heap storage for `capacity` concurrent events.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return heap_.capacity(); }
 
  private:
   struct Later {
@@ -67,7 +79,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

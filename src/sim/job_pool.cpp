@@ -41,6 +41,17 @@ const Job& JobPool::get(JobSlot slot) const {
   return slots_[slot].job;
 }
 
+void JobPool::clear() noexcept {
+  slots_.clear();
+  free_.clear();
+  live_ = 0;
+}
+
+void JobPool::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  free_.reserve(capacity);
+}
+
 bool JobPool::occupied(JobSlot slot) const noexcept {
   return slot < slots_.size() && slots_[slot].occupied;
 }

@@ -29,6 +29,15 @@ class JobPool {
   /// Number of live jobs.
   [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
 
+  /// Forgets every slot (live or free) but keeps the arena's allocated
+  /// storage. A cleared pool is observationally identical to a fresh one
+  /// -- slot indices and generations restart from zero -- which is what
+  /// lets a reused Engine reproduce a fresh engine's schedule exactly.
+  void clear() noexcept;
+  /// Pre-sizes the arena for `capacity` concurrent jobs.
+  void reserve(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.capacity(); }
+
  private:
   struct Slot {
     Job job;

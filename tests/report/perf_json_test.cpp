@@ -1,0 +1,142 @@
+#include "report/perf_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace e2e {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport report;
+  report.bench = "faults";
+  report.workload = "2 systems, horizon 5 max-periods";
+  report.deterministic = true;
+  report.entries = {
+      {.threads = 1,
+       .wall_seconds = 2.0,
+       .events = 1000,
+       .events_per_second = 500.0,
+       .speedup_vs_1_thread = 1.0,
+       .schedule_hash = 0xdeadbeefcafef00dULL},
+      {.threads = 2,
+       .wall_seconds = 1.0,
+       .events = 1000,
+       .events_per_second = 1000.0,
+       .speedup_vs_1_thread = 2.0,
+       .schedule_hash = 0xdeadbeefcafef00dULL},
+  };
+  return report;
+}
+
+TEST(PerfJson, SerializedReportValidates) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NO_THROW(validate_perf_json(json));
+  EXPECT_NE(json.find("\"bench\": \"faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"deterministic\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"0xdeadbeefcafef00d\""), std::string::npos);
+}
+
+TEST(PerfJson, EntryForLooksUpByThreadCount) {
+  const PerfReport report = sample_report();
+  ASSERT_NE(report.entry_for(2), nullptr);
+  EXPECT_EQ(report.entry_for(2)->events_per_second, 1000.0);
+  EXPECT_EQ(report.entry_for(7), nullptr);
+}
+
+TEST(PerfJson, ValidateRejectsNonObjects) {
+  EXPECT_THROW(validate_perf_json(""), InvalidArgument);
+  EXPECT_THROW(validate_perf_json("[]"), InvalidArgument);
+  EXPECT_THROW(validate_perf_json("not json"), InvalidArgument);
+}
+
+TEST(PerfJson, ValidateRejectsMissingFields) {
+  // No entries array.
+  EXPECT_THROW(validate_perf_json(
+                   R"({"bench": "x", "workload": "y", "deterministic": true})"),
+               InvalidArgument);
+  // Entry without a schedule_hash.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "entries": [{"threads": 1, "wall_seconds": 1.0, "events": 2,
+                           "events_per_second": 2.0,
+                           "speedup_vs_1_thread": 1.0}]})"),
+      InvalidArgument);
+}
+
+TEST(PerfJson, ValidateRejectsMalformedValues) {
+  // Zero threads.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "entries": [{"threads": 0, "wall_seconds": 1.0, "events": 2,
+                           "events_per_second": 2.0,
+                           "speedup_vs_1_thread": 1.0,
+                           "schedule_hash": "0x0000000000000001"}]})"),
+      InvalidArgument);
+  // Hash that is not an 0x-prefixed 16-digit hex string.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "entries": [{"threads": 1, "wall_seconds": 1.0, "events": 2,
+                           "events_per_second": 2.0,
+                           "speedup_vs_1_thread": 1.0,
+                           "schedule_hash": "12345"}]})"),
+      InvalidArgument);
+}
+
+TEST(PerfJson, BenchThreadCountsDefaultsTo1248) {
+  ::unsetenv("E2E_BENCH_THREADS");
+  EXPECT_EQ(bench_thread_counts(), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(PerfJson, BenchThreadCountsParsesTheEnvOverride) {
+  ::setenv("E2E_BENCH_THREADS", "1,3,5", 1);
+  EXPECT_EQ(bench_thread_counts(), (std::vector<int>{1, 3, 5}));
+  ::setenv("E2E_BENCH_THREADS", "2", 1);
+  EXPECT_EQ(bench_thread_counts(), (std::vector<int>{2}));
+  ::unsetenv("E2E_BENCH_THREADS");
+}
+
+TEST(PerfJson, BenchThreadCountsRejectsGarbageEnv) {
+  ::setenv("E2E_BENCH_THREADS", "zero,none", 1);
+  EXPECT_THROW(bench_thread_counts(), InvalidArgument);
+  ::setenv("E2E_BENCH_THREADS", "1,-2", 1);
+  EXPECT_THROW(bench_thread_counts(), InvalidArgument);
+  ::unsetenv("E2E_BENCH_THREADS");
+}
+
+TEST(PerfJson, HarnessMarksDeterministicWorkloads) {
+  const PerfReport report = run_perf_harness(
+      "demo", "consistent workload", {1, 2}, [](int) {
+        // Enough work for a nonzero wall-clock reading.
+        volatile std::int64_t sink = 0;
+        for (std::int64_t i = 0; i < 200'000; ++i) sink = sink + i;
+        return PerfRunOutcome{.events = 10, .schedule_hash = 42};
+      });
+  EXPECT_TRUE(report.deterministic);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].threads, 1);
+  EXPECT_EQ(report.entries[0].speedup_vs_1_thread, 1.0);
+  EXPECT_EQ(report.entries[1].schedule_hash, 42u);
+  EXPECT_GT(report.entries[1].wall_seconds, 0.0);
+  EXPECT_NO_THROW(validate_perf_json(to_json(report)));
+}
+
+TEST(PerfJson, HarnessFlagsNonDeterministicWorkloads) {
+  const PerfReport report = run_perf_harness(
+      "demo", "hash depends on thread count", {1, 2}, [](int threads) {
+        return PerfRunOutcome{.events = 10,
+                              .schedule_hash =
+                                  static_cast<std::uint64_t>(threads)};
+      });
+  EXPECT_FALSE(report.deterministic);
+}
+
+}  // namespace
+}  // namespace e2e

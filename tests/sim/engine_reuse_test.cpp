@@ -1,0 +1,180 @@
+// The engine reuse contract: an Engine rearmed via reset() must be
+// observationally identical to a freshly constructed one -- same trace,
+// event for event, and same SimStats (see the reuse note in engine.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocols/factory.h"
+#include "sim/engine.h"
+#include "task/paper_examples.h"
+#include "workload/generator.h"
+
+namespace e2e {
+namespace {
+
+/// Records every trace callback as a comparable tuple.
+struct RecordingSink final : TraceSink {
+  struct Record {
+    std::string kind;
+    int task = -1;
+    int subtask = -1;
+    std::int64_t instance = -1;
+    Time time = -1;
+
+    friend bool operator==(const Record& a, const Record& b) = default;
+  };
+  std::vector<Record> records;
+
+  void add(std::string kind, const Job& job, Time time) {
+    records.push_back({std::move(kind), static_cast<int>(job.ref.task.index()),
+                       job.ref.index, job.instance, time});
+  }
+  void on_release(const Job& job) override {
+    add("release", job, job.release_time);
+  }
+  void on_start(const Job& job, Time time) override { add("start", job, time); }
+  void on_preempt(const Job& job, Time time) override {
+    add("preempt", job, time);
+  }
+  void on_complete(const Job& job, Time time) override {
+    add("complete", job, time);
+  }
+  void on_idle_point(ProcessorId processor, Time time) override {
+    records.push_back(
+        {"idle", static_cast<int>(processor.index()), -1, -1, time});
+  }
+  void on_precedence_violation(const Job& job, Time time) override {
+    add("violation", job, time);
+  }
+};
+
+void expect_same_trace(const RecordingSink& a, const RecordingSink& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]) << "first divergence at event " << i;
+  }
+}
+
+void expect_same_stats(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.dispatches, b.dispatches);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.sync_signals, b.sync_signals);
+  EXPECT_EQ(a.timer_interrupts, b.timer_interrupts);
+  EXPECT_EQ(a.precedence_violations, b.precedence_violations);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.idle_points, b.idle_points);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(EngineReuse, ResetReproducesFreshRunEventForEvent) {
+  const TaskSystem system = paper::example2();
+  const EngineOptions options{.horizon = 240};
+
+  for (const ProtocolKind kind : kAllProtocolKinds) {
+    // Fresh engine, fresh protocol.
+    RecordingSink fresh_trace;
+    const auto fresh_protocol = make_protocol(kind, system);
+    Engine fresh{system, *fresh_protocol, options};
+    fresh.add_sink(&fresh_trace);
+    fresh.run();
+
+    // An engine that already ran a *different* workload, then reset.
+    const auto warmup_protocol =
+        make_protocol(ProtocolKind::kDirectSync, system);
+    Engine reused{system, *warmup_protocol, EngineOptions{.horizon = 96}};
+    reused.run();
+
+    RecordingSink reused_trace;
+    const auto reused_protocol = make_protocol(kind, system);
+    reused.reset(*reused_protocol, options);
+    reused.add_sink(&reused_trace);
+    reused.run();
+
+    SCOPED_TRACE(std::string{to_string(kind)});
+    expect_same_trace(fresh_trace, reused_trace);
+    expect_same_stats(fresh.stats(), reused.stats());
+  }
+}
+
+TEST(EngineReuse, ResetDropsSinksFromThePreviousRun) {
+  const TaskSystem system = paper::example2();
+  const auto protocol = make_protocol(ProtocolKind::kReleaseGuard, system);
+
+  RecordingSink first;
+  Engine engine{system, *protocol, EngineOptions{.horizon = 48}};
+  engine.add_sink(&first);
+  engine.run();
+  const std::size_t first_count = first.records.size();
+  ASSERT_GT(first_count, 0u);
+
+  const auto protocol2 = make_protocol(ProtocolKind::kReleaseGuard, system);
+  engine.reset(*protocol2, EngineOptions{.horizon = 48});
+  engine.run();  // no sinks registered: the old one must not see this run
+  EXPECT_EQ(first.records.size(), first_count);
+}
+
+TEST(EngineReuse, ResetCanRebindToADifferentSystem) {
+  // Run a generated system first so the warm allocations are sized for a
+  // different shape, then reset to Example 2 and demand the canonical run.
+  Rng rng{7};
+  const TaskSystem generated = generate_system(
+      rng, options_for({.subtasks_per_task = 3, .utilization_percent = 50}));
+  const TaskSystem example = paper::example2();
+
+  const auto warm_protocol =
+      make_protocol(ProtocolKind::kReleaseGuard, generated);
+  // A couple of the generated system's largest periods is plenty of
+  // warm-up (its hyperperiod can be astronomically large).
+  Engine engine{generated, *warm_protocol,
+                EngineOptions{.horizon = 2 * generated.max_period()}};
+  engine.run();
+
+  RecordingSink reused_trace;
+  const auto reused_protocol =
+      make_protocol(ProtocolKind::kReleaseGuard, example);
+  engine.reset(example, *reused_protocol, EngineOptions{.horizon = 240});
+  engine.add_sink(&reused_trace);
+  engine.run();
+
+  RecordingSink fresh_trace;
+  const auto fresh_protocol =
+      make_protocol(ProtocolKind::kReleaseGuard, example);
+  Engine fresh{example, *fresh_protocol, EngineOptions{.horizon = 240}};
+  fresh.add_sink(&fresh_trace);
+  fresh.run();
+
+  expect_same_trace(fresh_trace, reused_trace);
+  expect_same_stats(fresh.stats(), engine.stats());
+}
+
+TEST(EngineReuse, RepeatedResetStaysStable) {
+  const TaskSystem system = paper::example2();
+
+  RecordingSink reference;
+  const auto ref_protocol = make_protocol(ProtocolKind::kModifiedPm, system);
+  Engine fresh{system, *ref_protocol, EngineOptions{.horizon = 120}};
+  fresh.add_sink(&reference);
+  fresh.run();
+
+  const auto protocol = make_protocol(ProtocolKind::kModifiedPm, system);
+  Engine engine{system, *protocol, EngineOptions{.horizon = 120}};
+  for (int round = 0; round < 5; ++round) {
+    RecordingSink trace;
+    const auto round_protocol =
+        make_protocol(ProtocolKind::kModifiedPm, system);
+    engine.reset(*round_protocol, EngineOptions{.horizon = 120});
+    engine.add_sink(&trace);
+    engine.run();
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_same_trace(reference, trace);
+    expect_same_stats(fresh.stats(), engine.stats());
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -68,6 +68,47 @@ TEST(EventQueueDeathTest, PopFromEmptyAborts) {
   EXPECT_DEATH((void)q.pop(), "empty event queue");
 }
 
+TEST(EventQueue, ClearEmptiesTheQueue) {
+  EventQueue q;
+  q.push(at(1, kReleasePhase));
+  q.push(at(2, kReleasePhase));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ClearRestartsTheInsertionSequence) {
+  // Observable through full-tie ordering: after clear(), new events must
+  // win ties against any seq a fresh queue would assign -- i.e. the
+  // counter restarts at 0, so a reused queue reproduces a fresh queue's
+  // pop order exactly.
+  EventQueue q;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    Event e = at(5, kReleasePhase);
+    e.instance = 100 + i;
+    q.push(e);
+  }
+  q.clear();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    Event e = at(5, kReleasePhase);
+    e.instance = i;
+    q.push(e);
+  }
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.pop().instance, i);  // same order as a fresh queue
+  }
+}
+
+TEST(EventQueue, ClearKeepsCapacityAndReserveGrowsIt) {
+  EventQueue q;
+  q.reserve(256);
+  const std::size_t reserved = q.capacity();
+  ASSERT_GE(reserved, 256u);
+  for (std::int64_t i = 0; i < 200; ++i) q.push(at(i, kReleasePhase));
+  q.clear();
+  EXPECT_EQ(q.capacity(), reserved);  // clear() surrenders no storage
+}
+
 TEST(EventQueue, InterleavedPushPopKeepsOrder) {
   EventQueue q;
   q.push(at(10, kReleasePhase));

@@ -60,6 +60,35 @@ TEST(JobPool, ManyLiveJobs) {
   EXPECT_EQ(pool.live_count(), 0u);
 }
 
+TEST(JobPool, ClearIsObservationallyFresh) {
+  // A cleared pool must hand out the same slot indices and generations a
+  // brand-new pool would (the engine-reuse contract depends on it).
+  JobPool pool;
+  const JobSlot a = pool.allocate(make_job(1));
+  pool.get(a).generation = 17;
+  (void)pool.allocate(make_job(2));
+  pool.release(a);
+  pool.clear();
+
+  EXPECT_EQ(pool.live_count(), 0u);
+  JobPool fresh;
+  const JobSlot recycled = pool.allocate(make_job(9));
+  const JobSlot pristine = fresh.allocate(make_job(9));
+  EXPECT_EQ(recycled, pristine);
+  EXPECT_EQ(pool.get(recycled).generation, fresh.get(pristine).generation);
+}
+
+TEST(JobPool, ClearKeepsCapacityAndReserveGrowsIt) {
+  JobPool pool;
+  pool.reserve(64);
+  const std::size_t reserved = pool.capacity();
+  ASSERT_GE(reserved, 64u);
+  std::vector<JobSlot> slots;
+  for (std::int64_t i = 0; i < 50; ++i) slots.push_back(pool.allocate(make_job(i)));
+  pool.clear();
+  EXPECT_EQ(pool.capacity(), reserved);  // the arena's storage survives
+}
+
 TEST(JobPoolDeathTest, DoubleReleaseAborts) {
   JobPool pool;
   const JobSlot slot = pool.allocate(make_job(1));

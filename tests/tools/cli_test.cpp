@@ -190,6 +190,79 @@ TEST(Cli, GeneratePipesIntoAnalyze) {
   EXPECT_NE(analyzed.out.find("bound PM/MPM/RG"), std::string::npos);
 }
 
+TEST(Cli, ThreadsZeroIsAnError) {
+  const CliResult r = run_cli({"montecarlo", "--threads=0", "--runs=2"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--threads must be a positive integer"),
+            std::string::npos);
+}
+
+TEST(Cli, ThreadsNonNumericIsAnError) {
+  const CliResult r = run_cli({"montecarlo", "--threads=abc", "--runs=2"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--threads"), std::string::npos);
+}
+
+TEST(Cli, FaultsRejectsNegativeThreads) {
+  const CliResult r = run_cli({"faults", "--threads=-2"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--threads must be a positive integer"),
+            std::string::npos);
+}
+
+TEST(Cli, MontecarloPrintsScheduleHashAndTable) {
+  const CliResult r = run_cli(
+      {"montecarlo", "--runs=3", "--horizon-periods=4", "--threads=1"},
+      to_text(paper::example2()));
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("schedule hash 0x"), std::string::npos);
+  EXPECT_NE(r.out.find("mean EER"), std::string::npos);
+  EXPECT_NE(r.out.find("T1"), std::string::npos);
+}
+
+TEST(Cli, MontecarloIsDeterministicAcrossThreadCounts) {
+  const std::string system = to_text(paper::example2());
+  const std::vector<std::string> base = {"montecarlo", "--runs=6",
+                                         "--horizon-periods=4", "--seed=11"};
+  auto tail_from_hash = [](const std::string& out) {
+    const std::size_t pos = out.find("schedule hash");
+    EXPECT_NE(pos, std::string::npos);
+    return out.substr(pos);
+  };
+  std::vector<std::string> one = base;
+  one.push_back("--threads=1");
+  const CliResult serial = run_cli(one, system);
+  ASSERT_EQ(serial.exit_code, 0) << serial.err;
+  for (const char* threads : {"--threads=2", "--threads=8"}) {
+    std::vector<std::string> many = base;
+    many.push_back(threads);
+    const CliResult parallel = run_cli(many, system);
+    ASSERT_EQ(parallel.exit_code, 0) << parallel.err;
+    // Everything from the schedule hash on (the header names the thread
+    // count itself) must be byte-identical.
+    EXPECT_EQ(tail_from_hash(parallel.out), tail_from_hash(serial.out));
+  }
+}
+
+TEST(Cli, SweepIsDeterministicAcrossThreadCounts) {
+  const std::vector<std::string> base = {"sweep", "--systems=3", "--subtasks=2",
+                                         "--utilization=40",
+                                         "--horizon-periods=4", "--seed=5"};
+  std::vector<std::string> one = base;
+  one.push_back("--threads=1");
+  const CliResult serial = run_cli(one);
+  ASSERT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_NE(serial.out.find("schedule hash 0x"), std::string::npos);
+
+  std::vector<std::string> many = base;
+  many.push_back("--threads=8");
+  const CliResult parallel = run_cli(many);
+  ASSERT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(parallel.out, serial.out);  // sweep output names no thread count
+}
+
 TEST(Cli, SimulateWithExecutionVariation) {
   const CliResult r = run_cli(
       {"simulate", "--protocol=DS", "--exec-var=0.5", "--seed=4", "--horizon=600"},

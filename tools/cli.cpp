@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
@@ -11,6 +12,9 @@
 #include "core/analysis/sa_pm.h"
 #include "core/analysis/utilization.h"
 #include "core/protocols/factory.h"
+#include "experiments/faults.h"
+#include "experiments/monte_carlo.h"
+#include "experiments/sweep.h"
 #include "metrics/eer_collector.h"
 #include "report/gantt.h"
 #include "report/table.h"
@@ -40,10 +44,23 @@ constexpr const char* kUsage =
     "  generate             random paper-style system; --subtasks=N\n"
     "                       --utilization=PCT --tasks=N --processors=N\n"
     "                       --seed=N --ticks=N\n"
+    "  montecarlo [file]    latency distribution over randomized phasings;\n"
+    "                       --protocol=... --runs=N --seed=N\n"
+    "                       --horizon-periods=F --exec-var=F --threads=N\n"
+    "  sweep                evaluate one (N, U) configuration cell;\n"
+    "                       --subtasks=N --utilization=PCT --systems=N\n"
+    "                       --seed=N --horizon-periods=F --threads=N\n"
+    "  faults               robustness ladder (all protocols); --systems=N\n"
+    "                       --subtasks=N --utilization=PCT --seed=N\n"
+    "                       --threads=N\n"
     "  example2             print the paper's Example 2 system description\n"
     "  help                 this text\n"
     "\n"
-    "analyze/simulate read the system from [file] or stdin (see\n"
+    "--threads=N must be positive; when omitted, the E2E_THREADS\n"
+    "environment variable applies, then hardware concurrency. Results are\n"
+    "identical at every thread count.\n"
+    "\n"
+    "analyze/simulate/montecarlo read the system from [file] or stdin (see\n"
     "'e2e example2' for the format).\n";
 
 TaskSystem load_system(const ArgParser& args, std::istream& in) {
@@ -60,6 +77,23 @@ ProtocolKind parse_protocol(const std::string& name) {
   }
   throw InvalidArgument("unknown protocol '" + name +
                         "' (DS, PM, MPM, RG, MPM-R)");
+}
+
+/// --threads: absent -> 0 (defer to E2E_THREADS / hardware concurrency);
+/// present -> a positive integer, anything else is an error.
+int parse_threads(const ArgParser& args) {
+  if (!args.has("threads")) return 0;
+  const std::int64_t threads = args.value_int("threads", 0);
+  if (threads <= 0) {
+    throw InvalidArgument("--threads must be a positive integer");
+  }
+  return static_cast<int>(threads);
+}
+
+std::string hex_hash(std::uint64_t hash) {
+  std::ostringstream stream;
+  stream << "0x" << std::hex << std::setfill('0') << std::setw(16) << hash;
+  return stream.str();
 }
 
 PrecedencePolicy parse_precedence(const std::string& name) {
@@ -178,6 +212,81 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out,
   return 0;
 }
 
+int cmd_montecarlo(const ArgParser& args, std::istream& in, std::ostream& out) {
+  args.expect_known({"protocol", "runs", "seed", "horizon-periods", "exec-var",
+                     "threads"});
+  const TaskSystem system = load_system(args, in);
+  const ProtocolKind kind = parse_protocol(args.value_string("protocol", "RG"));
+
+  MonteCarloOptions options;
+  options.runs = static_cast<int>(args.value_int("runs", 20));
+  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 1));
+  options.horizon_periods = args.value_double("horizon-periods", 20.0);
+  options.execution_min_fraction = args.value_double("exec-var", 1.0);
+  options.threads = parse_threads(args);
+  const MonteCarloResult result = estimate_latency(system, kind, options);
+
+  out << "protocol " << to_string(kind) << ", " << result.runs
+      << " runs, threads=" << options.threads
+      << " (0 = auto), schedule hash " << hex_hash(result.schedule_hash)
+      << ", events " << result.events_processed << "\n\n";
+  TextTable table({"task", "instances", "mean EER", "p(miss)"});
+  for (const Task& t : system.tasks()) {
+    const TaskLatency& latency = result.per_task[t.id.index()];
+    table.add_row({t.name, std::to_string(latency.instances),
+                   TextTable::fmt(latency.eer.mean(), 2),
+                   TextTable::fmt(latency.miss_probability(), 4)});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_sweep(const ArgParser& args, std::ostream& out) {
+  args.expect_known({"subtasks", "utilization", "systems", "seed",
+                     "horizon-periods", "threads"});
+  const Configuration config{
+      .subtasks_per_task = static_cast<int>(args.value_int("subtasks", 4)),
+      .utilization_percent = static_cast<int>(args.value_int("utilization", 60))};
+  SweepOptions options;
+  options.systems_per_config = static_cast<int>(args.value_int("systems", 20));
+  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260706));
+  options.horizon_periods = args.value_double("horizon-periods", 30.0);
+  options.threads = parse_threads(args);
+  const ConfigResult result = run_configuration(config, options);
+
+  out << "configuration N=" << config.subtasks_per_task
+      << ", U=" << config.utilization_percent << "%, " << result.systems
+      << " systems, schedule hash " << hex_hash(result.schedule_hash)
+      << ", events " << result.events_processed << "\n\n";
+  TextTable table({"metric", "mean", "samples"});
+  table.add_row({"SA/DS failure rate", TextTable::fmt(result.failure_rate(), 3),
+                 std::to_string(result.systems)});
+  table.add_row({"bound ratio DS/PM", TextTable::fmt(result.bound_ratio.mean(), 3),
+                 std::to_string(result.bound_ratio.count())});
+  table.add_row({"avg-EER ratio PM/DS", TextTable::fmt(result.pm_ds_ratio.mean(), 3),
+                 std::to_string(result.pm_ds_ratio.count())});
+  table.add_row({"avg-EER ratio RG/DS", TextTable::fmt(result.rg_ds_ratio.mean(), 3),
+                 std::to_string(result.rg_ds_ratio.count())});
+  table.add_row({"avg-EER ratio PM/RG", TextTable::fmt(result.pm_rg_ratio.mean(), 3),
+                 std::to_string(result.pm_rg_ratio.count())});
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_faults(const ArgParser& args, std::ostream& out) {
+  args.expect_known({"systems", "subtasks", "utilization", "seed", "threads"});
+  FaultSweepOptions options;
+  options.systems = static_cast<int>(args.value_int("systems", 10));
+  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260806));
+  options.config.subtasks_per_task =
+      static_cast<int>(args.value_int("subtasks", 4));
+  options.config.utilization_percent =
+      static_cast<int>(args.value_int("utilization", 60));
+  options.threads = parse_threads(args);
+  run_fault_report(out, options);
+  return 0;
+}
+
 int cmd_generate(const ArgParser& args, std::ostream& out) {
   args.expect_known({"subtasks", "utilization", "tasks", "processors", "seed",
                      "ticks"});
@@ -207,6 +316,9 @@ int run(const std::vector<std::string>& args_vector, std::istream& in,
     if (command == "analyze") return cmd_analyze(args, in, out);
     if (command == "simulate") return cmd_simulate(args, in, out, err);
     if (command == "generate") return cmd_generate(args, out);
+    if (command == "montecarlo") return cmd_montecarlo(args, in, out);
+    if (command == "sweep") return cmd_sweep(args, out);
+    if (command == "faults") return cmd_faults(args, out);
     if (command == "example2") {
       write_system(out, paper::example2());
       return 0;
