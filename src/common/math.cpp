@@ -1,23 +1,6 @@
 #include "common/math.h"
 
-#include "common/error.h"
-
 namespace e2e {
-
-std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
-  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
-  std::int64_t out = 0;
-  if (__builtin_add_overflow(a, b, &out)) return kTimeInfinity;
-  return out;
-}
-
-std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
-  if (a == 0 || b == 0) return 0;
-  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
-  std::int64_t out = 0;
-  if (__builtin_mul_overflow(a, b, &out)) return kTimeInfinity;
-  return out;
-}
 
 std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
   while (b != 0) {

@@ -24,13 +24,26 @@ namespace e2e {
 }
 
 /// a + b, saturating at kTimeInfinity; treats either operand being
-/// kTimeInfinity as infinite. Requires a, b >= 0.
-[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept;
+/// kTimeInfinity as infinite. Requires a, b >= 0. Defined inline: this is
+/// the innermost operation of every fixpoint iterate, executed once per
+/// interference term, and an out-of-line call there dominates the loop.
+[[nodiscard]] inline std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return kTimeInfinity;
+  return out;
+}
 
 /// a * b, saturating at kTimeInfinity; treats either operand being
 /// kTimeInfinity as infinite (unless the other is 0, which yields 0).
-/// Requires a, b >= 0.
-[[nodiscard]] std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
+/// Requires a, b >= 0. Inline for the same reason as sat_add.
+[[nodiscard]] inline std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return kTimeInfinity;
+  return out;
+}
 
 /// Greatest common divisor; gcd(0, x) == x. Requires a, b >= 0.
 [[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;

@@ -1,0 +1,67 @@
+// Content-addressed memoization of analysis results.
+//
+// Several callers re-run Algorithm SA/PM on systems they have analyzed
+// before: the protocol factory derives PM phases from SA/PM bounds every
+// time a protocol object is built, the fault-injection generator probes
+// candidate systems repeatedly, and the Monte-Carlo / exhaustive drivers
+// re-analyze the same nominal system once per configuration. The cache
+// keys results by a content hash of every parameter the analysis reads
+// (plus the analysis options), so a hit returns a result bit-identical to
+// recomputation -- which is exactly why caching cannot perturb the
+// experiments' deterministic output hashes at any thread count.
+//
+// Concurrency: lookups take a shared lock, insertions a unique lock, and
+// entries are immutable shared_ptrs, so readers never observe a partially
+// built result and eviction (wholesale clear at capacity) cannot dangle a
+// handle a caller still holds. Misses compute outside any lock; if two
+// threads race on the same key the first insert wins and both return the
+// same value either way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/analysis/sa_pm.h"
+#include "task/system.h"
+
+namespace e2e {
+
+/// Order-dependent content hash of every system parameter the analyses
+/// read: processor count, per-task period / phase / deadline / jitter,
+/// per-subtask processor / execution time / priority / preemptibility.
+/// Names are excluded (no analysis reads them).
+[[nodiscard]] std::uint64_t system_content_hash(const TaskSystem& system);
+
+/// Process-wide memo table for SA/PM results. Thread-safe; see the file
+/// comment for why hits are byte-identical to recomputation.
+class AnalysisCache {
+ public:
+  /// Entries retained before the table is cleared wholesale. Clearing
+  /// never invalidates returned handles (they share ownership).
+  static constexpr std::size_t kMaxEntries = 8192;
+
+  /// SA/PM result for `system` under `options`, computed on first use.
+  [[nodiscard]] std::shared_ptr<const AnalysisResult> sa_pm(
+      const TaskSystem& system, const SaPmOptions& options = {});
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+
+  /// Drops all entries (benchmarks use this to measure cold paths).
+  void clear();
+
+  /// The process-wide instance used by the factory and the experiment
+  /// drivers.
+  [[nodiscard]] static AnalysisCache& shared();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const AnalysisResult>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace e2e

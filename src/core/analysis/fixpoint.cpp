@@ -1,31 +1,14 @@
 #include "core/analysis/fixpoint.h"
 
-#include <algorithm>
-
-#include "common/error.h"
-
 namespace e2e {
 
 std::optional<Time> solve_fixpoint_from(Time start, const DemandFn& demand,
                                         const FixpointOptions& options) {
-  Time t = std::max<Time>(start, 1);
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    if (t > options.cap || is_infinite(t)) return std::nullopt;
-    const Duration w = demand(t);
-    E2E_ASSERT(w >= 0, "demand function must be non-negative");
-    if (w <= t) {
-      // Monotonicity gives w == demand(w) <= w ... the first t with
-      // W(t) <= t starting from below the least fixpoint *is* the least
-      // fixpoint (the iterate never overshoots a fixpoint).
-      return std::max<Time>(w, start);
-    }
-    t = w;
-  }
-  return std::nullopt;
+  return solve_fixpoint_from<DemandFn>(start, demand, options);
 }
 
 std::optional<Time> solve_fixpoint(const DemandFn& demand, const FixpointOptions& options) {
-  return solve_fixpoint_from(demand(1), demand, options);
+  return solve_fixpoint<DemandFn>(demand, options);
 }
 
 }  // namespace e2e

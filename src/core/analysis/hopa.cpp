@@ -74,6 +74,20 @@ std::vector<std::vector<std::int32_t>> levels_from_local_deadlines(
   return levels;
 }
 
+/// True iff `levels` equals the priority levels `system` already carries.
+bool levels_unchanged(const TaskSystem& system,
+                      const std::vector<std::vector<std::int32_t>>& levels) {
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      if (s.priority.level !=
+          levels[t.id.index()][static_cast<std::size_t>(s.ref.index)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 double schedulability_margin(const TaskSystem& system, double unbounded_margin) {
@@ -85,7 +99,13 @@ HopaResult optimize_priorities_hopa(const TaskSystem& system,
   E2E_ASSERT(options.iterations >= 0, "iterations must be non-negative");
 
   HopaResult result{.system = system};
-  AnalysisResult analysis = analyze_sa_pm(result.system);
+  // One scratch spans the initial analysis and every round: a priority
+  // reshuffle typically leaves most subtasks' demand equations untouched,
+  // and those reuse their converged fixpoints by signature.
+  AnalysisScratch scratch;
+  AnalysisScratch* sc = options.warm_start ? &scratch : nullptr;
+  AnalysisResult analysis =
+      analyze_sa_pm(result.system, InterferenceMap{result.system}, options.analysis, sc);
   result.initial_margin = margin_of(analysis, result.system, options.unbounded_margin);
   result.margin = result.initial_margin;
 
@@ -115,8 +135,25 @@ HopaResult optimize_priorities_hopa(const TaskSystem& system,
       }
     }
 
-    current = with_priorities(current, levels_from_local_deadlines(current, local_deadline));
-    analysis = analyze_sa_pm(current);
+    const auto levels = levels_from_local_deadlines(current, local_deadline);
+    // The redistribution usually reaches a fixpoint within a few rounds;
+    // once the levels stop moving, rebuilding the system and re-analyzing
+    // would reproduce `analysis` bit for bit round after round. The fast
+    // path skips that recomputation; the pre-PR shape (warm_start off)
+    // rebuilds every round.
+    if (options.warm_start && levels_unchanged(current, levels)) {
+      const double margin = margin_of(analysis, current, options.unbounded_margin);
+      if (margin < result.margin) {
+        result.margin = margin;
+        result.system = current;
+      }
+      if (margin <= 1.0 && result.margin <= 1.0 && margin >= result.margin) {
+        break;
+      }
+      continue;
+    }
+    current = with_priorities(current, levels);
+    analysis = analyze_sa_pm(current, InterferenceMap{current}, options.analysis, sc);
     const double margin = margin_of(analysis, current, options.unbounded_margin);
     if (margin < result.margin) {
       result.margin = margin;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/analysis/bounds.h"
+#include "core/analysis/sa_pm.h"
 #include "task/system.h"
 
 namespace e2e {
@@ -22,6 +23,17 @@ struct HopaOptions {
   int iterations = 8;
   /// Stand-in ratio for tasks whose EER bound is infinite.
   double unbounded_margin = 1e9;
+  /// Options forwarded to each SA/PM run (the benchmark uses
+  /// legacy_demand_path to measure against the historical baseline).
+  SaPmOptions analysis = {};
+  /// Carry one AnalysisScratch across rounds, so subtasks whose demand
+  /// equation a priority reshuffle did not touch reuse their previous
+  /// fixpoints (signature-exact, hence bit-identical results), and skip
+  /// the rebuild + re-analysis entirely once the deadline redistribution
+  /// stops moving any priority level (the common case after a few
+  /// rounds). Off reproduces the pre-fast-path per-round cost; the
+  /// returned HopaResult is identical either way.
+  bool warm_start = true;
 };
 
 struct HopaResult {

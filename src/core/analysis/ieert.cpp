@@ -1,19 +1,15 @@
 #include "core/analysis/ieert.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/math.h"
 #include "core/analysis/blocking.h"
+#include "core/analysis/demand.h"
 #include "core/analysis/fixpoint.h"
 
 namespace e2e {
 namespace {
-
-/// ceil((t + jitter) / period) * exec, saturating.
-Duration jittered_demand(Time t, Duration jitter, Duration period, Duration exec) {
-  if (is_infinite(jitter) || is_infinite(t)) return kTimeInfinity;
-  return sat_mul(ceil_div(sat_add(t, jitter), period), exec);
-}
 
 /// Sum of execution times of T_{i,1} .. T_{i,j} -- the earliest possible
 /// completion of position `index` relative to the chain's first release.
@@ -42,9 +38,14 @@ Duration release_jitter(const TaskSystem& system, SubtaskRef ref,
                  task_jitter);
 }
 
+/// `hp_jitter` is a caller-owned buffer (reused across subtasks so one
+/// IEERT pass performs no per-subtask allocations once it reaches steady
+/// state); on return it holds this subtask's per-interferer jitters.
 Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
-                            std::span<const Interferer> hp, const SubtaskTable& current,
-                            const IeertOptions& options) {
+                            std::span<const Interferer> hp_aos,
+                            const InterferenceMap::SoaView& hp,
+                            const SubtaskTable& current, const IeertOptions& options,
+                            std::vector<Duration>& hp_jitter, IeertWarmEntry* warm) {
   const Task& task = system.task(subtask.ref.task);
   const Duration period = task.period;
   const Duration exec = subtask.execution_time;
@@ -64,24 +65,43 @@ Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
   // IEER >= predecessor IEER + own execution: already beyond salvation.
   if (own_accum > cutoff) return kTimeInfinity;
 
-  std::vector<Duration> hp_jitter(hp.size());
-  for (std::size_t k = 0; k < hp.size(); ++k) {
-    hp_jitter[k] = release_jitter(system, hp[k].ref, current, options);
+  hp_jitter.resize(hp_aos.size());
+  for (std::size_t k = 0; k < hp_aos.size(); ++k) {
+    hp_jitter[k] = release_jitter(system, hp_aos[k].ref, current, options);
     if (is_infinite(hp_jitter[k])) return kTimeInfinity;
   }
   const FixpointOptions fp{.cap = options.cap};
 
   // Step 1: busy-period duration with jittered ceilings (self included).
-  const auto busy_demand = [&](Time t) -> Duration {
-    Duration sum = sat_add(blocking, jittered_demand(t, own_jitter, period, exec));
-    for (std::size_t k = 0; k < hp.size(); ++k) {
-      sum = sat_add(sum,
-                    jittered_demand(t, hp_jitter[k], hp[k].period, hp[k].execution_time));
-    }
-    return sum;
+  const DemandEvaluator busy_eval{
+      .periods = hp.periods,
+      .execs = hp.execs,
+      .jitters = hp_jitter,
+      .constant = blocking,
+      .self_period = period,
+      .self_exec = exec,
+      .self_jitter = own_jitter,
   };
-  const std::optional<Time> busy = solve_fixpoint(busy_demand, fp);
+  std::optional<Time> busy;
+  if (options.legacy_demand_path) {
+    const DemandFn busy_fn = [&](Time t) -> Duration {
+      Duration sum = sat_add(blocking, jittered_demand(t, own_jitter, period, exec));
+      for (std::size_t k = 0; k < hp_aos.size(); ++k) {
+        sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
+                                           hp_aos[k].execution_time));
+      }
+      return sum;
+    };
+    busy = solve_fixpoint(busy_fn, fp);
+  } else if (warm != nullptr && warm->busy > 0) {
+    // Kleene monotonicity: this pass's jitters dominate last pass's, so
+    // last pass's busy period under-approximates this pass's fixpoint.
+    busy = solve_fixpoint_from(warm->busy, busy_eval, fp);
+  } else {
+    busy = solve_fixpoint(busy_eval, fp);
+  }
   if (!busy) return kTimeInfinity;
+  if (warm != nullptr) warm->busy = *busy;
 
   // Step 2: instances of T_{i,j} possibly inside the busy period.
   const std::int64_t instances = ceil_div(sat_add(*busy, own_jitter), period);
@@ -91,20 +111,41 @@ Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
   // iteration cost over the whole busy period).
   Duration worst = 0;
   Time previous_completion = 0;
+  if (warm != nullptr) {
+    warm->completions.resize(static_cast<std::size_t>(std::max<std::int64_t>(instances, 0)), 0);
+  }
   for (std::int64_t m = 1; m <= instances; ++m) {
-    const auto completion_demand = [&](Time t) -> Duration {
-      Duration sum = sat_add(blocking, sat_mul(m, exec));
-      for (std::size_t k = 0; k < hp.size(); ++k) {
-        sum = sat_add(
-            sum, jittered_demand(t, hp_jitter[k], hp[k].period, hp[k].execution_time));
-      }
-      return sum;
-    };
-    const std::optional<Time> completion = solve_fixpoint_from(
-        std::max(sat_mul(m, exec), sat_add(previous_completion, exec)),
-        completion_demand, fp);
+    Time start = std::max(sat_mul(m, exec), sat_add(previous_completion, exec));
+    if (warm != nullptr) {
+      // Same monotone argument per instance: C(m) only grows with the
+      // jitters, so last pass's completion is a valid warm seed.
+      start = std::max(start, warm->completions[static_cast<std::size_t>(m - 1)]);
+    }
+    std::optional<Time> completion;
+    if (options.legacy_demand_path) {
+      const DemandFn completion_fn = [&](Time t) -> Duration {
+        Duration sum = sat_add(blocking, sat_mul(m, exec));
+        for (std::size_t k = 0; k < hp_aos.size(); ++k) {
+          sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
+                                             hp_aos[k].execution_time));
+        }
+        return sum;
+      };
+      completion = solve_fixpoint_from(start, completion_fn, fp);
+    } else {
+      const DemandEvaluator completion_eval{
+          .periods = hp.periods,
+          .execs = hp.execs,
+          .jitters = hp_jitter,
+          .constant = sat_add(blocking, sat_mul(m, exec)),
+      };
+      completion = solve_fixpoint_from(start, completion_eval, fp);
+    }
     if (!completion) return kTimeInfinity;
     previous_completion = *completion;
+    if (warm != nullptr) {
+      warm->completions[static_cast<std::size_t>(m - 1)] = *completion;
+    }
     const Duration r = sat_add(*completion, own_accum) - (m - 1) * period;
     worst = std::max(worst, r);
     // The max over m is what gets compared against the cutoff; once any
@@ -114,17 +155,96 @@ Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
   return worst;
 }
 
+/// Flat indices of the `current` entries bound_subtask_ieer reads for
+/// `ref`: its own predecessor plus each interferer's predecessor (the
+/// jitter terms). Everything else in the equation is static per system.
+std::vector<std::uint32_t> table_inputs_of(const InterferenceMap& interference,
+                                           SubtaskRef ref,
+                                           std::span<const Interferer> hp) {
+  std::vector<std::uint32_t> deps;
+  deps.reserve(hp.size() + 1);
+  const auto push = [&](SubtaskRef pred) {
+    const auto flat = static_cast<std::uint32_t>(interference.flat_index(pred));
+    if (std::find(deps.begin(), deps.end(), flat) == deps.end()) deps.push_back(flat);
+  };
+  if (ref.index > 0) push(SubtaskRef{ref.task, ref.index - 1});
+  for (const Interferer& k : hp) {
+    if (k.ref.index > 0) push(SubtaskRef{k.ref.task, k.ref.index - 1});
+  }
+  return deps;
+}
+
 }  // namespace
 
 SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interference,
-                        const SubtaskTable& current, const IeertOptions& options) {
-  SubtaskTable next{system, 0};
-  for (const Task& t : system.tasks()) {
-    for (const Subtask& s : t.subtasks) {
-      next.set(s.ref,
-               bound_subtask_ieer(system, s, interference.of(s.ref), current, options));
+                        const SubtaskTable& current, const IeertOptions& options,
+                        IeertIncrementalState* state) {
+  const std::size_t count = interference.subtask_count();
+  if (state != nullptr && state->deps.size() != count) {
+    state->deps.resize(count);
+    state->warm.assign(count, {});
+    for (const Task& t : system.tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        state->deps[interference.flat_index(s.ref)] =
+            table_inputs_of(interference, s.ref, interference.of(s.ref));
+      }
     }
   }
+  std::vector<Duration> hp_jitter;  // reused by every subtask in the pass
+
+  if (state == nullptr) {
+    // Jacobi sweep, exactly the paper's R' = IEERT(T, R): every entry is
+    // recomputed against the immutable input table.
+    SubtaskTable next{system, 0};
+    for (const Task& t : system.tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        next.set(s.ref,
+                 bound_subtask_ieer(system, s, interference.of(s.ref),
+                                    interference.soa_of(s.ref), current, options,
+                                    hp_jitter, nullptr));
+      }
+    }
+    return next;
+  }
+
+  // Fast path: one in-place Gauss-Seidel sweep. Entries updated earlier in
+  // the sweep feed later entries immediately, so a whole chain's growth
+  // propagates in one sweep instead of one link per sweep. Chaotic
+  // iteration of a monotone operator from an under-approximation converges
+  // to the same least fixpoint as the Jacobi sweeps (every intermediate
+  // table stays sandwiched between the start and the fixpoint), so the
+  // converged table -- the analysis result -- is bit-identical; only the
+  // number of sweeps to reach it shrinks.
+  const bool incremental = !state->changed.empty();
+  std::vector<std::uint8_t> sweep_changed(count, 0);
+  SubtaskTable next = current;
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      const std::size_t flat = interference.flat_index(s.ref);
+      bool stale = true;
+      if (incremental) {
+        // Stale iff an input changed since this entry was last computed:
+        // either during the previous sweep or earlier in this one.
+        stale = false;
+        for (const std::uint32_t d : state->deps[flat]) {
+          if (state->changed[d] != 0 || sweep_changed[d] != 0) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (!stale) continue;  // recomputing would reproduce the entry exactly
+      const Duration bound =
+          bound_subtask_ieer(system, s, interference.of(s.ref),
+                             interference.soa_of(s.ref), next, options, hp_jitter,
+                             &state->warm[flat]);
+      if (bound != next.at(s.ref)) {
+        sweep_changed[flat] = 1;
+        next.set(s.ref, bound);
+      }
+    }
+  }
+  state->changed = std::move(sweep_changed);
   return next;
 }
 

@@ -44,6 +44,41 @@ struct IeertOptions {
   /// than letting bounds crawl up by small increments over thousands of
   /// passes. 0 disables the cutoff.
   double failure_period_multiplier = 0.0;
+  /// Route demand through type-erased std::function calls (the
+  /// pre-fast-path code shape) instead of the inlined kernel; results are
+  /// identical. For benchmarking the fast path against the baseline.
+  bool legacy_demand_path = false;
+};
+
+/// Dirty-tracking state for incremental IEERT iteration. A subtask's
+/// refined bound is a pure function of the `current` entries of its own
+/// predecessor and of each interferer's predecessor (the jitter terms);
+/// everything else in its equation is static. When none of those inputs
+/// changed in the last table transition, recomputing the entry would
+/// reproduce it exactly, so the incremental pass copies it instead.
+/// Converging iterations stabilize most entries early, making the final
+/// passes nearly free; the result table is bit-identical to full passes.
+/// Per-subtask fixpoint seeds carried across passes. The IEERT iteration
+/// is a Kleene sequence -- the table only grows -- so every jitter term
+/// only grows pass over pass, and with it each subtask's busy-period and
+/// per-instance completion fixpoints. Seeding this pass's fixpoints from
+/// last pass's values is therefore a monotone warm start: it converges
+/// to exactly the cold-start least fixpoint, usually in one or two
+/// iterations instead of re-deriving the whole busy period.
+struct IeertWarmEntry {
+  Time busy = 0;                  ///< last pass's busy-period duration
+  std::vector<Time> completions;  ///< last pass's C(m), 1-indexed by m-1
+};
+
+struct IeertIncrementalState {
+  /// Per flat subtask index: flat indices of its table inputs (built on
+  /// first use, fixed per system).
+  std::vector<std::vector<std::uint32_t>> deps;
+  /// Which entries changed in the last current -> next transition; empty
+  /// means "first pass, recompute everything".
+  std::vector<std::uint8_t> changed;
+  /// Per flat subtask index: fixpoint seeds from the last recomputation.
+  std::vector<IeertWarmEntry> warm;
 };
 
 /// One application R' = IEERT(T, R). `current` holds IEER bounds
@@ -51,9 +86,20 @@ struct IeertOptions {
 /// case dependent bounds become infinite as well. Returns the refined
 /// table; never returns less than `current` entry-wise when `current` is
 /// a genuine under-approximation (monotone operator).
+///
+/// With a non-null `state`, runs the fast-path sweep instead: in-place
+/// Gauss-Seidel (entries updated earlier in the sweep feed later ones
+/// immediately), entries whose inputs did not change are skipped, and
+/// each recomputed fixpoint warm-starts from its previous value. Chaotic
+/// iteration of the monotone IEERT operator from an under-approximation
+/// reaches the same least fixpoint as the Jacobi sweeps, so the
+/// *converged* table is bit-identical; intermediate tables and the sweep
+/// count needed to converge differ (fewer sweeps). Callers must feed
+/// passes in sequence (each pass's `current` being the previous result).
 [[nodiscard]] SubtaskTable ieert_pass(const TaskSystem& system,
                                       const InterferenceMap& interference,
                                       const SubtaskTable& current,
-                                      const IeertOptions& options = {});
+                                      const IeertOptions& options = {},
+                                      IeertIncrementalState* state = nullptr);
 
 }  // namespace e2e

@@ -6,8 +6,14 @@ namespace e2e {
 
 InterferenceMap::InterferenceMap(const TaskSystem& system) {
   per_subtask_.resize(system.task_count());
+  task_base_.reserve(system.task_count());
+  range_begin_.reserve(system.subtask_count() + 1);
+  range_begin_.push_back(0);
+  std::size_t flat = 0;
   for (const Task& t : system.tasks()) {
     per_subtask_[t.id.index()].resize(t.subtasks.size());
+    task_base_.push_back(flat);
+    flat += t.subtasks.size();
     for (const Subtask& s : t.subtasks) {
       auto& set = per_subtask_[t.id.index()][static_cast<std::size_t>(s.ref.index)];
       for (const SubtaskRef other_ref : system.subtasks_on(s.processor)) {
@@ -22,6 +28,13 @@ InterferenceMap::InterferenceMap(const TaskSystem& system) {
             .task_release_jitter = system.task(other_ref.task).release_jitter,
         });
       }
+      // Mirror this set into the flat SoA arrays (demand-kernel layout).
+      for (const Interferer& h : set) {
+        flat_periods_.push_back(h.period);
+        flat_execs_.push_back(h.execution_time);
+        flat_jitters_.push_back(h.task_release_jitter);
+      }
+      range_begin_.push_back(flat_periods_.size());
     }
   }
 }
@@ -33,6 +46,26 @@ std::span<const Interferer> InterferenceMap::of(SubtaskRef ref) const {
   E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < per_index.size(),
              "InterferenceMap: subtask index out of range");
   return per_index[static_cast<std::size_t>(ref.index)];
+}
+
+std::size_t InterferenceMap::flat_index(SubtaskRef ref) const {
+  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < per_subtask_.size(),
+             "InterferenceMap: task out of range");
+  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) <
+                                   per_subtask_[ref.task.index()].size(),
+             "InterferenceMap: subtask index out of range");
+  return task_base_[ref.task.index()] + static_cast<std::size_t>(ref.index);
+}
+
+InterferenceMap::SoaView InterferenceMap::soa_of(SubtaskRef ref) const {
+  const std::size_t f = flat_index(ref);
+  const std::size_t begin = range_begin_[f];
+  const std::size_t count = range_begin_[f + 1] - begin;
+  return SoaView{
+      .periods = std::span<const Duration>{flat_periods_}.subspan(begin, count),
+      .execs = std::span<const Duration>{flat_execs_}.subspan(begin, count),
+      .jitters = std::span<const Duration>{flat_jitters_}.subspan(begin, count),
+  };
 }
 
 }  // namespace e2e

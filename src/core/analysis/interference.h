@@ -5,8 +5,16 @@
 // equal to T_{i,j}'s, excluding T_{i,j} itself. Both SA/PM and Algorithm
 // IEERT sum demand over this set; precomputing it once per system keeps
 // the fixpoint inner loops tight.
+//
+// Two representations are kept in sync:
+//  * of(ref): array-of-structs spans of Interferer (refs + parameters),
+//    used where the interferers' identities matter (IEERT's jitter terms);
+//  * soa_of(ref): structure-of-arrays spans over flat parallel vectors of
+//    periods / execution times / task release jitters, consumed by the
+//    inlined DemandEvaluator kernels (core/analysis/demand.h).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -39,8 +47,35 @@ class InterferenceMap {
   /// H_{i,j} for the given subtask (same processor, priority >=, not self).
   [[nodiscard]] std::span<const Interferer> of(SubtaskRef ref) const;
 
+  /// Structure-of-arrays view of H_{i,j}: parallel spans over contiguous
+  /// flat storage. `jitters` holds the interferers' task release jitters
+  /// (the jitter term SA/PM uses; IEERT substitutes its own per-pass
+  /// jitter vector of the same length).
+  struct SoaView {
+    std::span<const Duration> periods;
+    std::span<const Duration> execs;
+    std::span<const Duration> jitters;
+    [[nodiscard]] std::size_t size() const noexcept { return periods.size(); }
+  };
+  [[nodiscard]] SoaView soa_of(SubtaskRef ref) const;
+
+  /// Task-major flat index of a subtask (stable for the system's lifetime);
+  /// the incremental IEERT pass keys its dirty flags on it.
+  [[nodiscard]] std::size_t flat_index(SubtaskRef ref) const;
+  /// Total number of subtasks in the system.
+  [[nodiscard]] std::size_t subtask_count() const noexcept {
+    return range_begin_.size() - 1;
+  }
+
  private:
   std::vector<std::vector<std::vector<Interferer>>> per_subtask_;  // [task][index]
+  // Flat SoA mirror: subtask (task-major order) f has interferers in
+  // [range_begin_[f], range_begin_[f + 1]) of the flat arrays.
+  std::vector<std::size_t> task_base_;     // flat subtask index of each task's first subtask
+  std::vector<std::size_t> range_begin_;   // size: total subtasks + 1
+  std::vector<Duration> flat_periods_;
+  std::vector<Duration> flat_execs_;
+  std::vector<Duration> flat_jitters_;
 };
 
 }  // namespace e2e

@@ -1,5 +1,7 @@
 #include "core/analysis/sa_ds.h"
 
+#include <algorithm>
+
 #include "common/math.h"
 #include "core/analysis/ieert.h"
 
@@ -29,7 +31,7 @@ SaDsResult analyze_sa_ds(const TaskSystem& system, const SaDsOptions& options) {
 }
 
 SaDsResult analyze_sa_ds(const TaskSystem& system, const InterferenceMap& interference,
-                         const SaDsOptions& options) {
+                         const SaDsOptions& options, AnalysisScratch* scratch) {
   SaDsResult result;
 
   // Initialization (Figure 11 step 1): R_{i,j} = sum of own and
@@ -40,6 +42,23 @@ SaDsResult analyze_sa_ds(const TaskSystem& system, const InterferenceMap& interf
     for (const Subtask& s : t.subtasks) {
       cumulative += s.execution_time;
       current.set(s.ref, cumulative);
+    }
+  }
+
+  // Warm start: under the caller's monotonicity promise the previous
+  // converged table is <= the new fixpoint entrywise, and so is the
+  // optimistic init; their elementwise max is therefore still an
+  // under-approximation and the iteration converges to the identical
+  // fixpoint in fewer passes.
+  const bool monotone = scratch != nullptr && scratch->monotone;
+  if (scratch != nullptr) scratch->monotone = false;
+  if (monotone && scratch->ds_valid &&
+      scratch->ds_refined == options.refine_jitter_with_best_case &&
+      scratch->ds_table.shaped_like(system)) {
+    for (const Task& t : system.tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        current.set(s.ref, std::max(current.at(s.ref), scratch->ds_table.at(s.ref)));
+      }
     }
   }
 
@@ -55,11 +74,17 @@ SaDsResult analyze_sa_ds(const TaskSystem& system, const InterferenceMap& interf
   const IeertOptions pass_options{
       .cap = sat_mul(max_cutoff, 2),
       .refine_jitter_with_best_case = options.refine_jitter_with_best_case,
-      .failure_period_multiplier = options.failure_period_multiplier};
+      .failure_period_multiplier = options.failure_period_multiplier,
+      .legacy_demand_path = options.legacy_demand_path};
 
-  // Iterate (Figure 11 step 2) until R == IEERT(T, R).
+  // Iterate (Figure 11 step 2) until R == IEERT(T, R). The fast path
+  // tracks which entries changed between passes and skips entries whose
+  // inputs are untouched (bit-identical to full passes; see ieert.h); the
+  // legacy path recomputes every entry, as the pre-fast-path code did.
+  IeertIncrementalState incremental;
+  IeertIncrementalState* state = options.legacy_demand_path ? nullptr : &incremental;
   for (result.passes = 0; result.passes < options.max_passes;) {
-    SubtaskTable next = ieert_pass(system, interference, current, pass_options);
+    SubtaskTable next = ieert_pass(system, interference, current, pass_options, state);
     apply_failure_cap(system, options.failure_period_multiplier, next);
     ++result.passes;
     if (next == current) {
@@ -67,6 +92,14 @@ SaDsResult analyze_sa_ds(const TaskSystem& system, const InterferenceMap& interf
       break;
     }
     current = std::move(next);
+  }
+
+  // Only a converged table is a genuine fixpoint worth warm-starting
+  // from; a pass-budget blowout leaves `current` mid-iteration.
+  if (scratch != nullptr && result.converged) {
+    scratch->ds_valid = true;
+    scratch->ds_refined = options.refine_jitter_with_best_case;
+    scratch->ds_table = current;
   }
 
   result.analysis.subtask_bounds = current;

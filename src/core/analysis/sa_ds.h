@@ -12,6 +12,7 @@
 
 #include "core/analysis/bounds.h"
 #include "core/analysis/interference.h"
+#include "core/analysis/scratch.h"
 #include "task/system.h"
 
 namespace e2e {
@@ -26,6 +27,9 @@ struct SaDsOptions {
   /// Use the best-case-refined jitter terms (see IeertOptions). Off by
   /// default: the paper's Algorithm SA/DS uses the plain R_{u,v-1} jitter.
   bool refine_jitter_with_best_case = false;
+  /// Route demand through type-erased std::function calls (pre-fast-path
+  /// code shape); results identical, benchmarking only.
+  bool legacy_demand_path = false;
 };
 
 struct SaDsResult {
@@ -50,8 +54,18 @@ struct SaDsResult {
 [[nodiscard]] SaDsResult analyze_sa_ds(const TaskSystem& system,
                                        const SaDsOptions& options = {});
 
+/// As above, reusing a prebuilt interference map. When `scratch` is
+/// non-null and the caller armed `scratch->monotone` (demand grew, caps
+/// and failure cutoffs did not), the IEERT iteration starts from the
+/// elementwise max of the optimistic init and the previous converged
+/// table -- both under-approximations of the new fixpoint, so the
+/// iteration converges to exactly the table the cold start produces, in
+/// fewer passes. The scratch only stores converged tables, and a table
+/// computed under a different refine_jitter_with_best_case flag is
+/// ignored (the two operators' fixpoints are not comparable).
 [[nodiscard]] SaDsResult analyze_sa_ds(const TaskSystem& system,
                                        const InterferenceMap& interference,
-                                       const SaDsOptions& options = {});
+                                       const SaDsOptions& options = {},
+                                       AnalysisScratch* scratch = nullptr);
 
 }  // namespace e2e

@@ -1,75 +1,165 @@
 #include "core/analysis/sa_pm.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/math.h"
 #include "core/analysis/blocking.h"
+#include "core/analysis/demand.h"
 #include "core/analysis/fixpoint.h"
 
 namespace e2e {
 namespace {
 
-/// ceil((t + jitter) / period) * exec, saturating.
-Duration jittered_demand(Time t, Duration jitter, Duration period, Duration exec) {
-  if (is_infinite(t)) return kTimeInfinity;
-  return sat_mul(ceil_div(sat_add(t, jitter), period), exec);
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t acc, std::int64_t v) noexcept {
+  return hash_combine(acc, static_cast<std::uint64_t>(v));
+}
+
+/// Content hash of one subtask's demand equation: every parameter that
+/// the step 1-4 fixpoints read. Equal signatures mean equal equations,
+/// hence equal least fixpoints.
+std::uint64_t equation_signature(Duration period, Duration exec, Duration jitter,
+                                 Duration blocking, Time cap,
+                                 const InterferenceMap::SoaView& hp) {
+  std::uint64_t h = mix(0, period);
+  h = mix(h, exec);
+  h = mix(h, jitter);
+  h = mix(h, blocking);
+  h = mix(h, cap);
+  for (std::size_t k = 0; k < hp.size(); ++k) {
+    h = mix(h, hp.periods[k]);
+    h = mix(h, hp.execs[k]);
+    h = mix(h, hp.jitters[k]);
+  }
+  return h;
 }
 
 /// Upper bound R_{i,j} on the response time of one strictly periodic
 /// subtask (steps 1-4), or kTimeInfinity.
 ///
-/// Two extensions beyond the paper's equations, both of which vanish on
-/// paper-model systems: a bounded release jitter J per task (every
-/// ceiling becomes ceil((t+J)/p), the instance count and per-instance
-/// response pick up J) and a blocking constant for non-preemptible
-/// lower-priority subtasks.
+/// `sc` (optional) receives the converged fixpoints; with `warm` the
+/// previous contents seed the iterations (sound because every recorded
+/// value is <= the new least fixpoint under the caller's monotonicity
+/// promise, so the iteration still converges to exactly the new least
+/// fixpoint). `legacy` reproduces the pre-fast-path std::function
+/// dispatch and cold starts.
 Duration bound_subtask_response(const TaskSystem& system, const Subtask& subtask,
-                                std::span<const Interferer> hp, Time cap) {
+                                std::span<const Interferer> hp_aos,
+                                const InterferenceMap::SoaView& hp, Duration blocking,
+                                Time cap, SubtaskScratch* sc, bool warm, bool legacy) {
   const Task& task = system.task(subtask.ref.task);
   const Duration period = task.period;
   const Duration exec = subtask.execution_time;
   const Duration jitter = task.release_jitter;
-  const Duration blocking = blocking_term(system, subtask);
   const FixpointOptions fp{.cap = cap};
 
-  // Step 1: busy-period duration D_{i,j} (interference set plus self).
-  const auto busy_demand = [&](Time t) -> Duration {
-    Duration sum = sat_add(blocking, jittered_demand(t, jitter, period, exec));
-    for (const Interferer& h : hp) {
-      sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
-                                         h.execution_time));
+  warm = warm && !legacy && sc != nullptr && sc->has;
+  if (warm && is_infinite(sc->bound)) {
+    // The previous (dominated, same-or-larger-cap) equation already
+    // diverged; the new one diverges a fortiori.
+    return kTimeInfinity;
+  }
+  const auto record_unbounded = [&]() -> Duration {
+    if (sc != nullptr) {
+      sc->has = true;
+      sc->busy = 0;
+      sc->bound = kTimeInfinity;
+      sc->completions.clear();
     }
-    return sum;
+    return kTimeInfinity;
   };
-  const std::optional<Time> busy = solve_fixpoint(busy_demand, fp);
-  if (!busy) return kTimeInfinity;
+
+  // Step 1: busy-period duration D_{i,j} (interference set plus self).
+  const DemandEvaluator busy_eval{
+      .periods = hp.periods,
+      .execs = hp.execs,
+      .jitters = hp.jitters,
+      .constant = blocking,
+      .self_period = period,
+      .self_exec = exec,
+      .self_jitter = jitter,
+  };
+  std::optional<Time> busy;
+  if (legacy) {
+    const DemandFn busy_fn = [&](Time t) -> Duration {
+      Duration sum = sat_add(blocking, jittered_demand(t, jitter, period, exec));
+      for (const Interferer& h : hp_aos) {
+        sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
+                                           h.execution_time));
+      }
+      return sum;
+    };
+    busy = solve_fixpoint(busy_fn, fp);
+  } else if (warm) {
+    busy = solve_fixpoint_from(std::max<Time>(sc->busy, 1), busy_eval, fp);
+  } else {
+    busy = solve_fixpoint(busy_eval, fp);
+  }
+  if (!busy) return record_unbounded();
 
   // Step 2: number of instances in the busy period.
   const std::int64_t instances = ceil_div(sat_add(*busy, jitter), period);
 
   // Steps 3-4: bound each instance's response time, take the max. C(m)
   // grows by at least `exec` per instance, so each fixpoint warm-starts
-  // from the previous completion.
+  // from the previous completion (and, when warm, from the previous
+  // run's C(m) -- also <= the new least fixpoint).
   Duration worst = 0;
   Time previous_completion = 0;
+  std::vector<Time> completions;
+  if (sc != nullptr) completions.reserve(static_cast<std::size_t>(instances));
   for (std::int64_t m = 1; m <= instances; ++m) {
-    const auto completion_demand = [&](Time t) -> Duration {
-      Duration sum = sat_add(blocking, sat_mul(m, exec));
-      for (const Interferer& h : hp) {
-        sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
-                                           h.execution_time));
-      }
-      return sum;
-    };
-    const std::optional<Time> completion = solve_fixpoint_from(
-        std::max(sat_mul(m, exec), sat_add(previous_completion, exec)),
-        completion_demand, fp);
-    if (!completion) return kTimeInfinity;
+    Time start = std::max(sat_mul(m, exec), sat_add(previous_completion, exec));
+    if (warm && static_cast<std::size_t>(m) <= sc->completions.size()) {
+      start = std::max(start, sc->completions[static_cast<std::size_t>(m - 1)]);
+    }
+    std::optional<Time> completion;
+    if (legacy) {
+      const DemandFn completion_fn = [&](Time t) -> Duration {
+        Duration sum = sat_add(blocking, sat_mul(m, exec));
+        for (const Interferer& h : hp_aos) {
+          sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
+                                             h.execution_time));
+        }
+        return sum;
+      };
+      completion = solve_fixpoint_from(
+          std::max(sat_mul(m, exec), sat_add(previous_completion, exec)), completion_fn,
+          fp);
+    } else {
+      const DemandEvaluator completion_eval{
+          .periods = hp.periods,
+          .execs = hp.execs,
+          .jitters = hp.jitters,
+          .constant = sat_add(blocking, sat_mul(m, exec)),
+      };
+      completion = solve_fixpoint_from(start, completion_eval, fp);
+    }
+    if (!completion) return record_unbounded();
     previous_completion = *completion;
+    if (sc != nullptr) completions.push_back(*completion);
     worst = std::max(worst, sat_add(*completion, jitter) - (m - 1) * period);
   }
+  if (sc != nullptr) {
+    sc->has = true;
+    sc->busy = *busy;
+    sc->bound = worst;
+    sc->completions = std::move(completions);
+  }
   return worst;
+}
+
+/// True if `pm` has one entry per subtask of `system`.
+bool pm_shape_matches(const std::vector<std::vector<SubtaskScratch>>& pm,
+                      const TaskSystem& system) {
+  if (pm.size() != system.task_count()) return false;
+  for (const Task& t : system.tasks()) {
+    if (pm[t.id.index()].size() != t.subtasks.size()) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -80,7 +170,7 @@ AnalysisResult analyze_sa_pm(const TaskSystem& system, const SaPmOptions& option
 
 AnalysisResult analyze_sa_pm(const TaskSystem& system,
                              const InterferenceMap& interference,
-                             const SaPmOptions& options) {
+                             const SaPmOptions& options, AnalysisScratch* scratch) {
   AnalysisResult result;
   result.subtask_bounds = SubtaskTable{system, 0};
   result.eer_bounds.assign(system.task_count(), 0);
@@ -88,15 +178,54 @@ AnalysisResult analyze_sa_pm(const TaskSystem& system,
   const Time cap = static_cast<Time>(options.cap_period_multiplier *
                                      static_cast<double>(system.max_period()));
 
+  // Consume the one-shot monotonicity promise and make sure the scratch
+  // is shaped for this system; a mismatched scratch is wiped, not trusted.
+  const bool monotone = scratch != nullptr && scratch->monotone;
+  if (scratch != nullptr) scratch->monotone = false;
+  bool reuse_allowed = false;
+  if (scratch != nullptr) {
+    reuse_allowed = scratch->pm_valid && pm_shape_matches(scratch->pm, system);
+    if (!reuse_allowed) {
+      scratch->pm.assign(system.task_count(), {});
+      for (const Task& t : system.tasks()) {
+        scratch->pm[t.id.index()].assign(t.subtasks.size(), SubtaskScratch{});
+      }
+    }
+  }
+
   for (const Task& t : system.tasks()) {
     Duration eer = 0;
     for (const Subtask& s : t.subtasks) {
-      const Duration r = bound_subtask_response(system, s, interference.of(s.ref), cap);
+      const Duration blocking = blocking_term(system, s);
+      const InterferenceMap::SoaView hp = interference.soa_of(s.ref);
+      SubtaskScratch* sc =
+          scratch != nullptr
+              ? &scratch->pm[t.id.index()][static_cast<std::size_t>(s.ref.index)]
+              : nullptr;
+      Duration r = 0;
+      bool reused = false;
+      std::uint64_t sig = 0;
+      if (sc != nullptr) {
+        sig = equation_signature(t.period, s.execution_time, t.release_jitter, blocking,
+                                 cap, hp);
+        if (reuse_allowed && sc->has && sc->signature == sig) {
+          // Bit-identical equation: same least fixpoint, no iteration.
+          r = sc->bound;
+          reused = true;
+        }
+      }
+      if (!reused) {
+        r = bound_subtask_response(system, s, interference.of(s.ref), hp, blocking, cap,
+                                   sc, reuse_allowed && monotone,
+                                   options.legacy_demand_path);
+        if (sc != nullptr) sc->signature = sig;
+      }
       result.subtask_bounds.set(s.ref, r);
       eer = sat_add(eer, r);
     }
     result.eer_bounds[t.id.index()] = eer;  // Step 5
   }
+  if (scratch != nullptr) scratch->pm_valid = true;
   finalize_schedulability(system, result);
   return result;
 }

@@ -23,6 +23,7 @@
 
 #include "core/analysis/bounds.h"
 #include "core/analysis/interference.h"
+#include "core/analysis/scratch.h"
 #include "task/system.h"
 
 namespace e2e {
@@ -33,6 +34,12 @@ struct SaPmOptions {
   /// utilization > 1 has no finite busy period; the cap turns that into a
   /// clean "unbounded" verdict. 300 mirrors the paper's failure cutoff.
   double cap_period_multiplier = 300.0;
+  /// Route every demand evaluation through a type-erased std::function
+  /// (the pre-fast-path code shape) instead of the inlined kernel, and
+  /// ignore warm-start seeds. Results are identical; only the cost
+  /// differs. Exists so benchmarks can measure the fast path against the
+  /// historical baseline.
+  bool legacy_demand_path = false;
 };
 
 /// Runs Algorithm SA/PM on `system`. Subtask entries and task EER bounds
@@ -41,9 +48,16 @@ struct SaPmOptions {
                                            const SaPmOptions& options = {});
 
 /// As above, reusing a prebuilt interference map (the experiment sweeps
-/// analyze the same system under several algorithms).
+/// analyze the same system under several algorithms). When `scratch` is
+/// non-null the run records its converged fixpoints there and reuses the
+/// previous contents where sound (see core/analysis/scratch.h):
+/// bit-identical equations are copied without iterating, and -- when the
+/// caller armed `scratch->monotone` -- remaining fixpoints iterate from
+/// the previous run's values. Results are bit-identical with or without
+/// a scratch.
 [[nodiscard]] AnalysisResult analyze_sa_pm(const TaskSystem& system,
                                            const InterferenceMap& interference,
-                                           const SaPmOptions& options = {});
+                                           const SaPmOptions& options = {},
+                                           AnalysisScratch* scratch = nullptr);
 
 }  // namespace e2e

@@ -1,6 +1,6 @@
 #include "core/protocols/factory.h"
 
-#include "core/analysis/sa_pm.h"
+#include "core/analysis/cache.h"
 #include "core/protocols/direct_sync.h"
 #include "core/protocols/modified_pm.h"
 #include "core/protocols/mpm_retransmit.h"
@@ -45,7 +45,9 @@ std::unique_ptr<SyncProtocol> make_protocol(ProtocolKind kind, const TaskSystem&
                                             const SubtaskTable* pm_bounds) {
   const auto bounds_or_computed = [&]() -> SubtaskTable {
     if (pm_bounds != nullptr) return *pm_bounds;
-    return analyze_sa_pm(system).subtask_bounds;
+    // Memoized: building several protocols for the same system (every
+    // figure bench does) runs Algorithm SA/PM once, not once per protocol.
+    return AnalysisCache::shared().sa_pm(system)->subtask_bounds;
   };
   switch (kind) {
     case ProtocolKind::kDirectSync:

@@ -1,5 +1,7 @@
 #include "experiments/breakdown.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "core/analysis/sa_ds.h"
 #include "core/analysis/sa_pm.h"
@@ -8,14 +10,50 @@
 namespace e2e {
 namespace {
 
+/// Converged analysis state pinned at the highest scale factor found
+/// schedulable so far. The binary search only ever probes at or above its
+/// schedulable frontier, and scale_execution_times is monotone in the
+/// factor (max(1, round(factor * e))), so warm-starting a probe from the
+/// frontier's fixpoints is sound: they under-approximate the probe's.
+/// Unschedulable probes must NOT update the frontier -- their fixpoints
+/// belong to a larger factor and would over-seed lower probes.
+struct ScratchFrontier {
+  AnalysisScratch scratch;
+  double factor = 0.0;
+  bool has = false;
+};
+
 bool schedulable_at(const TaskSystem& base, double target_utilization,
-                    double base_utilization, AnalysisKind analysis) {
+                    double base_utilization, AnalysisKind analysis,
+                    const BreakdownOptions& options, ScratchFrontier* frontier) {
   const double factor = target_utilization / base_utilization;
   const TaskSystem scaled = scale_execution_times(base, factor);
-  if (analysis == AnalysisKind::kSaPm) {
-    return analyze_sa_pm(scaled).system_schedulable();
+  const InterferenceMap interference{scaled};
+
+  AnalysisScratch working;
+  AnalysisScratch* sc = nullptr;
+  if (frontier != nullptr) {
+    if (frontier->has && factor >= frontier->factor) {
+      working = frontier->scratch;
+      working.monotone = true;  // execution times only grew; caps unchanged
+    }
+    sc = &working;
   }
-  return analyze_sa_ds(scaled).analysis.system_schedulable();
+
+  bool ok = false;
+  if (analysis == AnalysisKind::kSaPm) {
+    const SaPmOptions pm{.legacy_demand_path = options.legacy_demand_path};
+    ok = analyze_sa_pm(scaled, interference, pm, sc).system_schedulable();
+  } else {
+    const SaDsOptions ds{.legacy_demand_path = options.legacy_demand_path};
+    ok = analyze_sa_ds(scaled, interference, ds, sc).analysis.system_schedulable();
+  }
+  if (frontier != nullptr && ok && (!frontier->has || factor >= frontier->factor)) {
+    frontier->scratch = std::move(working);
+    frontier->factor = factor;
+    frontier->has = true;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -25,16 +63,19 @@ double breakdown_utilization(const TaskSystem& system, AnalysisKind analysis,
   const double base = system.max_processor_utilization();
   E2E_ASSERT(base > 0.0, "system has no workload");
 
+  ScratchFrontier frontier_storage;
+  ScratchFrontier* frontier = options.warm_start ? &frontier_storage : nullptr;
+
   // Establish a schedulable lower end; execution times can't shrink below
   // one tick, so "0" here means even the floor is unschedulable.
   double lo = options.tolerance;
-  if (!schedulable_at(system, lo, base, analysis)) return 0.0;
+  if (!schedulable_at(system, lo, base, analysis, options, frontier)) return 0.0;
   double hi = options.max_utilization;
-  if (schedulable_at(system, hi, base, analysis)) return hi;
+  if (schedulable_at(system, hi, base, analysis, options, frontier)) return hi;
 
   while (hi - lo > options.tolerance) {
     const double mid = (lo + hi) / 2.0;
-    if (schedulable_at(system, mid, base, analysis)) {
+    if (schedulable_at(system, mid, base, analysis, options, frontier)) {
       lo = mid;
     } else {
       hi = mid;

@@ -25,6 +25,14 @@ struct BreakdownOptions {
   double tolerance = 0.01;
   /// Search ceiling on the max per-processor utilization.
   double max_utilization = 1.0;
+  /// Seed each probe's fixpoints from the converged state of the highest
+  /// scale already known schedulable. Sound -- execution times are
+  /// monotone in the scale factor while periods (hence caps and cutoffs)
+  /// never change -- and bit-identical to the cold search.
+  bool warm_start = true;
+  /// Forwarded to the analyses; reproduces the pre-fast-path demand
+  /// dispatch for benchmarking.
+  bool legacy_demand_path = false;
 };
 
 /// Largest max-per-processor utilization (within tolerance) such that the

@@ -5,7 +5,7 @@
 
 #include "common/error.h"
 #include "common/math.h"
-#include "core/analysis/sa_pm.h"
+#include "core/analysis/cache.h"
 #include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
 #include "sim/engine.h"
@@ -51,8 +51,9 @@ ExhaustiveResult exhaustive_worst_eer(const TaskSystem& system, ProtocolKind kin
     }
   }
 
-  // PM/MPM bounds are phase-independent: compute once.
-  const AnalysisResult pm_bounds = analyze_sa_pm(system);
+  // PM/MPM bounds are phase-independent: compute once (memoized across
+  // repeated searches of the same system).
+  const AnalysisResult pm_bounds = *AnalysisCache::shared().sa_pm(system);
 
   const Duration hyper = system.hyperperiod();
   const Time base_horizon =

@@ -6,7 +6,7 @@
 
 #include "common/error.h"
 #include "common/hash.h"
-#include "core/analysis/sa_pm.h"
+#include "core/analysis/cache.h"
 #include "core/protocols/modified_pm.h"
 #include "core/protocols/mpm_retransmit.h"
 #include "exec/thread_pool.h"
@@ -111,7 +111,9 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
     Rng rng = master.fork(static_cast<std::uint64_t>(attempt));
     GeneratorOptions gen = options_for(options.config);
     TaskSystem system = generate_system(rng, gen);
-    SubtaskTable bounds = analyze_sa_pm(system).subtask_bounds;
+    // Memoized: severity sweeps regenerate the identical system sequence
+    // per sweep, so later sweeps skip the SA/PM runs entirely.
+    SubtaskTable bounds = AnalysisCache::shared().sa_pm(system)->subtask_bounds;
     if (!pm_constructible(system, bounds)) {
       ++result.skipped_systems;
       continue;

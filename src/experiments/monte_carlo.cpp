@@ -5,7 +5,7 @@
 
 #include "common/error.h"
 #include "common/hash.h"
-#include "core/analysis/sa_pm.h"
+#include "core/analysis/cache.h"
 #include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
 #include "metrics/schedule_hash.h"
@@ -56,8 +56,10 @@ MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
                                  options.histogram_buckets);
   }
 
-  // PM/MPM bounds are phase-independent: compute once on the input system.
-  const AnalysisResult bounds = analyze_sa_pm(system);
+  // PM/MPM bounds are phase-independent: compute once on the input system
+  // (memoized -- re-estimating the same system, e.g. one bench rerun per
+  // thread count, reuses the bounds).
+  const AnalysisResult bounds = *AnalysisCache::shared().sa_pm(system);
   const Time horizon = static_cast<Time>(
       options.horizon_periods * static_cast<double>(system.max_period()));
 

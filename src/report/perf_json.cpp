@@ -128,6 +128,40 @@ void check_hash_string(const std::string& value) {
   }
 }
 
+void validate_variant(JsonReader& reader) {
+  reader.expect('{');
+  bool saw_name = false, saw_wall = false, saw_speedup = false, saw_hash = false;
+  do {
+    const std::string key = reader.read_string();
+    reader.expect(':');
+    if (key == "name") {
+      saw_name = true;
+      if (reader.read_string().empty()) {
+        throw InvalidArgument("perf json: variant name must be non-empty");
+      }
+    } else if (key == "wall_seconds") {
+      saw_wall = true;
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: variant wall_seconds must be non-negative");
+      }
+    } else if (key == "speedup_vs_legacy") {
+      saw_speedup = true;
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: speedup_vs_legacy must be non-negative");
+      }
+    } else if (key == "result_hash") {
+      saw_hash = true;
+      check_hash_string(reader.read_string());
+    } else {
+      throw InvalidArgument("perf json: unknown variant key '" + key + "'");
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  if (!saw_name || !saw_wall || !saw_speedup || !saw_hash) {
+    throw InvalidArgument("perf json: a variant is missing a required field");
+  }
+}
+
 void validate_entry(JsonReader& reader) {
   reader.expect('{');
   bool saw_threads = false, saw_wall = false, saw_events = false,
@@ -260,7 +294,22 @@ std::string to_json(const PerfReport& report) {
         << hex_hash(entry.schedule_hash) << "\"}";
     out.unsetf(std::ios::floatfield);
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ]";
+  if (!report.variants.empty()) {
+    out << ",\n  \"variants\": [";
+    for (std::size_t i = 0; i < report.variants.size(); ++i) {
+      const PerfVariant& variant = report.variants[i];
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"name\": \"" << escape(variant.name) << "\", \"wall_seconds\": "
+          << std::setprecision(6) << std::fixed << variant.wall_seconds
+          << ", \"speedup_vs_legacy\": " << std::setprecision(3)
+          << variant.speedup_vs_legacy << ", \"result_hash\": \""
+          << hex_hash(variant.result_hash) << "\"}";
+      out.unsetf(std::ios::floatfield);
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
   return out.str();
 }
 
@@ -292,6 +341,15 @@ void validate_perf_json(const std::string& json) {
         } while (reader.consume(','));
         reader.expect(']');
       }
+    } else if (key == "variants") {
+      // Optional: only benches with code-path comparisons emit it.
+      reader.expect('[');
+      if (!reader.consume(']')) {
+        do {
+          validate_variant(reader);
+        } while (reader.consume(','));
+        reader.expect(']');
+      }
     } else {
       throw InvalidArgument("perf json: unknown top-level key '" + key + "'");
     }
@@ -308,8 +366,16 @@ int write_perf_report(const std::string& bench, const std::string& workload,
                       const std::vector<int>& thread_counts,
                       const std::function<PerfRunOutcome(int threads)>& run,
                       std::ostream& out) {
-  const PerfReport report =
-      run_perf_harness(bench, workload, thread_counts, run);
+  return write_perf_report(bench, workload, path, thread_counts, run, {}, out);
+}
+
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      const std::vector<PerfVariant>& variants, std::ostream& out) {
+  PerfReport report = run_perf_harness(bench, workload, thread_counts, run);
+  report.variants = variants;
   const std::string json = to_json(report);
   validate_perf_json(json);  // the harness checks its own output schema
 
@@ -320,6 +386,13 @@ int write_perf_report(const std::string& bench, const std::string& workload,
   }
   file << json;
 
+  for (const PerfVariant& variant : report.variants) {
+    out << bench << ": variant=" << variant.name << " wall="
+        << std::setprecision(3) << std::fixed << variant.wall_seconds
+        << "s speedup_vs_legacy=" << variant.speedup_vs_legacy
+        << " result_hash=" << hex_hash(variant.result_hash) << "\n";
+    out.unsetf(std::ios::floatfield);
+  }
   for (const PerfEntry& entry : report.entries) {
     out << bench << ": threads=" << entry.threads << " wall="
         << std::setprecision(3) << std::fixed << entry.wall_seconds
@@ -327,10 +400,18 @@ int write_perf_report(const std::string& bench, const std::string& workload,
         << " hash=" << hex_hash(entry.schedule_hash) << "\n";
     out.unsetf(std::ios::floatfield);
   }
+  // Code-path variants must agree bit-for-bit, exactly like thread counts.
+  bool variants_agree = true;
+  for (const PerfVariant& variant : report.variants) {
+    if (variant.result_hash != report.variants.front().result_hash) {
+      variants_agree = false;
+    }
+  }
   out << "wrote " << path
       << (report.deterministic ? "" : " (NOT deterministic across threads!)")
-      << "\n";
-  return report.deterministic ? 0 : 4;
+      << (variants_agree ? "" : " (variant results DIVERGE!)") << "\n";
+  if (!report.deterministic) return 4;
+  return variants_agree ? 0 : 5;
 }
 
 }  // namespace e2e

@@ -27,12 +27,24 @@ struct PerfEntry {
   std::uint64_t schedule_hash = 0;  ///< workload fingerprint for this run
 };
 
+/// One timed single-thread code-path variant of the workload (e.g. the
+/// legacy std::function demand path vs the inlined fast path). Variants
+/// compare implementations, entries compare thread counts.
+struct PerfVariant {
+  std::string name;
+  double wall_seconds = 0.0;
+  double speedup_vs_legacy = 0.0;  ///< wall(legacy variant) / wall(this)
+  std::uint64_t result_hash = 0;   ///< fingerprint of the computed results
+};
+
 struct PerfReport {
   std::string bench;     ///< e.g. "faults"
   std::string workload;  ///< human-readable workload description
   /// True iff every entry produced the same schedule hash.
   bool deterministic = false;
   std::vector<PerfEntry> entries;
+  /// Optional code-path comparison (empty for benches without variants).
+  std::vector<PerfVariant> variants;
 
   [[nodiscard]] const PerfEntry* entry_for(int threads) const noexcept;
 };
@@ -75,5 +87,14 @@ int write_perf_report(const std::string& bench, const std::string& workload,
                       const std::vector<int>& thread_counts,
                       const std::function<PerfRunOutcome(int threads)>& run,
                       std::ostream& out);
+
+/// As above, attaching a pre-measured code-path variant comparison to the
+/// report. Exits nonzero additionally when the variants' result hashes
+/// disagree (the fast paths must be bit-identical to the legacy path).
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      const std::vector<PerfVariant>& variants, std::ostream& out);
 
 }  // namespace e2e

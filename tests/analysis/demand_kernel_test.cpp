@@ -1,0 +1,123 @@
+// Property tests for the analysis fast path: across 200 generated
+// systems (N cycling 2..6, U cycling 50..80%), the inlined
+// structure-of-arrays demand kernels, signature-exact scratch reuse and
+// monotone warm starts must produce AnalysisResults identical -- exact
+// Time equality, bound for bound -- to the legacy std::function
+// cold-start path they replaced.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/analysis/fixpoint.h"
+#include "core/analysis/sa_ds.h"
+#include "core/analysis/sa_pm.h"
+#include "workload/generator.h"
+#include "workload/scaling.h"
+
+namespace e2e {
+namespace {
+
+constexpr int kSystems = 200;
+
+TaskSystem system_for(int i) {
+  constexpr int kSubtasks[] = {2, 3, 4, 5, 6};
+  constexpr int kUtil[] = {50, 60, 70, 80};
+  Rng rng{std::uint64_t{0x9e3779b97f4a7c15} ^
+          (static_cast<std::uint64_t>(i) * std::uint64_t{2654435761})};
+  return generate_system(
+      rng, options_for({.subtasks_per_task = kSubtasks[i % 5],
+                        .utilization_percent = kUtil[i % 4]}));
+}
+
+void expect_identical(const TaskSystem& system, const AnalysisResult& want,
+                      const AnalysisResult& got, const char* what, int i) {
+  ASSERT_EQ(want.eer_bounds, got.eer_bounds) << what << ", system " << i;
+  ASSERT_EQ(want.task_schedulable, got.task_schedulable) << what << ", system " << i;
+  for (const Task& t : system.tasks()) {
+    for (std::size_t k = 0; k < t.subtasks.size(); ++k) {
+      const SubtaskRef ref{t.id, static_cast<std::int32_t>(k)};
+      ASSERT_EQ(want.subtask_bounds.at(ref), got.subtask_bounds.at(ref))
+          << what << ", system " << i << ", task " << t.id.index()
+          << " subtask " << k;
+    }
+  }
+}
+
+TEST(DemandKernel, SaPmInlinedAndSignatureReuseMatchLegacy) {
+  for (int i = 0; i < kSystems; ++i) {
+    const TaskSystem system = system_for(i);
+    const InterferenceMap interference{system};
+    const AnalysisResult legacy =
+        analyze_sa_pm(system, interference, {.legacy_demand_path = true});
+    AnalysisScratch scratch;
+    const AnalysisResult fast = analyze_sa_pm(system, interference, {}, &scratch);
+    expect_identical(system, legacy, fast, "inlined kernel", i);
+    // Re-analyzing the unchanged system hits the signature-exact reuse
+    // path: every bound is copied from the scratch, never re-solved.
+    const AnalysisResult reused = analyze_sa_pm(system, interference, {}, &scratch);
+    expect_identical(system, legacy, reused, "signature reuse", i);
+  }
+}
+
+TEST(DemandKernel, SaPmMonotoneWarmStartMatchesColdStart) {
+  for (int i = 0; i < kSystems; ++i) {
+    const TaskSystem base = system_for(i);
+    AnalysisScratch scratch;
+    (void)analyze_sa_pm(base, InterferenceMap{base}, {}, &scratch);
+    // Uniformly inflating execution times grows demand pointwise while
+    // periods (hence caps) stay put -- the monotone warm-start contract.
+    const TaskSystem scaled = scale_execution_times(base, 1.15);
+    const InterferenceMap interference{scaled};
+    const AnalysisResult cold = analyze_sa_pm(scaled, interference, {});
+    scratch.monotone = true;
+    const AnalysisResult warm = analyze_sa_pm(scaled, interference, {}, &scratch);
+    expect_identical(scaled, cold, warm, "monotone warm start", i);
+  }
+}
+
+TEST(DemandKernel, SaDsInlinedMatchesLegacy) {
+  for (int i = 0; i < kSystems; i += 4) {
+    const TaskSystem system = system_for(i);
+    const InterferenceMap interference{system};
+    const SaDsResult legacy =
+        analyze_sa_ds(system, interference, {.legacy_demand_path = true});
+    const SaDsResult fast = analyze_sa_ds(system, interference, {});
+    ASSERT_EQ(legacy.converged, fast.converged) << "system " << i;
+    expect_identical(system, legacy.analysis, fast.analysis, "SA/DS inlined", i);
+  }
+}
+
+TEST(DemandKernel, SaDsMonotoneWarmStartMatchesColdStart) {
+  for (int i = 0; i < kSystems; i += 4) {
+    const TaskSystem base = system_for(i);
+    AnalysisScratch scratch;
+    (void)analyze_sa_ds(base, InterferenceMap{base}, {}, &scratch);
+    const TaskSystem scaled = scale_execution_times(base, 1.15);
+    const InterferenceMap interference{scaled};
+    const SaDsResult cold = analyze_sa_ds(scaled, interference, {});
+    scratch.monotone = true;
+    const SaDsResult warm = analyze_sa_ds(scaled, interference, {}, &scratch);
+    expect_identical(scaled, cold.analysis, warm.analysis, "SA/DS warm start", i);
+    // Starting above the optimistic init can only shorten the iteration.
+    EXPECT_LE(warm.passes, cold.passes) << "system " << i;
+  }
+}
+
+// Regression for the duplicated seed evaluation: solve_fixpoint used to
+// call demand(1) twice before iterating. A constant demand now costs
+// exactly two evaluations (the seed probe and the fixpoint check).
+TEST(DemandKernel, SolveFixpointEvaluatesSeedOnce) {
+  int calls = 0;
+  const DemandFn demand = [&calls](Time) {
+    ++calls;
+    return Duration{3};
+  };
+  const auto w = solve_fixpoint(demand, {.cap = 1000});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 3);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every committed results/BENCH_*.json from the current build.
+#
+# Each bench validates its own JSON against the perf_json schema and
+# exits nonzero when thread counts (or code-path variants) disagree on
+# the result hash, so this script failing means a schema or determinism
+# regression, not just a slow run.
+#
+# Usage: tools/run_benches.sh [bench ...]
+#   BUILD_DIR   (default: build)    -- cmake build tree with the benches
+#   RESULTS_DIR (default: results)  -- where BENCH_<name>.json land
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+RESULTS_DIR="${RESULTS_DIR:-results}"
+
+BENCHES=("$@")
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  BENCHES=(faults montecarlo analysis)
+fi
+
+mkdir -p "${RESULTS_DIR}"
+
+status=0
+for name in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/bench/bench_${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "run_benches: missing ${bin} (build the '${name}' bench first)" >&2
+    status=1
+    continue
+  fi
+  echo "== bench_${name} =="
+  if ! "${bin}" "--json=${RESULTS_DIR}/BENCH_${name}.json"; then
+    echo "run_benches: bench_${name} failed (schema or hash divergence)" >&2
+    status=1
+  fi
+done
+exit "${status}"
