@@ -2,13 +2,14 @@
 // and priority-assignment policy sensitivity.
 #include <iostream>
 
-#include "experiments/env.h"
 #include "experiments/figures.h"
+#include "scenario/defaults.h"
 
 int main() {
   e2e::SweepOptions options = e2e::sweep_options_from_env(/*simulation=*/true);
   // The ablation runs several sweeps; halve the default sample to keep the
-  // binary's runtime in line with the single-figure benches.
+  // binary's runtime in line with the single-figure benches. Computed
+  // fallback, so this one stays on the raw env accessor.
   options.systems_per_config = std::max(
       2, static_cast<int>(e2e::env_int("E2E_ABLATION_SYSTEMS_PER_CONFIG",
                                        options.systems_per_config / 2)));

@@ -18,10 +18,7 @@
 // counts (E2E_BENCH_THREADS or 1,2,4,8; systems fan out over the pool)
 // and exits nonzero on any cross-thread or cross-variant hash mismatch.
 //
-// Env overrides: E2E_ANALYSIS_SYSTEMS, E2E_ANALYSIS_SUBTASKS,
-// E2E_ANALYSIS_UTILIZATION (%), E2E_HOPA_ITERS, E2E_ANALYSIS_REPEATS
-// (timed repetitions of the HOPA sweep -- it is fast enough that a single
-// run is mostly scheduler noise), E2E_SEED.
+// E2E_* overrides: docs/cli_and_formats.md.
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -37,8 +34,8 @@
 #include "core/analysis/hopa.h"
 #include "exec/thread_pool.h"
 #include "experiments/breakdown.h"
-#include "experiments/env.h"
 #include "report/perf_json.h"
+#include "scenario/defaults.h"
 #include "report/table.h"
 #include "workload/generator.h"
 
@@ -111,13 +108,13 @@ double timed(const Fn& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int system_count =
-      static_cast<int>(env_int("E2E_ANALYSIS_SYSTEMS", 12));
-  const int subtasks = static_cast<int>(env_int("E2E_ANALYSIS_SUBTASKS", 6));
-  const int utilization = static_cast<int>(env_int("E2E_ANALYSIS_UTILIZATION", 75));
-  const int hopa_iters = static_cast<int>(env_int("E2E_HOPA_ITERS", 12));
-  const int hopa_repeats = static_cast<int>(env_int("E2E_ANALYSIS_REPEATS", 5));
-  const auto seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  const int system_count = defaults.analysis_systems;
+  const int subtasks = defaults.analysis_subtasks;
+  const int utilization = defaults.analysis_utilization;
+  const int hopa_iters = defaults.hopa_iters;
+  const int hopa_repeats = defaults.analysis_repeats;
+  const std::uint64_t seed = defaults.analysis_seed;
 
   try {
     const ArgParser args{argc, argv};

@@ -7,14 +7,14 @@
 #include <iostream>
 
 #include "experiments/breakdown.h"
-#include "experiments/env.h"
 #include "report/table.h"
+#include "scenario/defaults.h"
 
 int main() {
   using namespace e2e;
-  const int systems =
-      static_cast<int>(env_int("E2E_BREAKDOWN_SYSTEMS", 20));
-  const auto seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  const int systems = defaults.breakdown_systems;
+  const std::uint64_t seed = defaults.breakdown_seed;
 
   std::cout << "== Breakdown utilization (deadline = period, PDM priorities) ==\n"
             << "mean over " << systems

@@ -6,33 +6,26 @@
 // thread count (E2E_BENCH_THREADS or 1,2,4,8) and the measurements are
 // written as BENCH_faults.json (see src/report/perf_json.h). Exits
 // nonzero if any thread count produced a different schedule hash.
-//
-// Env overrides: E2E_FAULT_SYSTEMS (systems per cell), E2E_SEED,
-// E2E_HORIZON_PERIODS, E2E_FAULT_SUBTASKS (N), E2E_FAULT_UTILIZATION (%),
-// E2E_THREADS (worker threads outside --json mode).
+// E2E_* overrides: docs/cli_and_formats.md.
 #include <iostream>
 #include <sstream>
 
 #include "common/args.h"
 #include "common/error.h"
 #include "common/hash.h"
-#include "experiments/env.h"
 #include "experiments/faults.h"
 #include "report/perf_json.h"
+#include "scenario/defaults.h"
 
 int main(int argc, char** argv) {
+  const e2e::ScenarioDefaults defaults = e2e::ScenarioDefaults::load();
   e2e::FaultSweepOptions options;
-  options.systems =
-      static_cast<int>(e2e::env_int("E2E_FAULT_SYSTEMS", options.systems));
-  options.seed = static_cast<std::uint64_t>(
-      e2e::env_int("E2E_SEED", static_cast<std::int64_t>(options.seed)));
-  options.horizon_periods =
-      e2e::env_double("E2E_HORIZON_PERIODS", options.horizon_periods);
-  options.config.subtasks_per_task = static_cast<int>(
-      e2e::env_int("E2E_FAULT_SUBTASKS", options.config.subtasks_per_task));
-  options.config.utilization_percent = static_cast<int>(e2e::env_int(
-      "E2E_FAULT_UTILIZATION", options.config.utilization_percent));
-  options.threads = static_cast<int>(e2e::env_int("E2E_THREADS", 0));
+  options.systems = defaults.fault_systems;
+  options.seed = defaults.fault_seed;
+  options.horizon_periods = defaults.fault_horizon_periods;
+  options.config.subtasks_per_task = defaults.fault_subtasks;
+  options.config.utilization_percent = defaults.fault_utilization;
+  options.threads = defaults.threads;
 
   try {
     const e2e::ArgParser args{argc, argv};

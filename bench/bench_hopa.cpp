@@ -5,15 +5,16 @@
 
 #include "common/rng.h"
 #include "core/analysis/hopa.h"
-#include "experiments/env.h"
 #include "metrics/stats.h"
 #include "report/table.h"
+#include "scenario/defaults.h"
 #include "workload/generator.h"
 
 int main() {
   using namespace e2e;
-  const int systems = static_cast<int>(env_int("E2E_HOPA_SYSTEMS", 30));
-  const auto seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  const int systems = defaults.hopa_systems;
+  const std::uint64_t seed = defaults.analysis_seed;
 
   std::cout << "== HOPA priority optimization vs PDM (SA/PM schedulability, "
                "deadline = period) ==\n"

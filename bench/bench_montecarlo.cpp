@@ -8,28 +8,26 @@
 // perf mode: the estimate is timed once per thread count
 // (E2E_BENCH_THREADS or 1,2,4,8) and written as BENCH_montecarlo.json;
 // exits nonzero if any thread count produced a different schedule hash.
-//
-// Env overrides: E2E_MC_RUNS, E2E_SEED, E2E_HORIZON_PERIODS,
-// E2E_MC_SUBTASKS (N), E2E_MC_UTILIZATION (%), E2E_THREADS (worker
-// threads outside --json mode).
+// E2E_* overrides: docs/cli_and_formats.md.
 #include <iostream>
 #include <sstream>
 
 #include "common/args.h"
 #include "common/error.h"
-#include "experiments/env.h"
 #include "experiments/monte_carlo.h"
 #include "report/perf_json.h"
 #include "report/table.h"
+#include "scenario/defaults.h"
 #include "workload/generator.h"
 
 int main(int argc, char** argv) {
-  const int runs = static_cast<int>(e2e::env_int("E2E_MC_RUNS", 200));
-  const auto seed =
-      static_cast<std::uint64_t>(e2e::env_int("E2E_SEED", 20260706));
-  const int subtasks = static_cast<int>(e2e::env_int("E2E_MC_SUBTASKS", 4));
-  const int utilization =
-      static_cast<int>(e2e::env_int("E2E_MC_UTILIZATION", 60));
+  const e2e::ScenarioDefaults defaults = e2e::ScenarioDefaults::load();
+  const int runs = defaults.bench_mc_runs;
+  // E2E_SEED; the bench shares the sweep-context fallback (20260706), not
+  // the CLI montecarlo default of 1.
+  const std::uint64_t seed = defaults.sweep_seed;
+  const int subtasks = defaults.mc_subtasks;
+  const int utilization = defaults.mc_utilization;
 
   e2e::Rng rng{seed};
   e2e::GeneratorOptions gen = e2e::options_for(
@@ -39,9 +37,9 @@ int main(int argc, char** argv) {
   e2e::MonteCarloOptions options;
   options.runs = runs;
   options.seed = seed;
-  options.horizon_periods = e2e::env_double("E2E_HORIZON_PERIODS", 20.0);
+  options.horizon_periods = defaults.mc_horizon_periods;
   options.execution_min_fraction = 0.8;
-  options.threads = static_cast<int>(e2e::env_int("E2E_THREADS", 0));
+  options.threads = defaults.threads;
 
   try {
     const e2e::ArgParser args{argc, argv};

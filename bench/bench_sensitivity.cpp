@@ -7,9 +7,9 @@
 // choice (EXPERIMENTS.md "Substitutions").
 #include <iostream>
 
-#include "experiments/env.h"
 #include "experiments/sweep.h"
 #include "report/table.h"
+#include "scenario/defaults.h"
 
 namespace {
 
@@ -23,9 +23,9 @@ struct Variant {
 
 int main() {
   using namespace e2e;
-  const int systems =
-      static_cast<int>(env_int("E2E_SENSITIVITY_SYSTEMS", 60));
-  const auto seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  const int systems = defaults.sensitivity_systems;
+  const std::uint64_t seed = defaults.analysis_seed;
 
   const Variant variants[] = {
       {"exp, mean 1000", 1000.0,

@@ -8,16 +8,16 @@
 // 90% CI half-widths of the ratio columns.
 #include <iostream>
 
-#include "experiments/env.h"
 #include "experiments/sweep.h"
 #include "report/csv.h"
 #include "report/table.h"
+#include "scenario/defaults.h"
 
 int main() {
   using namespace e2e;
   SweepOptions options;
   options.systems_per_config =
-      static_cast<int>(env_int("E2E_SYSTEMS_PER_CONFIG", 10));
+      static_cast<int>(env_int("E2E_SYSTEMS_PER_CONFIG", 10));  // example-sized
   options.run_analysis = true;
   options.run_simulation = true;
 

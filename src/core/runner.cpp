@@ -5,9 +5,7 @@ namespace e2e {
 SimulationRun simulate(const TaskSystem& system, ProtocolKind kind,
                        const SimulationOptions& options) {
   const Time horizon =
-      options.horizon > 0
-          ? options.horizon
-          : static_cast<Time>(30.0 * static_cast<double>(system.max_period()));
+      options.horizon > 0 ? options.horizon : system.default_horizon();
 
   const std::unique_ptr<SyncProtocol> protocol =
       make_protocol(kind, system, options.pm_bounds);

@@ -1,10 +1,12 @@
 #include "experiments/breakdown.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/error.h"
 #include "core/analysis/sa_ds.h"
 #include "core/analysis/sa_pm.h"
+#include "scenario/executor.h"
 #include "workload/scaling.h"
 
 namespace e2e {
@@ -86,20 +88,37 @@ double breakdown_utilization(const TaskSystem& system, AnalysisKind analysis,
 
 std::vector<BreakdownResult> run_breakdown_experiment(int systems, std::uint64_t seed,
                                                       const BreakdownOptions& options) {
+  ScenarioExecutor executor{options.threads};
+  return run_breakdown_experiment(systems, seed, options, executor);
+}
+
+std::vector<BreakdownResult> run_breakdown_experiment(int systems, std::uint64_t seed,
+                                                      const BreakdownOptions& options,
+                                                      ScenarioExecutor& executor) {
   std::vector<BreakdownResult> results;
   for (int n = 2; n <= 8; ++n) {
     BreakdownResult row;
     row.subtasks_per_task = n;
-    Rng master{seed ^ (static_cast<std::uint64_t>(n) << 40)};
-    for (int i = 0; i < systems; ++i) {
-      Rng rng = master.fork(static_cast<std::uint64_t>(i));
-      // The base utilization only sets the starting point of the scale;
-      // 50% keeps every generated system analyzable.
-      GeneratorOptions gen =
-          options_for({.subtasks_per_task = n, .utilization_percent = 50});
-      const TaskSystem system = generate_system(rng, gen);
-      row.sa_pm.add(breakdown_utilization(system, AnalysisKind::kSaPm, options));
-      row.sa_ds.add(breakdown_utilization(system, AnalysisKind::kSaDs, options));
+    // Pure analysis (no engine); systems fan out over the executor and the
+    // index-ordered merge reproduces the serial RunningStats add order.
+    const std::vector<Rng> streams = ScenarioExecutor::fork_streams(
+        seed ^ (static_cast<std::uint64_t>(n) << 40), systems);
+    const std::vector<std::pair<double, double>> utilizations =
+        executor.map<std::pair<double, double>>(
+            systems, [&](std::int64_t i, std::optional<Engine>&) {
+              Rng rng = streams[static_cast<std::size_t>(i)];
+              // The base utilization only sets the starting point of the
+              // scale; 50% keeps every generated system analyzable.
+              GeneratorOptions gen =
+                  options_for({.subtasks_per_task = n, .utilization_percent = 50});
+              const TaskSystem system = generate_system(rng, gen);
+              return std::pair{
+                  breakdown_utilization(system, AnalysisKind::kSaPm, options),
+                  breakdown_utilization(system, AnalysisKind::kSaDs, options)};
+            });
+    for (const auto& [pm, ds] : utilizations) {
+      row.sa_pm.add(pm);
+      row.sa_ds.add(ds);
     }
     results.push_back(row);
   }

@@ -18,6 +18,8 @@
 
 namespace e2e {
 
+class ScenarioExecutor;
+
 enum class AnalysisKind { kSaPm, kSaDs };
 
 struct BreakdownOptions {
@@ -33,6 +35,10 @@ struct BreakdownOptions {
   /// Forwarded to the analyses; reproduces the pre-fast-path demand
   /// dispatch for benchmarking.
   bool legacy_demand_path = false;
+  /// Worker threads for run_breakdown_experiment; 0 = E2E_THREADS env
+  /// var, else hardware concurrency. Results are identical at every
+  /// thread count.
+  int threads = 0;
 };
 
 /// Largest max-per-processor utilization (within tolerance) such that the
@@ -52,7 +58,14 @@ struct BreakdownResult {
   RunningStats sa_ds;  ///< DS breakdown utilization
 };
 
+/// Runs on a transient executor of `options.threads` workers.
 [[nodiscard]] std::vector<BreakdownResult> run_breakdown_experiment(
     int systems, std::uint64_t seed, const BreakdownOptions& options = {});
+
+/// Same, fanning out over an existing executor (scenario runs share one;
+/// `options.threads` is ignored).
+[[nodiscard]] std::vector<BreakdownResult> run_breakdown_experiment(
+    int systems, std::uint64_t seed, const BreakdownOptions& options,
+    ScenarioExecutor& executor);
 
 }  // namespace e2e

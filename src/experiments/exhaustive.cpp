@@ -6,8 +6,8 @@
 #include "common/error.h"
 #include "common/math.h"
 #include "core/analysis/cache.h"
-#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
+#include "scenario/executor.h"
 #include "sim/engine.h"
 #include "task/builder.h"
 
@@ -58,7 +58,7 @@ ExhaustiveResult exhaustive_worst_eer(const TaskSystem& system, ProtocolKind kin
   const Duration hyper = system.hyperperiod();
   const Time base_horizon =
       is_infinite(hyper)
-          ? static_cast<Time>(20.0 * static_cast<double>(system.max_period()))
+          ? system.horizon_ticks(20.0)
           : static_cast<Time>(options.horizon_hyperperiods *
                               static_cast<double>(hyper));
 
@@ -82,31 +82,28 @@ ExhaustiveResult exhaustive_worst_eer(const TaskSystem& system, ProtocolKind kin
     }
   };
 
-  exec::ThreadPool pool{options.threads};
+  ScenarioExecutor executor{options.threads};
   // Per-phasing worst EERs are buffered per chunk and merged serially in
   // phasing order, which reproduces the serial search exactly -- including
   // which of several tying phasings is reported (the first one whose EER
   // strictly exceeds the running maximum). Chunking bounds the buffer for
   // multi-million-phasing searches.
   const std::int64_t chunk_size =
-      std::max<std::int64_t>(1024, 8 * pool.thread_count());
+      std::max<std::int64_t>(1024, 8 * executor.thread_count());
   std::vector<std::vector<Duration>> chunk_worst(
       static_cast<std::size_t>(std::min(combinations, chunk_size)));
-  std::vector<std::optional<Engine>> engines(
-      static_cast<std::size_t>(pool.thread_count()));
   std::vector<Time> merge_phases;
 
   for (std::int64_t chunk_begin = 0; chunk_begin < combinations;
        chunk_begin += chunk_size) {
     const std::int64_t count = std::min(chunk_size, combinations - chunk_begin);
-    pool.parallel_for_indexed(count, [&](std::int64_t offset, int worker) {
+    executor.for_each(count, [&](std::int64_t offset, std::optional<Engine>& engine) {
       std::vector<Time> phases;
       decode(chunk_begin + offset, phases);
       const TaskSystem phased = with_phases(system, phases);
       const auto protocol = make_protocol(kind, phased, &pm_bounds.subtask_bounds);
       const EngineOptions engine_options{.horizon =
                                              phased.max_phase() + base_horizon};
-      std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
       if (engine.has_value()) {
         engine->reset(phased, *protocol, engine_options);
       } else {

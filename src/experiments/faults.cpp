@@ -9,8 +9,8 @@
 #include "core/analysis/cache.h"
 #include "core/protocols/modified_pm.h"
 #include "core/protocols/mpm_retransmit.h"
-#include "exec/thread_pool.h"
 #include "metrics/schedule_hash.h"
+#include "scenario/executor.h"
 #include "report/table.h"
 #include "sim/engine.h"
 #include "sim/fault/fault_injector.h"
@@ -60,33 +60,13 @@ struct RunOutcome {
 
 }  // namespace
 
-std::vector<FaultSeverity> default_fault_severities() {
-  return {
-      // Drift is RC-oscillator class (1.5-3%): small enough that intervals
-      // stay sane, large enough that clock-trusting protocols accumulate a
-      // visible skew within the simulated window.
-      {"ideal", FaultPlan{}},
-      {"clock", FaultPlan{.clock_offset_max = 150'000, .drift_ppm_max = 15'000}},
-      {"loss", FaultPlan{.signal_loss_prob = 0.05,
-                         .signal_delay_max = 2'000,
-                         .signal_duplicate_prob = 0.02}},
-      {"clock+loss", FaultPlan{.clock_offset_max = 150'000,
-                               .drift_ppm_max = 15'000,
-                               .signal_loss_prob = 0.02,
-                               .signal_delay_max = 2'000,
-                               .signal_duplicate_prob = 0.02}},
-      {"severe", FaultPlan{.clock_offset_max = 300'000,
-                           .drift_ppm_max = 30'000,
-                           .signal_loss_prob = 0.10,
-                           .signal_delay_max = 5'000,
-                           .signal_duplicate_prob = 0.05,
-                           .timer_jitter_max = 1'000,
-                           .stall_prob = 0.02,
-                           .stall_max = 2'000}},
-  };
+FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
+  ScenarioExecutor executor{options.threads};
+  return run_fault_sweep(options, executor);
 }
 
-FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
+FaultSweepResult run_fault_sweep(const FaultSweepOptions& options,
+                                 ScenarioExecutor& executor) {
   E2E_ASSERT(options.systems > 0, "need at least one system");
   const std::vector<FaultSeverity> severities =
       options.severities.empty() ? default_fault_severities() : options.severities;
@@ -119,9 +99,7 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
       continue;
     }
     const Time horizon = std::min<Time>(
-        static_cast<Time>(options.horizon_periods *
-                          static_cast<double>(system.max_period())),
-        400'000'000);
+        system.horizon_ticks(options.horizon_periods), 400'000'000);
     cases.push_back(SystemCase{
         std::move(system), std::move(bounds), horizon,
         // Distinct fault stream per system, identical across protocols so
@@ -133,52 +111,51 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
 
   // One work item per (severity, protocol, system) triple, system-minor;
   // every simulation is independent (the fault RNG is re-seeded from the
-  // plan per run), so items fan out over the pool freely and the serial
-  // in-order merge below keeps cells identical at every thread count.
+  // plan per run), so items fan out over the executor freely and the
+  // serial in-order merge below keeps cells identical at every thread
+  // count.
   const std::int64_t per_cell = static_cast<std::int64_t>(cases.size());
   const std::int64_t items =
       static_cast<std::int64_t>(severities.size() * protocols.size()) * per_cell;
-  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(items));
-  exec::ThreadPool pool{options.threads};
-  std::vector<std::optional<Engine>> engines(
-      static_cast<std::size_t>(pool.thread_count()));
+  const std::vector<RunOutcome> outcomes = executor.map<RunOutcome>(
+      items, [&](std::int64_t item, std::optional<Engine>& engine) {
+        const std::int64_t cell_index = item / per_cell;
+        const FaultSeverity& severity =
+            severities[static_cast<std::size_t>(cell_index) / protocols.size()];
+        const ProtocolKind kind =
+            protocols[static_cast<std::size_t>(cell_index) % protocols.size()];
+        const SystemCase& sc = cases[static_cast<std::size_t>(item % per_cell)];
 
-  pool.parallel_for_indexed(items, [&](std::int64_t item, int worker) {
-    const std::int64_t cell_index = item / per_cell;
-    const FaultSeverity& severity =
-        severities[static_cast<std::size_t>(cell_index) / protocols.size()];
-    const ProtocolKind kind =
-        protocols[static_cast<std::size_t>(cell_index) % protocols.size()];
-    const SystemCase& sc = cases[static_cast<std::size_t>(item % per_cell)];
+        FaultPlan plan = severity.plan;
+        plan.seed += sc.fault_seed_mix;
+        FaultInjector faults{sc.system, plan};
+        const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
+        const EngineOptions engine_options{.horizon = sc.horizon,
+                                           .faults = &faults};
+        if (engine.has_value()) {
+          engine->reset(sc.system, *protocol, engine_options);
+        } else {
+          engine.emplace(sc.system, *protocol, engine_options);
+        }
+        ScheduleHash hash;
+        engine->add_sink(&hash);
+        engine->run();
 
-    FaultPlan plan = severity.plan;
-    plan.seed += sc.fault_seed_mix;
-    FaultInjector faults{sc.system, plan};
-    const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
-    const EngineOptions engine_options{.horizon = sc.horizon, .faults = &faults};
-    std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
-    if (engine.has_value()) {
-      engine->reset(sc.system, *protocol, engine_options);
-    } else {
-      engine.emplace(sc.system, *protocol, engine_options);
-    }
-    ScheduleHash hash;
-    engine->add_sink(&hash);
-    engine->run();
-
-    RunOutcome& outcome = outcomes[static_cast<std::size_t>(item)];
-    outcome.stats = engine->stats();
-    outcome.completions = end_to_end_completions(*engine);
-    outcome.schedule_hash = hash.value();
-    if (const auto* mpm = dynamic_cast<const ModifiedPmProtocol*>(protocol.get())) {
-      outcome.overruns = mpm->overruns();
-    }
-    if (const auto* mpmr =
-            dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
-      outcome.overruns = mpmr->overruns();
-      outcome.retransmits = mpmr->retransmits();
-    }
-  });
+        RunOutcome outcome;
+        outcome.stats = engine->stats();
+        outcome.completions = end_to_end_completions(*engine);
+        outcome.schedule_hash = hash.value();
+        if (const auto* mpm =
+                dynamic_cast<const ModifiedPmProtocol*>(protocol.get())) {
+          outcome.overruns = mpm->overruns();
+        }
+        if (const auto* mpmr =
+                dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
+          outcome.overruns = mpmr->overruns();
+          outcome.retransmits = mpmr->retransmits();
+        }
+        return outcome;
+      });
 
   std::int64_t item = 0;
   for (const FaultSeverity& severity : severities) {
@@ -210,7 +187,13 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
 }
 
 void run_fault_report(std::ostream& out, const FaultSweepOptions& options) {
-  const FaultSweepResult result = run_fault_sweep(options);
+  ScenarioExecutor executor{options.threads};
+  run_fault_report(out, options, executor);
+}
+
+void run_fault_report(std::ostream& out, const FaultSweepOptions& options,
+                      ScenarioExecutor& executor) {
+  const FaultSweepResult result = run_fault_sweep(options, executor);
 
   out << "Robustness under injected faults (" << options.systems
       << " systems, N=" << options.config.subtasks_per_task

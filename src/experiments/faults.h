@@ -22,22 +22,17 @@
 #include <vector>
 
 #include "core/protocols/factory.h"
-#include "sim/fault/fault_plan.h"
+#include "scenario/spec.h"
 #include "workload/generator.h"
 
 namespace e2e {
 
-/// One rung of the severity ladder.
-struct FaultSeverity {
-  std::string label;
-  FaultPlan plan;
-};
+class ScenarioExecutor;
 
-/// The ladder bench_faults sweeps: ideal -> clock skew -> lossy signals
-/// -> both -> both plus timer jitter and transient stalls. Tick scale
-/// assumes the generator's default 1000 ticks per paper time unit
-/// (periods span 100k..10M ticks).
-[[nodiscard]] std::vector<FaultSeverity> default_fault_severities();
+// FaultSeverity and default_fault_severities() live in scenario/spec.h --
+// the severity ladder is part of the declarative scenario vocabulary
+// (`faults` blocks name or spell out rungs) and this header re-exports
+// them for the experiment drivers.
 
 struct FaultSweepOptions {
   /// Random systems shared by every (severity, protocol) cell.
@@ -96,10 +91,20 @@ struct FaultSweepResult {
   int skipped_systems = 0;
 };
 
+/// Runs the sweep on a transient executor of `options.threads` workers.
 [[nodiscard]] FaultSweepResult run_fault_sweep(const FaultSweepOptions& options);
+
+/// Same, fanning out over an existing executor (scenario runs share one
+/// across cells; `options.threads` is ignored).
+[[nodiscard]] FaultSweepResult run_fault_sweep(const FaultSweepOptions& options,
+                                               ScenarioExecutor& executor);
 
 /// bench_faults driver: runs the sweep and prints one table per severity
 /// plus the headline comparison (PM vs RG/MPM-R degradation).
 void run_fault_report(std::ostream& out, const FaultSweepOptions& options);
+
+/// Same, on an existing executor.
+void run_fault_report(std::ostream& out, const FaultSweepOptions& options,
+                      ScenarioExecutor& executor);
 
 }  // namespace e2e

@@ -9,7 +9,7 @@
 #include "core/analysis/sa_pm.h"
 #include "core/protocols/overhead_aware.h"
 #include "core/protocols/factory.h"
-#include "experiments/env.h"
+#include "scenario/defaults.h"
 #include "task/builder.h"
 #include "metrics/eer_collector.h"
 #include "report/table.h"
@@ -51,20 +51,13 @@ double max_ci(const std::vector<ConfigResult>& results,
 }  // namespace
 
 SweepOptions sweep_options_from_env(bool simulation_figure) {
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
   SweepOptions options;
-  const std::int64_t analysis_default = 200;
-  const std::int64_t sim_default = 50;
-  if (simulation_figure) {
-    options.systems_per_config = static_cast<int>(
-        env_int("E2E_SIM_SYSTEMS_PER_CONFIG",
-                env_int("E2E_SYSTEMS_PER_CONFIG", sim_default)));
-  } else {
-    options.systems_per_config = static_cast<int>(
-        env_int("E2E_SYSTEMS_PER_CONFIG", analysis_default));
-  }
-  options.seed = static_cast<std::uint64_t>(env_int("E2E_SEED", 20260706));
-  options.horizon_periods = env_double("E2E_HORIZON_PERIODS", 30.0);
-  options.threads = static_cast<int>(env_int("E2E_THREADS", 0));
+  options.systems_per_config =
+      simulation_figure ? defaults.figure_sim_systems : defaults.figure_systems;
+  options.seed = defaults.figure_seed;
+  options.horizon_periods = defaults.figure_horizon_periods;
+  options.threads = defaults.threads;
   options.run_simulation = simulation_figure;
   options.run_analysis = !simulation_figure;
   return options;
@@ -162,7 +155,7 @@ void run_overhead_report(std::ostream& out, const SweepOptions& options) {
   Rng rng{options.seed};
   GeneratorOptions gen = options_for({.subtasks_per_task = 4, .utilization_percent = 70});
   const TaskSystem system = generate_system(rng, gen);
-  const Time horizon = static_cast<Time>(20.0 * static_cast<double>(system.max_period()));
+  const Time horizon = system.horizon_ticks(20.0);
 
   // Baseline SA/PM bounds, computed once up front: the measured loop
   // below hands them to the factory (PM/MPM phase derivation, previously

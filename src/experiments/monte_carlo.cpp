@@ -6,8 +6,8 @@
 #include "common/error.h"
 #include "common/hash.h"
 #include "core/analysis/cache.h"
-#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
+#include "scenario/executor.h"
 #include "metrics/schedule_hash.h"
 #include "sim/engine.h"
 #include "sim/execution_model.h"
@@ -44,6 +44,13 @@ struct RunOutcome {
 
 MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
                                   const MonteCarloOptions& options) {
+  ScenarioExecutor executor{options.threads};
+  return estimate_latency(system, kind, options, executor);
+}
+
+MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
+                                  const MonteCarloOptions& options,
+                                  ScenarioExecutor& executor) {
   E2E_ASSERT(options.runs > 0, "need at least one run");
   E2E_ASSERT(options.execution_min_fraction > 0.0 &&
                  options.execution_min_fraction <= 1.0,
@@ -60,58 +67,52 @@ MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
   // (memoized -- re-estimating the same system, e.g. one bench rerun per
   // thread count, reuses the bounds).
   const AnalysisResult bounds = *AnalysisCache::shared().sa_pm(system);
-  const Time horizon = static_cast<Time>(
-      options.horizon_periods * static_cast<double>(system.max_period()));
+  const Time horizon = system.horizon_ticks(options.horizon_periods);
 
-  // Fork one RNG stream per run serially, before any worker starts
-  // (fork advances the master, so fork order must stay index order).
-  Rng master{options.seed};
-  std::vector<Rng> streams;
-  streams.reserve(static_cast<std::size_t>(options.runs));
-  for (int run = 0; run < options.runs; ++run) {
-    streams.push_back(master.fork(static_cast<std::uint64_t>(run)));
-  }
+  // One RNG stream per run, forked serially in index order before any
+  // worker starts (the executor's fork_streams contract).
+  const std::vector<Rng> streams =
+      ScenarioExecutor::fork_streams(options.seed, options.runs);
 
-  exec::ThreadPool pool{options.threads};
-  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(options.runs));
-  // One engine per worker, reset between runs: reset is observationally
-  // identical to fresh construction, so which worker simulates a run
-  // cannot affect its outcome.
-  std::vector<std::optional<Engine>> engines(
-      static_cast<std::size_t>(pool.thread_count()));
+  // Per-worker engines come from the executor and are reset between runs:
+  // reset is observationally identical to fresh construction, so which
+  // worker simulates a run cannot affect its outcome.
+  const std::vector<RunOutcome> outcomes = executor.map<RunOutcome>(
+      options.runs, [&](std::int64_t run, std::optional<Engine>& engine) {
+        Rng rng = streams[static_cast<std::size_t>(run)];
+        std::optional<TaskSystem> phased;
+        const TaskSystem& variant =
+            options.randomize_phases ? phased.emplace(with_random_phases(system, rng))
+                                     : system;
 
-  pool.parallel_for_indexed(options.runs, [&](std::int64_t run, int worker) {
-    Rng rng = streams[static_cast<std::size_t>(run)];
-    std::optional<TaskSystem> phased;
-    const TaskSystem& variant = options.randomize_phases
-                                    ? phased.emplace(with_random_phases(system, rng))
-                                    : system;
+        const auto protocol = make_protocol(kind, variant, &bounds.subtask_bounds);
+        UniformExecutionVariation variation{rng.fork(1),
+                                            options.execution_min_fraction};
+        const EngineOptions engine_options{
+            .horizon = variant.max_phase() + horizon,
+            .execution =
+                options.execution_min_fraction < 1.0 ? &variation : nullptr};
+        if (engine.has_value()) {
+          engine->reset(variant, *protocol, engine_options);
+        } else {
+          engine.emplace(variant, *protocol, engine_options);
+        }
 
-    const auto protocol = make_protocol(kind, variant, &bounds.subtask_bounds);
-    UniformExecutionVariation variation{rng.fork(1), options.execution_min_fraction};
-    const EngineOptions engine_options{
-        .horizon = variant.max_phase() + horizon,
-        .execution =
-            options.execution_min_fraction < 1.0 ? &variation : nullptr};
-    std::optional<Engine>& engine = engines[static_cast<std::size_t>(worker)];
-    if (engine.has_value()) {
-      engine->reset(variant, *protocol, engine_options);
-    } else {
-      engine.emplace(variant, *protocol, engine_options);
-    }
+        EerCollector eer{variant, {.keep_series = true}};
+        ScheduleHash hash;
+        engine->add_sink(&eer);
+        engine->add_sink(&hash);
+        engine->run();
 
-    EerCollector eer{variant, {.keep_series = true}};
-    ScheduleHash hash;
-    engine->add_sink(&eer);
-    engine->add_sink(&hash);
-    engine->run();
-
-    RunOutcome& outcome = outcomes[static_cast<std::size_t>(run)];
-    outcome.series.reserve(variant.task_count());
-    for (const Task& t : variant.tasks()) outcome.series.push_back(eer.eer_series(t.id));
-    outcome.schedule_hash = hash.value();
-    outcome.events = engine->stats().events_processed;
-  });
+        RunOutcome outcome;
+        outcome.series.reserve(variant.task_count());
+        for (const Task& t : variant.tasks()) {
+          outcome.series.push_back(eer.eer_series(t.id));
+        }
+        outcome.schedule_hash = hash.value();
+        outcome.events = engine->stats().events_processed;
+        return outcome;
+      });
 
   // Ordered serial merge: run-major, then task, then sample -- exactly the
   // serial accumulation order, so Welford stats match bit for bit.

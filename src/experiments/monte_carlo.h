@@ -17,6 +17,8 @@
 
 namespace e2e {
 
+class ScenarioExecutor;
+
 struct MonteCarloOptions {
   int runs = 20;
   std::uint64_t seed = 1;
@@ -60,9 +62,17 @@ struct MonteCarloResult {
   std::int64_t events_processed = 0;
 };
 
-/// Estimates the latency profile of `system` under `kind`.
+/// Estimates the latency profile of `system` under `kind` on a transient
+/// executor of `options.threads` workers.
 [[nodiscard]] MonteCarloResult estimate_latency(const TaskSystem& system,
                                                 ProtocolKind kind,
                                                 const MonteCarloOptions& options = {});
+
+/// Same, fanning out over an existing executor (scenario runs share one
+/// across protocols; `options.threads` is ignored).
+[[nodiscard]] MonteCarloResult estimate_latency(const TaskSystem& system,
+                                                ProtocolKind kind,
+                                                const MonteCarloOptions& options,
+                                                ScenarioExecutor& executor);
 
 }  // namespace e2e

@@ -10,8 +10,8 @@
 #include "core/protocols/direct_sync.h"
 #include "core/protocols/phase_modification.h"
 #include "core/protocols/release_guard.h"
-#include "exec/thread_pool.h"
 #include "metrics/eer_collector.h"
+#include "scenario/executor.h"
 #include "metrics/schedule_hash.h"
 #include "sim/engine.h"
 
@@ -107,10 +107,8 @@ SystemEvaluation evaluate_system(std::optional<Engine>& engine, Rng rng,
   // utilization <= 90% SA/PM always converges; guard regardless.
   if (!pm.all_bounded()) return eval;
 
-  const Time horizon = std::min<Time>(
-      options.max_horizon_ticks,
-      static_cast<Time>(options.horizon_periods *
-                        static_cast<double>(system.max_period())));
+  const Time horizon = std::min<Time>(options.max_horizon_ticks,
+                                      system.horizon_ticks(options.horizon_periods));
 
   DirectSyncProtocol ds_protocol;
   PhaseModificationProtocol pm_protocol{system, pm.subtask_bounds};
@@ -189,12 +187,12 @@ void merge(const SystemEvaluation& eval, ConfigResult& result) {
 }  // namespace
 
 ConfigResult run_configuration(const Configuration& config, const SweepOptions& options) {
-  exec::ThreadPool pool{options.threads};
-  return run_configuration(config, options, pool);
+  ScenarioExecutor executor{options.threads};
+  return run_configuration(config, options, executor);
 }
 
 ConfigResult run_configuration(const Configuration& config, const SweepOptions& options,
-                               exec::ThreadPool& pool) {
+                               ScenarioExecutor& executor) {
   E2E_ASSERT(options.systems_per_config > 0, "need at least one system per config");
 
   GeneratorOptions gen_options = options_for(config);
@@ -204,28 +202,20 @@ ConfigResult run_configuration(const Configuration& config, const SweepOptions& 
   gen_options.period_mean = options.period_mean;
   gen_options.period_distribution = options.period_distribution;
 
-  // Fork one RNG stream per system up front; evaluation order then cannot
-  // influence the streams.
-  Rng master{options.seed ^
-             (static_cast<std::uint64_t>(config.subtasks_per_task) << 32) ^
-             static_cast<std::uint64_t>(config.utilization_percent)};
-  std::vector<Rng> streams;
-  streams.reserve(static_cast<std::size_t>(options.systems_per_config));
-  for (int i = 0; i < options.systems_per_config; ++i) {
-    streams.push_back(master.fork(static_cast<std::uint64_t>(i)));
-  }
+  // One RNG stream per system, forked up front in index order; evaluation
+  // order then cannot influence the streams.
+  const std::vector<Rng> streams = ScenarioExecutor::fork_streams(
+      options.seed ^ (static_cast<std::uint64_t>(config.subtasks_per_task) << 32) ^
+          static_cast<std::uint64_t>(config.utilization_percent),
+      options.systems_per_config);
 
-  std::vector<SystemEvaluation> evaluations(
-      static_cast<std::size_t>(options.systems_per_config));
-  std::vector<std::optional<Engine>> engines(
-      static_cast<std::size_t>(pool.thread_count()));
-  pool.parallel_for_indexed(
-      options.systems_per_config, [&](std::int64_t i, int worker) {
-        evaluations[static_cast<std::size_t>(i)] =
-            evaluate_system(engines[static_cast<std::size_t>(worker)],
-                            streams[static_cast<std::size_t>(i)], gen_options,
-                            options);
-      });
+  const std::vector<SystemEvaluation> evaluations =
+      executor.map<SystemEvaluation>(
+          options.systems_per_config,
+          [&](std::int64_t i, std::optional<Engine>& engine) {
+            return evaluate_system(engine, streams[static_cast<std::size_t>(i)],
+                                   gen_options, options);
+          });
 
   ConfigResult result;
   result.config = config;
@@ -234,10 +224,10 @@ ConfigResult run_configuration(const Configuration& config, const SweepOptions& 
 }
 
 std::vector<ConfigResult> run_grid(const SweepOptions& options) {
-  exec::ThreadPool pool{options.threads};
+  ScenarioExecutor executor{options.threads};
   std::vector<ConfigResult> results;
   for (const Configuration& config : paper_configurations()) {
-    results.push_back(run_configuration(config, options, pool));
+    results.push_back(run_configuration(config, options, executor));
   }
   return results;
 }

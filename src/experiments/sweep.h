@@ -20,9 +20,7 @@
 
 namespace e2e {
 
-namespace exec {
-class ThreadPool;
-}  // namespace exec
+class ScenarioExecutor;
 
 struct SweepOptions {
   int systems_per_config = 100;
@@ -101,16 +99,17 @@ struct ConfigResult {
   }
 };
 
-/// Evaluates one configuration cell on a transient pool of
+/// Evaluates one configuration cell on a transient executor of
 /// `options.threads` workers.
 [[nodiscard]] ConfigResult run_configuration(const Configuration& config,
                                              const SweepOptions& options);
 
-/// Evaluates one configuration cell on an existing pool (run_grid shares
-/// one pool across all 35 cells, paying the thread-spawn cost once).
+/// Evaluates one configuration cell on an existing executor (run_grid and
+/// scenario runs share one across all cells, paying the thread-spawn cost
+/// once and recycling per-worker engines).
 [[nodiscard]] ConfigResult run_configuration(const Configuration& config,
                                              const SweepOptions& options,
-                                             exec::ThreadPool& pool);
+                                             ScenarioExecutor& executor);
 
 /// Evaluates the full 35-cell grid (paper order).
 [[nodiscard]] std::vector<ConfigResult> run_grid(const SweepOptions& options);

@@ -1,0 +1,81 @@
+#include "scenario/defaults.h"
+
+#include <cstdlib>
+
+namespace e2e {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+ScenarioDefaults ScenarioDefaults::load() {
+  ScenarioDefaults d;
+  d.threads = static_cast<int>(env_int("E2E_THREADS", d.threads));
+
+  d.mc_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.mc_seed)));
+  d.mc_runs = static_cast<int>(env_int("E2E_MC_RUNS", d.mc_runs));
+  d.mc_horizon_periods = env_double("E2E_HORIZON_PERIODS", d.mc_horizon_periods);
+  d.mc_subtasks = static_cast<int>(env_int("E2E_MC_SUBTASKS", d.mc_subtasks));
+  d.mc_utilization =
+      static_cast<int>(env_int("E2E_MC_UTILIZATION", d.mc_utilization));
+  d.bench_mc_runs = static_cast<int>(env_int("E2E_MC_RUNS", d.bench_mc_runs));
+
+  d.sweep_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.sweep_seed)));
+  d.sweep_systems =
+      static_cast<int>(env_int("E2E_SYSTEMS_PER_CONFIG", d.sweep_systems));
+  d.sweep_horizon_periods =
+      env_double("E2E_HORIZON_PERIODS", d.sweep_horizon_periods);
+
+  d.fault_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.fault_seed)));
+  d.fault_systems = static_cast<int>(env_int("E2E_FAULT_SYSTEMS", d.fault_systems));
+  d.fault_horizon_periods =
+      env_double("E2E_HORIZON_PERIODS", d.fault_horizon_periods);
+  d.fault_subtasks =
+      static_cast<int>(env_int("E2E_FAULT_SUBTASKS", d.fault_subtasks));
+  d.fault_utilization =
+      static_cast<int>(env_int("E2E_FAULT_UTILIZATION", d.fault_utilization));
+
+  d.breakdown_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.breakdown_seed)));
+  d.breakdown_systems =
+      static_cast<int>(env_int("E2E_BREAKDOWN_SYSTEMS", d.breakdown_systems));
+
+  d.figure_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.figure_seed)));
+  d.figure_horizon_periods =
+      env_double("E2E_HORIZON_PERIODS", d.figure_horizon_periods);
+  d.figure_systems =
+      static_cast<int>(env_int("E2E_SYSTEMS_PER_CONFIG", d.figure_systems));
+  d.figure_sim_systems = static_cast<int>(
+      env_int("E2E_SIM_SYSTEMS_PER_CONFIG",
+              env_int("E2E_SYSTEMS_PER_CONFIG", d.figure_sim_systems)));
+
+  d.analysis_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.analysis_seed)));
+  d.analysis_systems =
+      static_cast<int>(env_int("E2E_ANALYSIS_SYSTEMS", d.analysis_systems));
+  d.analysis_subtasks =
+      static_cast<int>(env_int("E2E_ANALYSIS_SUBTASKS", d.analysis_subtasks));
+  d.analysis_utilization =
+      static_cast<int>(env_int("E2E_ANALYSIS_UTILIZATION", d.analysis_utilization));
+  d.analysis_repeats =
+      static_cast<int>(env_int("E2E_ANALYSIS_REPEATS", d.analysis_repeats));
+  d.hopa_systems = static_cast<int>(env_int("E2E_HOPA_SYSTEMS", d.hopa_systems));
+  d.hopa_iters = static_cast<int>(env_int("E2E_HOPA_ITERS", d.hopa_iters));
+  d.sensitivity_systems =
+      static_cast<int>(env_int("E2E_SENSITIVITY_SYSTEMS", d.sensitivity_systems));
+  return d;
+}
+
+}  // namespace e2e

@@ -1,0 +1,23 @@
+// run_scenario: executes a fully-concrete ScenarioSpec end to end --
+// plan expansion, one shared ScenarioExecutor, the experiment driver the
+// spec names, and the requested reporter (table/csv/json).
+//
+// This is the single pipeline behind `e2e run` AND the legacy
+// montecarlo/sweep/faults subcommands (which now just build a spec), so
+// a spec file reproduces a legacy subcommand's output byte for byte.
+// Lives in its own target (e2e_scenario_driver) because it depends on
+// e2e_experiments, which itself depends on e2e_scenario.
+#pragma once
+
+#include <iosfwd>
+
+#include "scenario/spec.h"
+
+namespace e2e {
+
+/// Runs `spec`. `in` feeds `system stdin` montecarlo sources; everything
+/// else ignores it. Returns the process exit code (0 on success).
+/// Throws InvalidArgument on unrunnable specs / unreadable inputs.
+int run_scenario(const ScenarioSpec& spec, std::istream& in, std::ostream& out);
+
+}  // namespace e2e

@@ -1,0 +1,89 @@
+// ScenarioExecutor: the one fan-out engine behind every experiment.
+//
+// Wraps an exec::ThreadPool with the two resources every experiment
+// driver used to manage by hand:
+//   * per-worker simulation-engine slots (Engine::reset is
+//     observationally identical to fresh construction, so recycling a
+//     worker's engine across work items -- and across scenario cells --
+//     cannot change any result);
+//   * index-ordered RNG stream forking (fork advances the master, so
+//     streams must be forked serially in index order before any worker
+//     starts).
+// Work fans out via map()/for_each(); each index writes only its own
+// slot of a pre-sized vector and the caller merges the returned vector
+// serially in index order, which keeps every experiment byte-identical
+// at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "sim/engine.h"
+
+namespace e2e {
+
+class ScenarioExecutor {
+ public:
+  /// `threads` as in exec::resolve_threads: > 0 wins, else E2E_THREADS,
+  /// else hardware concurrency.
+  explicit ScenarioExecutor(int threads = 0)
+      : pool_(threads),
+        engines_(static_cast<std::size_t>(pool_.thread_count())) {}
+
+  [[nodiscard]] int thread_count() const noexcept { return pool_.thread_count(); }
+  [[nodiscard]] exec::ThreadPool& pool() noexcept { return pool_; }
+
+  /// Forks `n` streams from a fresh master seeded with `seed`, serially
+  /// in index order (stream i is identical no matter how many streams
+  /// are forked after it).
+  [[nodiscard]] static std::vector<Rng> fork_streams(std::uint64_t seed,
+                                                     std::int64_t n) {
+    Rng master{seed};
+    return fork_streams(master, n);
+  }
+
+  /// Same, continuing from an existing master (which advances).
+  [[nodiscard]] static std::vector<Rng> fork_streams(Rng& master, std::int64_t n) {
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      streams.push_back(master.fork(static_cast<std::uint64_t>(i)));
+    }
+    return streams;
+  }
+
+  /// Runs fn(index, engine_slot) for every index in [0, n) over the
+  /// pool. The slot is the running worker's persistent engine (empty on
+  /// its first item); fn decides reset-vs-emplace. Exceptions follow
+  /// ThreadPool: the lowest-index one is rethrown.
+  template <typename Fn>
+  void for_each(std::int64_t n, Fn&& fn) {
+    pool_.parallel_for_indexed(n, [&](std::int64_t index, int worker) {
+      fn(index, engines_[static_cast<std::size_t>(worker)]);
+    });
+  }
+
+  /// for_each that collects fn's return values into an index-ordered
+  /// vector (the caller's serial merge then reproduces the single-thread
+  /// accumulation order exactly).
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::int64_t n, Fn&& fn) {
+    std::vector<T> results(static_cast<std::size_t>(n));
+    for_each(n, [&](std::int64_t index, std::optional<Engine>& engine) {
+      results[static_cast<std::size_t>(index)] = fn(index, engine);
+    });
+    return results;
+  }
+
+ private:
+  exec::ThreadPool pool_;
+  /// One slot per worker, persistent across for_each/map calls and
+  /// scenario cells; worker w only ever touches engines_[w].
+  std::vector<std::optional<Engine>> engines_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,102 @@
+#include "scenario/plan.h"
+
+#include <sstream>
+
+namespace e2e {
+namespace {
+
+/// The per-cell master seed run_configuration derives for a grid cell.
+std::uint64_t grid_cell_seed(std::uint64_t seed, const Configuration& config) {
+  return seed ^ (static_cast<std::uint64_t>(config.subtasks_per_task) << 32) ^
+         static_cast<std::uint64_t>(config.utilization_percent);
+}
+
+std::string grid_label(const Configuration& config) {
+  return "N=" + std::to_string(config.subtasks_per_task) +
+         " U=" + std::to_string(config.utilization_percent) + "%";
+}
+
+}  // namespace
+
+std::int64_t ScenarioPlan::total_units() const noexcept {
+  std::int64_t total = 0;
+  for (const ScenarioCell& cell : cells) total += cell.units;
+  return total;
+}
+
+std::string ScenarioPlan::describe() const {
+  std::ostringstream out;
+  out << "scenario " << to_string(kind) << ": " << cells.size()
+      << (cells.size() == 1 ? " cell, " : " cells, ") << total_units()
+      << " workload units\n";
+  for (const ScenarioCell& cell : cells) {
+    out << "  " << cell.label << " -- " << cell.units
+        << (cell.units == 1 ? " unit" : " units") << ", stream seed "
+        << cell.stream_seed << "\n";
+  }
+  return out.str();
+}
+
+ScenarioPlan expand_scenario(const ScenarioSpec& spec) {
+  ScenarioPlan plan;
+  plan.kind = spec.kind;
+  switch (spec.kind) {
+    case ScenarioKind::kMonteCarlo:
+      for (const ProtocolKind kind : spec.protocols) {
+        plan.cells.push_back(
+            ScenarioCell{.label = "protocol=" + std::string{to_string(kind)},
+                         .units = spec.systems,
+                         .stream_seed = spec.seed});
+      }
+      break;
+    case ScenarioKind::kSweep:
+      for (const Configuration& config : spec.grid) {
+        plan.cells.push_back(ScenarioCell{.label = grid_label(config),
+                                          .units = spec.systems,
+                                          .stream_seed =
+                                              grid_cell_seed(spec.seed, config)});
+      }
+      break;
+    case ScenarioKind::kFaults:
+      // One shared system set (forked from spec.seed) feeds every cell;
+      // cells differ only in the plan applied and the protocol simulated.
+      for (const FaultSeverity& severity : spec.severities) {
+        for (const ProtocolKind kind : spec.protocols) {
+          plan.cells.push_back(ScenarioCell{
+              .label = "severity=" + severity.label +
+                       " protocol=" + std::string{to_string(kind)},
+              .units = spec.systems,
+              .stream_seed = spec.seed});
+        }
+      }
+      break;
+    case ScenarioKind::kBreakdown:
+      for (int n = 2; n <= 8; ++n) {
+        plan.cells.push_back(ScenarioCell{
+            .label = "N=" + std::to_string(n),
+            .units = spec.systems,
+            .stream_seed = spec.seed ^ (static_cast<std::uint64_t>(n) << 40)});
+      }
+      break;
+    case ScenarioKind::kFigure:
+      if (spec.figure == FigureKind::kOverhead) {
+        // The overhead report measures one generated (N=4, U=70%) system.
+        plan.cells.push_back(ScenarioCell{.label = "N=4 U=70% (single system)",
+                                          .units = 1,
+                                          .stream_seed = spec.seed});
+      } else {
+        // Each figure sweeps the paper's 35-cell grid (the ablation
+        // report re-runs it once per ablation with the same cells).
+        for (const Configuration& config : paper_configurations()) {
+          plan.cells.push_back(
+              ScenarioCell{.label = grid_label(config),
+                           .units = spec.systems,
+                           .stream_seed = grid_cell_seed(spec.seed, config)});
+        }
+      }
+      break;
+  }
+  return plan;
+}
+
+}  // namespace e2e

@@ -1,0 +1,39 @@
+// ScenarioPlan: the deterministic expansion of a ScenarioSpec into
+// independent cells.
+//
+// A cell is the unit the report groups by -- a (N, U) grid cell, a
+// (severity, protocol) pair, one protocol's run batch, one chain length.
+// Each cell carries the seed its RNG streams are forked from, computed
+// exactly the way the experiment drivers compute it, so a reader of
+// `e2e run --plan` (or a future sharded executor) can reproduce any cell
+// in isolation. The executor fans out *within* cells; the plan fixes the
+// cell order, which is also the report order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace e2e {
+
+struct ScenarioCell {
+  std::string label;          ///< e.g. "N=4 U=60" or "severity=clock protocol=PM"
+  std::int64_t units = 0;     ///< independent workload units in the cell
+  std::uint64_t stream_seed = 0;  ///< master seed the cell's streams fork from
+};
+
+struct ScenarioPlan {
+  ScenarioKind kind = ScenarioKind::kSweep;
+  std::vector<ScenarioCell> cells;
+
+  [[nodiscard]] std::int64_t total_units() const noexcept;
+  /// Human-readable summary (the `e2e run --plan` output).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Expands a validated spec. Pure: no simulation, no I/O.
+[[nodiscard]] ScenarioPlan expand_scenario(const ScenarioSpec& spec);
+
+}  // namespace e2e

@@ -1,12 +1,27 @@
 #include "sim/fault/fault_plan.h"
 
 #include <cstdlib>
+#include <iomanip>
+#include <sstream>
 
 #include "common/args.h"
 #include "common/error.h"
 
 namespace e2e {
 namespace {
+
+/// Shortest decimal form of `v` that strtod parses back exactly (the
+/// writer below must round-trip through parse_fault_plan bit-for-bit).
+std::string fmt_roundtrip(double v) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream stream;
+    stream << std::setprecision(precision) << v;
+    if (std::strtod(stream.str().c_str(), nullptr) == v) return stream.str();
+  }
+  std::ostringstream stream;
+  stream << std::setprecision(17) << v;
+  return stream.str();
+}
 
 double parse_probability(const std::string& key, const std::string& value) {
   char* end = nullptr;
@@ -91,8 +106,37 @@ std::vector<std::pair<std::string, std::string>> fault_plan_keys() {
   };
 }
 
+std::string write_fault_plan(const FaultPlan& plan) {
+  std::string spec;
+  const auto emit = [&](const char* key, const std::string& value) {
+    if (!spec.empty()) spec += ',';
+    spec += key;
+    spec += '=';
+    spec += value;
+  };
+  if (plan.seed != FaultPlan{}.seed) emit("seed", std::to_string(plan.seed));
+  if (plan.clock_offset_max != 0) {
+    emit("offset", std::to_string(plan.clock_offset_max));
+  }
+  if (plan.drift_ppm_max != 0) emit("drift-ppm", std::to_string(plan.drift_ppm_max));
+  if (plan.signal_loss_prob != 0.0) {
+    emit("loss-prob", fmt_roundtrip(plan.signal_loss_prob));
+  }
+  if (plan.signal_delay_max != 0) emit("delay", std::to_string(plan.signal_delay_max));
+  if (plan.signal_duplicate_prob != 0.0) {
+    emit("dup-prob", fmt_roundtrip(plan.signal_duplicate_prob));
+  }
+  if (plan.timer_jitter_max != 0) {
+    emit("timer-jitter", std::to_string(plan.timer_jitter_max));
+  }
+  if (plan.stall_prob != 0.0) emit("stall-prob", fmt_roundtrip(plan.stall_prob));
+  if (plan.stall_max != 0) emit("stall", std::to_string(plan.stall_max));
+  return spec.empty() ? "-" : spec;
+}
+
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
+  if (spec == "-") return plan;  // the writer's token for an inert plan
   for (const auto& [key, value] : split_key_values(spec)) {
     if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parse_ticks(key, value));

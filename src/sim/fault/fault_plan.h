@@ -62,13 +62,21 @@ struct FaultPlan {
   /// durations, probabilities outside [0, 1], stall_prob without
   /// stall_max, ...).
   void validate() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
+
+/// Renders `plan` in the `key=value,...` form parse_fault_plan accepts
+/// (only non-default keys; "-" for an all-default plan), such that
+/// parse_fault_plan(write_fault_plan(p)) == p.
+[[nodiscard]] std::string write_fault_plan(const FaultPlan& plan);
 
 /// Parses a `key=value,key=value,...` fault specification (the CLI's
 /// `--faults=` argument) into a validated plan. Keys: seed, offset,
 /// drift-ppm, loss-prob, delay, dup-prob, timer-jitter, stall-prob,
-/// stall. Throws InvalidArgument naming the offending key on unknown
-/// keys, malformed numbers, or out-of-range values.
+/// stall; the lone token "-" is the inert default plan. Throws
+/// InvalidArgument naming the offending key on unknown keys, malformed
+/// numbers, or out-of-range values.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// The key=value pairs accepted by parse_fault_plan, for help text.

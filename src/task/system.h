@@ -51,6 +51,21 @@ class TaskSystem {
   [[nodiscard]] Duration min_period() const noexcept { return min_period_; }
   [[nodiscard]] Time max_phase() const noexcept { return max_phase_; }
 
+  /// The default simulation-horizon length, in multiples of the maximum
+  /// period. Every component that needs a horizon and is not told one
+  /// derives it from here (runner, CLI `simulate`, experiment drivers).
+  static constexpr double kDefaultHorizonPeriods = 30.0;
+
+  /// Horizon of `periods` maximum periods, in ticks.
+  [[nodiscard]] Time horizon_ticks(double periods) const noexcept {
+    return static_cast<Time>(periods * static_cast<double>(max_period_));
+  }
+
+  /// The system-wide default horizon: kDefaultHorizonPeriods max-periods.
+  [[nodiscard]] Time default_horizon() const noexcept {
+    return horizon_ticks(kDefaultHorizonPeriods);
+  }
+
   /// True if `ref` names an existing subtask.
   [[nodiscard]] bool contains(SubtaskRef ref) const noexcept;
 

@@ -71,6 +71,8 @@ struct GeneratorOptions {
 struct Configuration {
   int subtasks_per_task = 2;   ///< N in 2..8
   int utilization_percent = 50;  ///< U in {50, 60, 70, 80, 90}
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
 };
 
 /// The full grid in the paper's order: N = 2..8 x U = 50..90.

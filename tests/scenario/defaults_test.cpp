@@ -1,0 +1,99 @@
+#include "scenario/defaults.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "experiments/figures.h"
+
+namespace e2e {
+namespace {
+
+/// Clears a variable for the test's duration and restores "unset" after.
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_{name} { unsetenv(name_); }
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, /*overwrite=*/1); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Defaults, IntFallsBackWhenUnset) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), 42);
+}
+
+TEST(Defaults, IntParsesValue) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("17");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), 17);
+}
+
+TEST(Defaults, IntEmptyStringFallsBack) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), 42);
+}
+
+TEST(Defaults, IntNegative) {
+  EnvGuard guard{"E2E_TEST_INT"};
+  guard.set("-3");
+  EXPECT_EQ(env_int("E2E_TEST_INT", 42), -3);
+}
+
+TEST(Defaults, DoubleFallsBackWhenUnset) {
+  EnvGuard guard{"E2E_TEST_DOUBLE"};
+  EXPECT_DOUBLE_EQ(env_double("E2E_TEST_DOUBLE", 1.5), 1.5);
+}
+
+TEST(Defaults, DoubleParsesValue) {
+  EnvGuard guard{"E2E_TEST_DOUBLE"};
+  guard.set("2.25");
+  EXPECT_DOUBLE_EQ(env_double("E2E_TEST_DOUBLE", 1.5), 2.25);
+}
+
+TEST(Defaults, LoadPicksUpOverrides) {
+  EnvGuard systems{"E2E_SYSTEMS_PER_CONFIG"};
+  EnvGuard sim_systems{"E2E_SIM_SYSTEMS_PER_CONFIG"};
+  EnvGuard seed{"E2E_SEED"};
+  EnvGuard threads{"E2E_THREADS"};
+  systems.set("77");
+  seed.set("99");
+  threads.set("3");
+
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  EXPECT_EQ(defaults.figure_systems, 77);
+  // Simulation figures fall back to the analysis count, then prefer the
+  // SIM-specific override.
+  EXPECT_EQ(defaults.figure_sim_systems, 77);
+  EXPECT_EQ(defaults.figure_seed, 99u);
+  EXPECT_EQ(defaults.threads, 3);
+
+  sim_systems.set("33");
+  EXPECT_EQ(ScenarioDefaults::load().figure_sim_systems, 33);
+}
+
+TEST(Defaults, SweepOptionsPickUpOverrides) {
+  EnvGuard systems{"E2E_SYSTEMS_PER_CONFIG"};
+  EnvGuard sim_systems{"E2E_SIM_SYSTEMS_PER_CONFIG"};
+  EnvGuard seed{"E2E_SEED"};
+  EnvGuard horizon{"E2E_HORIZON_PERIODS"};
+  systems.set("77");
+  seed.set("99");
+  horizon.set("12.5");
+
+  const SweepOptions analysis = sweep_options_from_env(/*simulation=*/false);
+  EXPECT_EQ(analysis.systems_per_config, 77);
+  EXPECT_EQ(analysis.seed, 99u);
+  EXPECT_DOUBLE_EQ(analysis.horizon_periods, 12.5);
+
+  SweepOptions sim = sweep_options_from_env(/*simulation=*/true);
+  EXPECT_EQ(sim.systems_per_config, 77);
+  sim_systems.set("33");
+  sim = sweep_options_from_env(/*simulation=*/true);
+  EXPECT_EQ(sim.systems_per_config, 33);
+}
+
+}  // namespace
+}  // namespace e2e

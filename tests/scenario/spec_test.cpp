@@ -1,0 +1,270 @@
+#include "scenario/spec.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "scenario/plan.h"
+
+namespace e2e {
+namespace {
+
+// Parsing with value-initialized defaults keeps the tests independent of
+// the E2E_* environment the test runner happens to have.
+ScenarioSpec parse(const std::string& text) {
+  return parse_scenario(text, ScenarioDefaults{});
+}
+
+TEST(ScenarioSpecParse, MinimalSweepFillsDefaults) {
+  const ScenarioSpec spec = parse("e2esync-scenario v1\nscenario sweep\n");
+  EXPECT_EQ(spec.kind, ScenarioKind::kSweep);
+  EXPECT_EQ(spec.report, ReportFormat::kTable);
+  EXPECT_EQ(spec.seed, 20260706u);
+  EXPECT_EQ(spec.systems, 20);
+  EXPECT_DOUBLE_EQ(spec.horizon_periods, 30.0);
+  ASSERT_EQ(spec.grid.size(), 1u);
+  EXPECT_EQ(spec.grid[0].subtasks_per_task, 4);
+  EXPECT_EQ(spec.grid[0].utilization_percent, 60);
+}
+
+TEST(ScenarioSpecParse, MinimalMonteCarloFillsDefaults) {
+  const ScenarioSpec spec = parse("e2esync-scenario v1\nscenario montecarlo\n");
+  EXPECT_EQ(spec.kind, ScenarioKind::kMonteCarlo);
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.systems, 20);
+  EXPECT_DOUBLE_EQ(spec.horizon_periods, 20.0);
+  ASSERT_EQ(spec.protocols.size(), 1u);
+  EXPECT_EQ(spec.protocols[0], ProtocolKind::kReleaseGuard);
+  EXPECT_EQ(spec.system.kind, SystemSource::Kind::kStdin);
+}
+
+TEST(ScenarioSpecParse, MinimalFaultsFillsLadderAndProtocols) {
+  const ScenarioSpec spec = parse("e2esync-scenario v1\nscenario faults\n");
+  EXPECT_EQ(spec.seed, 20260806u);
+  EXPECT_EQ(spec.systems, 10);
+  EXPECT_EQ(spec.protocols.size(), 5u);
+  EXPECT_EQ(spec.severities, default_fault_severities());
+  ASSERT_EQ(spec.grid.size(), 1u);
+}
+
+TEST(ScenarioSpecParse, CommentsAndBlankLinesIgnored) {
+  const ScenarioSpec spec = parse(
+      "# leading comment\n"
+      "e2esync-scenario v1\n"
+      "\n"
+      "scenario sweep  # trailing comment\n"
+      "seed 7\n");
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(ScenarioSpecParse, ExplicitKeysOverrideDefaults) {
+  const ScenarioSpec spec = parse(
+      "e2esync-scenario v1\n"
+      "scenario montecarlo\n"
+      "report json\n"
+      "seed 42\n"
+      "runs 5\n"
+      "horizon-periods 2.5\n"
+      "threads 3\n"
+      "exec-var 0.8\n"
+      "protocol PM\n"
+      "protocol DS\n"
+      "system example2\n");
+  EXPECT_EQ(spec.report, ReportFormat::kJson);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.systems, 5);
+  EXPECT_DOUBLE_EQ(spec.horizon_periods, 2.5);
+  EXPECT_EQ(spec.threads, 3);
+  EXPECT_DOUBLE_EQ(spec.exec_var, 0.8);
+  EXPECT_EQ(spec.protocols,
+            (std::vector<ProtocolKind>{ProtocolKind::kPhaseModification,
+                                       ProtocolKind::kDirectSync}));
+  EXPECT_EQ(spec.system.kind, SystemSource::Kind::kExample2);
+}
+
+TEST(ScenarioSpecParse, InlineSystemBlockIsVerbatim) {
+  const ScenarioSpec spec = parse(
+      "e2esync-scenario v1\n"
+      "scenario montecarlo\n"
+      "begin system\n"
+      "e2esync v1\n"
+      "processors 1\n"
+      "end system\n");
+  EXPECT_EQ(spec.system.kind, SystemSource::Kind::kInline);
+  EXPECT_EQ(spec.system.text, "e2esync v1\nprocessors 1\n");
+}
+
+TEST(ScenarioSpecParse, ErrorsCarryLineNumbers) {
+  try {
+    parse("e2esync-scenario v1\nscenario sweep\nbogus 1\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("unknown key 'bogus'"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecParse, RejectsMissingHeader) {
+  EXPECT_THROW(parse("scenario sweep\n"), InvalidArgument);
+}
+
+TEST(ScenarioSpecParse, RejectsMissingKind) {
+  EXPECT_THROW(parse("e2esync-scenario v1\nseed 1\n"), InvalidArgument);
+}
+
+TEST(ScenarioSpecParse, RejectsUnknownProtocol) {
+  EXPECT_THROW(
+      parse("e2esync-scenario v1\nscenario montecarlo\nprotocol XX\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioSpecParse, RejectsMalformedSeverity) {
+  EXPECT_THROW(
+      parse("e2esync-scenario v1\nscenario faults\nseverity bad bogus=1\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioSpecParse, RejectsUnterminatedSystemBlock) {
+  EXPECT_THROW(
+      parse("e2esync-scenario v1\nscenario montecarlo\nbegin system\nfoo\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioSpecValidate, RejectsUnrunnableSpecs) {
+  ScenarioSpec spec = parse("e2esync-scenario v1\nscenario sweep\n");
+  spec.systems = 0;
+  EXPECT_THROW(validate_scenario(spec), InvalidArgument);
+
+  spec = parse("e2esync-scenario v1\nscenario sweep\n");
+  spec.exec_var = 1.5;
+  EXPECT_THROW(validate_scenario(spec), InvalidArgument);
+
+  spec = parse("e2esync-scenario v1\nscenario faults\n");
+  spec.grid.push_back(spec.grid[0]);
+  EXPECT_THROW(validate_scenario(spec), InvalidArgument);
+
+  spec = parse("e2esync-scenario v1\nscenario montecarlo\n");
+  spec.protocols.clear();
+  EXPECT_THROW(validate_scenario(spec), InvalidArgument);
+}
+
+/// Draws a random fully-concrete, valid spec (the shape parse_scenario
+/// would produce).
+ScenarioSpec random_spec(Rng& rng) {
+  ScenarioSpec spec;
+  spec.kind = static_cast<ScenarioKind>(rng.uniform_int(0, 4));
+  spec.report = static_cast<ReportFormat>(rng.uniform_int(0, 2));
+  if (spec.kind == ScenarioKind::kFigure) {
+    spec.figure = static_cast<FigureKind>(rng.uniform_int(0, 7));
+  }
+  spec.seed = rng.next_u64();
+  spec.systems = static_cast<int>(rng.uniform_int(1, 500));
+  spec.horizon_periods = rng.uniform_real(0.5, 40.0);
+  spec.threads = static_cast<int>(rng.uniform_int(0, 8));
+  if (rng.next_double() < 0.5) spec.exec_var = rng.uniform_real(0.1, 1.0);
+
+  const auto random_protocols = [&](std::int64_t max_count) {
+    std::vector<ProtocolKind> protocols;
+    const std::int64_t count = rng.uniform_int(1, max_count);
+    for (std::int64_t i = 0; i < count; ++i) {
+      protocols.push_back(static_cast<ProtocolKind>(rng.uniform_int(0, 4)));
+    }
+    return protocols;
+  };
+  const auto random_config = [&] {
+    return Configuration{
+        .subtasks_per_task = static_cast<int>(rng.uniform_int(1, 10)),
+        .utilization_percent = static_cast<int>(rng.uniform_int(1, 100))};
+  };
+
+  switch (spec.kind) {
+    case ScenarioKind::kMonteCarlo: {
+      spec.protocols = random_protocols(3);
+      const std::int64_t source = rng.uniform_int(0, 4);
+      if (source == 0) {
+        spec.system.kind = SystemSource::Kind::kStdin;
+      } else if (source == 1) {
+        spec.system.kind = SystemSource::Kind::kExample2;
+      } else if (source == 2) {
+        spec.system.kind = SystemSource::Kind::kFile;
+        spec.system.path = "systems/sys" + std::to_string(rng.next_u64() % 100);
+      } else if (source == 3) {
+        spec.system.kind = SystemSource::Kind::kGenerate;
+        spec.system.generate_subtasks = static_cast<int>(rng.uniform_int(1, 8));
+        spec.system.generate_utilization =
+            static_cast<int>(rng.uniform_int(10, 95));
+        spec.system.generate_tasks = static_cast<int>(rng.uniform_int(2, 20));
+        spec.system.generate_processors =
+            static_cast<int>(rng.uniform_int(1, 8));
+        spec.system.generate_seed = rng.next_u64();
+        spec.system.generate_ticks = rng.uniform_int(1, 10000);
+      } else {
+        spec.system.kind = SystemSource::Kind::kInline;
+        spec.system.text = "e2esync v1\nprocessors 2\n";
+      }
+      break;
+    }
+    case ScenarioKind::kSweep: {
+      const std::int64_t cells = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < cells; ++i) spec.grid.push_back(random_config());
+      break;
+    }
+    case ScenarioKind::kFaults: {
+      spec.grid = {random_config()};
+      spec.protocols = random_protocols(5);
+      std::vector<FaultSeverity> ladder = default_fault_severities();
+      const std::int64_t count = rng.uniform_int(1, 4);
+      spec.severities.assign(ladder.begin(), ladder.begin() + count);
+      break;
+    }
+    case ScenarioKind::kBreakdown:
+    case ScenarioKind::kFigure:
+      break;
+  }
+  return spec;
+}
+
+TEST(ScenarioSpecRoundTrip, WriteThenParseIsIdentity) {
+  Rng rng{20260806};
+  for (int trial = 0; trial < 200; ++trial) {
+    const ScenarioSpec spec = random_spec(rng);
+    const std::string text = write_scenario(spec);
+    ScenarioSpec reparsed;
+    try {
+      reparsed = parse(text);
+    } catch (const InvalidArgument& e) {
+      FAIL() << "trial " << trial << ": " << e.what() << "\nspec:\n" << text;
+    }
+    EXPECT_EQ(reparsed, spec) << "trial " << trial << "\nspec:\n" << text;
+  }
+}
+
+TEST(ScenarioPlan, ExpandsExpectedCellCounts) {
+  ScenarioSpec spec = parse("e2esync-scenario v1\nscenario sweep\n");
+  spec.grid.push_back(Configuration{.subtasks_per_task = 6,
+                                    .utilization_percent = 70});
+  ScenarioPlan plan = expand_scenario(spec);
+  EXPECT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.total_units(), 2 * spec.systems);
+
+  plan = expand_scenario(parse("e2esync-scenario v1\nscenario faults\n"));
+  EXPECT_EQ(plan.cells.size(), 5u * 5u);  // severities x protocols
+
+  plan = expand_scenario(parse("e2esync-scenario v1\nscenario breakdown\n"));
+  EXPECT_EQ(plan.cells.size(), 7u);  // chain lengths 2..8
+
+  plan = expand_scenario(
+      parse("e2esync-scenario v1\nscenario figure\nfigure 12\n"));
+  EXPECT_EQ(plan.cells.size(), 35u);  // the paper's 7x5 (N, U) grid
+
+  const std::string description = plan.describe();
+  EXPECT_NE(description.find("scenario figure"), std::string::npos);
+  EXPECT_NE(description.find("35 cells"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace e2e

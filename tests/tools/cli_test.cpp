@@ -263,6 +263,94 @@ TEST(Cli, SweepIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(parallel.out, serial.out);  // sweep output names no thread count
 }
 
+// Every subcommand -- including the flagless example2/help -- rejects
+// unknown options with the same diagnostic and exit code.
+TEST(Cli, HelpRejectsUnknownOption) {
+  const CliResult r = run_cli({"help", "--bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(Cli, Example2RejectsUnknownOption) {
+  const CliResult r = run_cli({"example2", "--bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownOption) {
+  const CliResult r = run_cli({"run", "-", "--bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(Cli, RunWithoutSpecIsAnError) {
+  const CliResult r = run_cli({"run"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("run expects a scenario spec"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsMissingFile) {
+  const CliResult r = run_cli({"run", "/nonexistent/spec.e2es"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsMalformedSpec) {
+  const CliResult r = run_cli({"run", "-"}, "not a scenario\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("header"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsMalformedSeverityLikeSimulateFaults) {
+  // The spec's severity value speaks the same --faults=key=value,...
+  // language, with the same diagnostics (plus a line number).
+  const CliResult r = run_cli(
+      {"run", "-"},
+      "e2esync-scenario v1\nscenario faults\nseverity bad losss-prob=0.5\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown fault key 'losss-prob'"), std::string::npos);
+  EXPECT_NE(r.err.find("line 3"), std::string::npos);
+}
+
+TEST(Cli, RunPlanPrintsCellsWithoutRunning) {
+  const CliResult r = run_cli({"run", "-", "--plan"},
+                              "e2esync-scenario v1\n"
+                              "scenario sweep\n"
+                              "systems 3\n"
+                              "config 2 40\n"
+                              "config 4 60\n");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("scenario sweep"), std::string::npos);
+  EXPECT_NE(r.out.find("2 cells"), std::string::npos);
+  EXPECT_EQ(r.out.find("schedule hash"), std::string::npos);  // nothing ran
+}
+
+TEST(Cli, RunMontecarloReportCsv) {
+  const CliResult r = run_cli({"run", "-", "--report=csv", "--threads=1"},
+                              "e2esync-scenario v1\n"
+                              "scenario montecarlo\n"
+                              "runs 2\n"
+                              "horizon-periods 4\n"
+                              "system example2\n");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("protocol,task,instances,mean_eer,p_miss"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("RG,"), std::string::npos);
+}
+
+TEST(Cli, RunMontecarloReportJson) {
+  const CliResult r = run_cli({"run", "-", "--threads=1"},
+                              "e2esync-scenario v1\n"
+                              "scenario montecarlo\n"
+                              "report json\n"
+                              "runs 2\n"
+                              "horizon-periods 4\n"
+                              "system example2\n");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"scenario\":\"montecarlo\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"schedule_hash\""), std::string::npos);
+}
+
 TEST(Cli, SimulateWithExecutionVariation) {
   const CliResult r = run_cli(
       {"simulate", "--protocol=DS", "--exec-var=0.5", "--seed=4", "--horizon=600"},

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the scenario layer: configures a build with
+# E2E_SANITIZE=address,undefined, builds, and runs the scenario- and
+# bench-smoke-labelled tests under it. Catches the lifetime bugs the
+# executor's engine recycling and cross-cell reuse could introduce.
+#
+# Usage: tools/check.sh
+#   CHECK_BUILD_DIR (default: build-check) -- sanitizer build tree
+#   JOBS            (default: nproc)       -- build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK_BUILD_DIR="${CHECK_BUILD_DIR:-build-check}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${CHECK_BUILD_DIR}" -S . -DE2E_SANITIZE=address,undefined
+cmake --build "${CHECK_BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${CHECK_BUILD_DIR}" --output-on-failure \
+  -L "scenario|bench-smoke"

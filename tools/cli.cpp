@@ -12,13 +12,12 @@
 #include "core/analysis/sa_pm.h"
 #include "core/analysis/utilization.h"
 #include "core/protocols/factory.h"
-#include "experiments/faults.h"
-#include "experiments/monte_carlo.h"
-#include "experiments/sweep.h"
 #include "metrics/eer_collector.h"
 #include "report/gantt.h"
 #include "report/table.h"
 #include "report/trace_log.h"
+#include "scenario/driver.h"
+#include "scenario/plan.h"
 #include "sim/engine.h"
 #include "sim/execution_model.h"
 #include "sim/fault/fault_injector.h"
@@ -53,6 +52,9 @@ constexpr const char* kUsage =
     "  faults               robustness ladder (all protocols); --systems=N\n"
     "                       --subtasks=N --utilization=PCT --seed=N\n"
     "                       --threads=N\n"
+    "  run <spec|->         run a declarative scenario spec (see\n"
+    "                       docs/scenarios.md); --threads=N --report=FMT\n"
+    "                       --plan (print the cell plan, don't run)\n"
     "  example2             print the paper's Example 2 system description\n"
     "  help                 this text\n"
     "\n"
@@ -88,12 +90,6 @@ int parse_threads(const ArgParser& args) {
     throw InvalidArgument("--threads must be a positive integer");
   }
   return static_cast<int>(threads);
-}
-
-std::string hex_hash(std::uint64_t hash) {
-  std::ostringstream stream;
-  stream << "0x" << std::hex << std::setfill('0') << std::setw(16) << hash;
-  return stream.str();
 }
 
 PrecedencePolicy parse_precedence(const std::string& name) {
@@ -140,8 +136,7 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out,
   const TaskSystem system = load_system(args, in);
 
   const ProtocolKind kind = parse_protocol(args.value_string("protocol", "RG"));
-  const Time horizon = args.value_int(
-      "horizon", static_cast<Time>(30.0 * static_cast<double>(system.max_period())));
+  const Time horizon = args.value_int("horizon", system.default_horizon());
 
   const auto protocol = make_protocol(kind, system);
   EerCollector eer{system};
@@ -212,79 +207,89 @@ int cmd_simulate(const ArgParser& args, std::istream& in, std::ostream& out,
   return 0;
 }
 
+// The montecarlo/sweep/faults subcommands are thin spec-builders: flags
+// map onto a ScenarioSpec and run_scenario is the single pipeline behind
+// them and `e2e run`, so a spec file reproduces the same bytes.
+
 int cmd_montecarlo(const ArgParser& args, std::istream& in, std::ostream& out) {
   args.expect_known({"protocol", "runs", "seed", "horizon-periods", "exec-var",
                      "threads"});
-  const TaskSystem system = load_system(args, in);
-  const ProtocolKind kind = parse_protocol(args.value_string("protocol", "RG"));
-
-  MonteCarloOptions options;
-  options.runs = static_cast<int>(args.value_int("runs", 20));
-  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 1));
-  options.horizon_periods = args.value_double("horizon-periods", 20.0);
-  options.execution_min_fraction = args.value_double("exec-var", 1.0);
-  options.threads = parse_threads(args);
-  const MonteCarloResult result = estimate_latency(system, kind, options);
-
-  out << "protocol " << to_string(kind) << ", " << result.runs
-      << " runs, threads=" << options.threads
-      << " (0 = auto), schedule hash " << hex_hash(result.schedule_hash)
-      << ", events " << result.events_processed << "\n\n";
-  TextTable table({"task", "instances", "mean EER", "p(miss)"});
-  for (const Task& t : system.tasks()) {
-    const TaskLatency& latency = result.per_task[t.id.index()];
-    table.add_row({t.name, std::to_string(latency.instances),
-                   TextTable::fmt(latency.eer.mean(), 2),
-                   TextTable::fmt(latency.miss_probability(), 4)});
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kMonteCarlo;
+  spec.seed = static_cast<std::uint64_t>(args.value_int("seed", 1));
+  spec.systems = static_cast<int>(args.value_int("runs", 20));
+  spec.horizon_periods = args.value_double("horizon-periods", 20.0);
+  spec.exec_var = args.value_double("exec-var", 1.0);
+  spec.threads = parse_threads(args);
+  spec.protocols = {parse_protocol(args.value_string("protocol", "RG"))};
+  const std::string path = args.positional(1);
+  if (path.empty() || path == "-") {
+    spec.system.kind = SystemSource::Kind::kStdin;
+  } else {
+    spec.system.kind = SystemSource::Kind::kFile;
+    spec.system.path = path;
   }
-  out << table.to_string();
-  return 0;
+  return run_scenario(spec, in, out);
 }
 
-int cmd_sweep(const ArgParser& args, std::ostream& out) {
+int cmd_sweep(const ArgParser& args, std::istream& in, std::ostream& out) {
   args.expect_known({"subtasks", "utilization", "systems", "seed",
                      "horizon-periods", "threads"});
-  const Configuration config{
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kSweep;
+  spec.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260706));
+  spec.systems = static_cast<int>(args.value_int("systems", 20));
+  spec.horizon_periods = args.value_double("horizon-periods", 30.0);
+  spec.threads = parse_threads(args);
+  spec.grid = {Configuration{
       .subtasks_per_task = static_cast<int>(args.value_int("subtasks", 4)),
-      .utilization_percent = static_cast<int>(args.value_int("utilization", 60))};
-  SweepOptions options;
-  options.systems_per_config = static_cast<int>(args.value_int("systems", 20));
-  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260706));
-  options.horizon_periods = args.value_double("horizon-periods", 30.0);
-  options.threads = parse_threads(args);
-  const ConfigResult result = run_configuration(config, options);
-
-  out << "configuration N=" << config.subtasks_per_task
-      << ", U=" << config.utilization_percent << "%, " << result.systems
-      << " systems, schedule hash " << hex_hash(result.schedule_hash)
-      << ", events " << result.events_processed << "\n\n";
-  TextTable table({"metric", "mean", "samples"});
-  table.add_row({"SA/DS failure rate", TextTable::fmt(result.failure_rate(), 3),
-                 std::to_string(result.systems)});
-  table.add_row({"bound ratio DS/PM", TextTable::fmt(result.bound_ratio.mean(), 3),
-                 std::to_string(result.bound_ratio.count())});
-  table.add_row({"avg-EER ratio PM/DS", TextTable::fmt(result.pm_ds_ratio.mean(), 3),
-                 std::to_string(result.pm_ds_ratio.count())});
-  table.add_row({"avg-EER ratio RG/DS", TextTable::fmt(result.rg_ds_ratio.mean(), 3),
-                 std::to_string(result.rg_ds_ratio.count())});
-  table.add_row({"avg-EER ratio PM/RG", TextTable::fmt(result.pm_rg_ratio.mean(), 3),
-                 std::to_string(result.pm_rg_ratio.count())});
-  out << table.to_string();
-  return 0;
+      .utilization_percent = static_cast<int>(args.value_int("utilization", 60))}};
+  return run_scenario(spec, in, out);
 }
 
-int cmd_faults(const ArgParser& args, std::ostream& out) {
+int cmd_faults(const ArgParser& args, std::istream& in, std::ostream& out) {
   args.expect_known({"systems", "subtasks", "utilization", "seed", "threads"});
-  FaultSweepOptions options;
-  options.systems = static_cast<int>(args.value_int("systems", 10));
-  options.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260806));
-  options.config.subtasks_per_task =
-      static_cast<int>(args.value_int("subtasks", 4));
-  options.config.utilization_percent =
-      static_cast<int>(args.value_int("utilization", 60));
-  options.threads = parse_threads(args);
-  run_fault_report(out, options);
-  return 0;
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kFaults;
+  spec.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260806));
+  spec.systems = static_cast<int>(args.value_int("systems", 10));
+  spec.horizon_periods = 30.0;
+  spec.threads = parse_threads(args);
+  spec.grid = {Configuration{
+      .subtasks_per_task = static_cast<int>(args.value_int("subtasks", 4)),
+      .utilization_percent = static_cast<int>(args.value_int("utilization", 60))}};
+  spec.protocols.assign(std::begin(kExtendedProtocolKinds),
+                        std::end(kExtendedProtocolKinds));
+  spec.severities = default_fault_severities();
+  return run_scenario(spec, in, out);
+}
+
+int cmd_run(const ArgParser& args, std::istream& in, std::ostream& out) {
+  args.expect_known({"threads", "report", "plan"});
+  const std::string path = args.positional(1);
+  if (path.empty()) {
+    throw InvalidArgument("run expects a scenario spec file (or '-' for stdin)");
+  }
+
+  ScenarioSpec spec;
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  if (path == "-") {
+    spec = parse_scenario(in, defaults);
+  } else {
+    std::ifstream file{path};
+    if (!file) throw InvalidArgument("cannot open '" + path + "'");
+    spec = parse_scenario(file, defaults);
+  }
+  if (args.has("threads")) spec.threads = parse_threads(args);
+  if (args.has("report")) {
+    spec.report = parse_report_format(args.value_string("report", "table"));
+  }
+
+  if (args.has("plan")) {
+    out << expand_scenario(spec).describe();
+    return 0;
+  }
+  return run_scenario(spec, in, out);
 }
 
 int cmd_generate(const ArgParser& args, std::ostream& out) {
@@ -310,6 +315,7 @@ int run(const std::vector<std::string>& args_vector, std::istream& in,
     const ArgParser args{args_vector};
     const std::string command = args.positional(0);
     if (command.empty() || command == "help") {
+      if (!command.empty()) args.expect_known({});
       out << kUsage;
       return command.empty() ? 1 : 0;
     }
@@ -317,9 +323,11 @@ int run(const std::vector<std::string>& args_vector, std::istream& in,
     if (command == "simulate") return cmd_simulate(args, in, out, err);
     if (command == "generate") return cmd_generate(args, out);
     if (command == "montecarlo") return cmd_montecarlo(args, in, out);
-    if (command == "sweep") return cmd_sweep(args, out);
-    if (command == "faults") return cmd_faults(args, out);
+    if (command == "sweep") return cmd_sweep(args, in, out);
+    if (command == "faults") return cmd_faults(args, in, out);
+    if (command == "run") return cmd_run(args, in, out);
     if (command == "example2") {
+      args.expect_known({});
       write_system(out, paper::example2());
       return 0;
     }

@@ -7,14 +7,39 @@
 # regression, not just a slow run.
 #
 # Usage: tools/run_benches.sh [bench ...]
+#        tools/run_benches.sh --figures
 #   BUILD_DIR   (default: build)    -- cmake build tree with the benches
 #   RESULTS_DIR (default: results)  -- where BENCH_<name>.json land
+#
+# --figures regenerates the figure tables from the checked-in scenario
+# specs (examples/scenarios/fig*.e2es) through `e2e run`, writing one
+# FIG_<name>.txt per spec -- the declarative path to the same numbers
+# the bench_fig* binaries print.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 RESULTS_DIR="${RESULTS_DIR:-results}"
+
+if [[ "${1:-}" == "--figures" ]]; then
+  e2e="${BUILD_DIR}/tools/e2e"
+  if [[ ! -x "${e2e}" ]]; then
+    echo "run_benches: missing ${e2e} (build the CLI first)" >&2
+    exit 1
+  fi
+  mkdir -p "${RESULTS_DIR}"
+  status=0
+  for spec in examples/scenarios/fig*.e2es; do
+    name="$(basename "${spec}" .e2es)"
+    echo "== e2e run ${spec} =="
+    if ! "${e2e}" run "${spec}" > "${RESULTS_DIR}/FIG_${name}.txt"; then
+      echo "run_benches: e2e run ${spec} failed" >&2
+      status=1
+    fi
+  done
+  exit "${status}"
+fi
 
 BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
