@@ -109,10 +109,22 @@ std::vector<std::pair<std::string, std::string>> split_key_values(
   return pairs;
 }
 
+std::string format_known_keys(const std::vector<std::string>& known) {
+  std::string joined;
+  for (const auto& key : known) {
+    joined += joined.empty() ? key : ", " + key;
+  }
+  return joined;
+}
+
 void ArgParser::expect_known(const std::vector<std::string>& known) const {
   for (const auto& [name, _] : options_) {
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      throw InvalidArgument("unknown option --" + name);
+      std::vector<std::string> flags;
+      flags.reserve(known.size());
+      for (const auto& k : known) flags.push_back("--" + k);
+      throw InvalidArgument("unknown option --" + name +
+                            " (known: " + format_known_keys(flags) + ")");
     }
   }
 }

@@ -52,6 +52,12 @@ class ArgParser {
   std::map<std::string, std::optional<std::string>> options_;
 };
 
+/// Renders a known-key list for unknown-key diagnostics ("a, b, c").
+/// Shared by ArgParser::expect_known and the key=value spec parsers
+/// (fault plans, time-service configs) so every unknown-key error
+/// carries the same "(known: ...)" suffix.
+[[nodiscard]] std::string format_known_keys(const std::vector<std::string>& known);
+
 /// Splits a `key=value,key=value,...` spec (the argument form of
 /// compound options such as --faults) into ordered pairs. Whitespace
 /// around keys, values, and commas is trimmed; empty segments (from a

@@ -5,6 +5,7 @@
 #include "core/protocols/modified_pm.h"
 #include "core/protocols/mpm_retransmit.h"
 #include "core/protocols/phase_modification.h"
+#include "core/protocols/pm_estimated.h"
 #include "core/protocols/release_guard.h"
 
 namespace e2e {
@@ -21,6 +22,8 @@ std::string_view to_string(ProtocolKind kind) noexcept {
       return "RG";
     case ProtocolKind::kModifiedPmRetransmit:
       return "MPM-R";
+    case ProtocolKind::kPmEstimated:
+      return "PM-E";
   }
   return "?";
 }
@@ -37,6 +40,8 @@ ProtocolTraits traits_of(ProtocolKind kind) noexcept {
       return ReleaseGuardProtocol::traits();
     case ProtocolKind::kModifiedPmRetransmit:
       return MpmRetransmitProtocol::traits();
+    case ProtocolKind::kPmEstimated:
+      return PmEstimatedProtocol::traits();
   }
   return {};
 }
@@ -60,6 +65,8 @@ std::unique_ptr<SyncProtocol> make_protocol(ProtocolKind kind, const TaskSystem&
       return std::make_unique<ReleaseGuardProtocol>(system);
     case ProtocolKind::kModifiedPmRetransmit:
       return std::make_unique<MpmRetransmitProtocol>(system, bounds_or_computed());
+    case ProtocolKind::kPmEstimated:
+      return std::make_unique<PmEstimatedProtocol>(system, bounds_or_computed());
   }
   return nullptr;
 }

@@ -20,6 +20,10 @@ enum class ProtocolKind {
   /// MPM hardened for lossy channels and skewed clocks (not in the paper;
   /// see core/protocols/mpm_retransmit.h).
   kModifiedPmRetransmit,
+  /// PM scheduling on the time-service estimated clock instead of the
+  /// oracle global clock (not in the paper; see core/protocols/
+  /// pm_estimated.h and sim/timesvc/).
+  kPmEstimated,
 };
 
 /// The paper's four protocols, in presentation order. Figure benches,
@@ -29,10 +33,20 @@ inline constexpr ProtocolKind kAllProtocolKinds[] = {
     ProtocolKind::kModifiedPm, ProtocolKind::kReleaseGuard};
 
 /// The paper's four plus the hardened variants (robustness experiments).
+/// Deliberately excludes PM-E: the default fault sweeps predate it and
+/// their golden outputs must stay byte-identical; PM-E joins via
+/// explicit `protocol PM-E` scenario lines and the timesvc benches.
 inline constexpr ProtocolKind kExtendedProtocolKinds[] = {
     ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
     ProtocolKind::kModifiedPm, ProtocolKind::kReleaseGuard,
     ProtocolKind::kModifiedPmRetransmit};
+
+/// Every selectable protocol, for name parsing (CLI --protocol=,
+/// scenario `protocol` lines).
+inline constexpr ProtocolKind kSelectableProtocolKinds[] = {
+    ProtocolKind::kDirectSync,           ProtocolKind::kPhaseModification,
+    ProtocolKind::kModifiedPm,           ProtocolKind::kReleaseGuard,
+    ProtocolKind::kModifiedPmRetransmit, ProtocolKind::kPmEstimated};
 
 [[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
 

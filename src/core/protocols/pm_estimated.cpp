@@ -1,0 +1,52 @@
+#include "core/protocols/pm_estimated.h"
+
+#include <algorithm>
+
+#include "sim/timesvc/time_service.h"
+
+namespace e2e {
+
+PmEstimatedProtocol::PmEstimatedProtocol(const TaskSystem& system,
+                                         SubtaskTable response_bounds)
+    : phases_(system, std::move(response_bounds)) {}
+
+Time PmEstimatedProtocol::alarm_for(Engine& engine, SubtaskRef ref,
+                                    Time target) const {
+  TimeService* service = engine.time_service();
+  if (service == nullptr) return std::max(engine.now(), target);
+  const ProcessorId processor = engine.system().subtask(ref).processor;
+  return service->plan_alarm(processor, engine.now(), target);
+}
+
+void PmEstimatedProtocol::initialize(Engine& engine) {
+  // Same schedule as PM: first subtasks are arrival-driven, later ones
+  // get a periodic release schedule starting at f_{i,j}. Initial alarms
+  // are requested raw: at t=0 the service has no measurements yet, and
+  // an unsynchronized node's best estimate is its own local clock --
+  // which is exactly what the engine's initial-schedule perturbation
+  // models (and what keeps instance 0 identical to PM's).
+  for (const Task& t : engine.system().tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      if (s.ref.index == 0) continue;
+      if (phases_.phase_of(s.ref) <= engine.horizon()) {
+        engine.schedule_release(s.ref, 0, phases_.phase_of(s.ref));
+      }
+    }
+  }
+}
+
+void PmEstimatedProtocol::on_job_released(Engine& engine, const Job& job) {
+  if (job.ref.index == 0) return;  // arrivals drive the first subtask
+  engine.count_timer_interrupt();  // each periodic release is timer-driven
+  const Duration period = engine.system().task(job.ref.task).period;
+  // PM chains off the *actual* release time, so clock error compounds.
+  // PM-E re-aims every instance at its intended reference time.
+  const Time target =
+      phases_.phase_of(job.ref) + (job.instance + 1) * period;
+  if (target <= engine.horizon()) {
+    engine.schedule_release(job.ref, job.instance + 1,
+                            alarm_for(engine, job.ref, target));
+  }
+}
+
+}  // namespace e2e

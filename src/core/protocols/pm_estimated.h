@@ -1,0 +1,68 @@
+// PM-E: Phase Modification on the *estimated* clock.
+//
+// Identical phase table and strictly periodic release rule as PM
+// (phase_modification.h), with one difference in where "now" comes from:
+// PM reads the oracle global clock (the paper's perfect-synchronization
+// assumption), while PM-E runs each release schedule on the processor's
+// time-service estimate (sim/timesvc). Concretely, every successor
+// release targets its *intended* reference time
+//   T_{i,j}(m) = f_{i,j} + m * p_i
+// and asks the time service for the alarm request that lands closest to
+// it: the remaining interval on the estimated clock, shortened
+// first-order by the estimated drift. Two consequences:
+//  * under an ideal channel the estimate is exact and PM-E's schedule is
+//    byte-identical to PM's (the equivalence pin in pm_estimated_test);
+//  * under clock faults PM-E's error is the service's *achieved
+//    precision* (bounded by sync quality) instead of PM's open-loop
+//    offset + drift * elapsed -- and because targets are absolute, a
+//    late release catches up at the next sync instead of compounding.
+//
+// Without a bound TimeService (engine.time_service() == nullptr) PM-E
+// degrades to PM's uncorrected behaviour.
+#pragma once
+
+#include "core/analysis/bounds.h"
+#include "core/protocols/phase_modification.h"
+#include "core/protocols/traits.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace e2e {
+
+class PmEstimatedProtocol final : public SyncProtocol {
+ public:
+  /// Same contract as PhaseModificationProtocol: finite SA/PM response
+  /// bounds for every non-last subtask.
+  PmEstimatedProtocol(const TaskSystem& system, SubtaskTable response_bounds);
+
+  [[nodiscard]] std::string_view name() const override { return "PM-E"; }
+
+  void initialize(Engine& engine) override;
+  void on_job_released(Engine& engine, const Job& job) override;
+
+  /// Phase f_{i,j} assigned to `ref` (same table as PM).
+  [[nodiscard]] Time phase_of(SubtaskRef ref) const {
+    return phases_.phase_of(ref);
+  }
+
+  [[nodiscard]] static ProtocolTraits traits() noexcept {
+    // Same runtime shape as PM -- one timer interrupt and one stored
+    // phase per subtask -- but scheduling on the estimated clock drops
+    // the global-clock requirement (that is the point of the variant).
+    return ProtocolTraits{.interrupts_per_instance = 1,
+                          .variables_per_subtask = 1,
+                          .needs_timer_interrupt_support = true,
+                          .needs_global_clock = false,
+                          .needs_global_load_info = true};
+  }
+
+ private:
+  /// Alarm request for reference-time `target` on `ref`'s processor:
+  /// time-service-compensated when a service is bound, raw otherwise.
+  /// Clamped to `engine.now()` (a late chain catches up immediately).
+  [[nodiscard]] Time alarm_for(Engine& engine, SubtaskRef ref, Time target) const;
+
+  PhaseModificationProtocol phases_;  ///< reused for its phase table only
+};
+
+}  // namespace e2e

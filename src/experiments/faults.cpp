@@ -14,6 +14,7 @@
 #include "report/table.h"
 #include "sim/engine.h"
 #include "sim/fault/fault_injector.h"
+#include "sim/timesvc/time_service.h"
 
 namespace e2e {
 namespace {
@@ -56,6 +57,7 @@ struct RunOutcome {
   std::int64_t overruns = 0;
   std::int64_t retransmits = 0;
   std::uint64_t schedule_hash = 0;
+  PrecisionReport precision;
 };
 
 }  // namespace
@@ -129,9 +131,18 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options,
         FaultPlan plan = severity.plan;
         plan.seed += sc.fault_seed_mix;
         FaultInjector faults{sc.system, plan};
+        // The service sees the injector even when the plan is inert (the
+        // engine drops an inert injector, the service does not need to:
+        // zero faults measure as zero error).
+        std::optional<TimeService> timesvc;
+        if (options.timesvc.enabled()) {
+          timesvc.emplace(sc.system, &faults, options.timesvc);
+        }
         const auto protocol = make_protocol(kind, sc.system, &sc.bounds);
-        const EngineOptions engine_options{.horizon = sc.horizon,
-                                           .faults = &faults};
+        const EngineOptions engine_options{
+            .horizon = sc.horizon,
+            .faults = &faults,
+            .timesvc = timesvc.has_value() ? &*timesvc : nullptr};
         if (engine.has_value()) {
           engine->reset(sc.system, *protocol, engine_options);
         } else {
@@ -153,6 +164,12 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options,
                 dynamic_cast<const MpmRetransmitProtocol*>(protocol.get())) {
           outcome.overruns = mpmr->overruns();
           outcome.retransmits = mpmr->retransmits();
+        }
+        if (timesvc.has_value()) {
+          // Drive every client to the horizon so precision stats cover
+          // the whole run whether or not the protocol ever queried it.
+          timesvc->advance_all(sc.horizon);
+          outcome.precision = PrecisionReport::from(*timesvc);
         }
         return outcome;
       });
@@ -179,6 +196,7 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options,
         cell.retransmits += outcome.retransmits;
         cell.schedule_hash = hash_combine(cell.schedule_hash, outcome.schedule_hash);
         cell.events_processed += stats.events_processed;
+        cell.precision.merge(outcome.precision);
       }
       result.cells.push_back(std::move(cell));
     }
@@ -207,18 +225,33 @@ void run_fault_report(std::ostream& out, const FaultSweepOptions& options,
          "instances.\n\n";
 
   std::string current;
+  PrecisionReport current_precision;
   TextTable table({"protocol", "viol/1k", "miss/1k", "dropped", "late", "dup",
                    "stalls", "overruns", "retransmits"});
   const auto flush = [&](const std::string& next) {
     if (!current.empty()) {
-      out << "severity: " << current << "\n" << table.to_string() << "\n";
+      out << "severity: " << current << "\n" << table.to_string();
+      if (options.timesvc.enabled()) {
+        // The service is protocol-independent, so one precision line per
+        // severity (taken from its first cell) covers every row above.
+        const PrecisionReport& p = current_precision;
+        out << "timesvc: |err| mean " << TextTable::fmt(p.mean_abs_error(), 1)
+            << " max " << p.abs_error_max << " ticks, sync "
+            << (p.exchanges - p.failures) << "/" << p.exchanges
+            << " ok, failovers " << p.failovers << ", holdover "
+            << p.holdover_time << " ticks\n";
+      }
+      out << "\n";
       table = TextTable({"protocol", "viol/1k", "miss/1k", "dropped", "late",
                          "dup", "stalls", "overruns", "retransmits"});
     }
     current = next;
   };
   for (const FaultCell& cell : result.cells) {
-    if (cell.severity != current) flush(cell.severity);
+    if (cell.severity != current) {
+      flush(cell.severity);
+      current_precision = cell.precision;
+    }
     table.add_row({std::string{to_string(cell.kind)},
                    TextTable::fmt(1000.0 * cell.violation_rate(), 2),
                    TextTable::fmt(1000.0 * cell.miss_rate(), 2),

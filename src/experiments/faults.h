@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "core/protocols/factory.h"
+#include "metrics/precision.h"
 #include "scenario/spec.h"
+#include "sim/timesvc/timesvc_config.h"
 #include "workload/generator.h"
 
 namespace e2e {
@@ -49,6 +51,12 @@ struct FaultSweepOptions {
   /// Worker threads; 0 = E2E_THREADS env var, else hardware concurrency.
   /// Results are identical at every thread count.
   int threads = 0;
+  /// When enabled, every run gets a per-processor time service
+  /// (sim/timesvc) whose sync traffic rides the severity's fault plan;
+  /// PM-E schedules on it, other protocols ignore it, and every cell
+  /// reports the precision the service achieved. Disabled (the default)
+  /// keeps cells byte-identical to the pre-timesvc sweep.
+  TimeServiceConfig timesvc{};
 };
 
 /// Aggregates for one (severity, protocol) cell.
@@ -70,6 +78,11 @@ struct FaultCell {
   /// thread count.
   std::uint64_t schedule_hash = 0;
   std::int64_t events_processed = 0;
+  /// Achieved time-service precision, aggregated over the cell's runs.
+  /// All zeros when the sweep ran without a time service. Identical for
+  /// every protocol within a severity (the service is protocol-
+  /// independent), which doubles as a pairing check.
+  PrecisionReport precision;
 
   [[nodiscard]] double violation_rate() const noexcept {
     return jobs_released > 0

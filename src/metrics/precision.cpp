@@ -1,0 +1,55 @@
+#include "metrics/precision.h"
+
+#include <algorithm>
+
+#include "sim/timesvc/time_service.h"
+
+namespace e2e {
+
+PrecisionReport PrecisionReport::from(const TimeService& service) {
+  PrecisionReport report;
+  report.processors.reserve(service.processor_count());
+  for (std::size_t p = 0; p < service.processor_count(); ++p) {
+    const TimeService::ProcessorStats& s =
+        service.stats(ProcessorId{static_cast<std::int32_t>(p)});
+    report.processors.push_back(PerProcessor{
+        .exchanges = s.exchanges,
+        .failures = s.failures,
+        .failovers = s.failovers,
+        .holdover_entries = s.holdover_entries,
+        .holdover_time = s.holdover_time,
+        .samples = s.samples,
+        .abs_error_sum = s.abs_error_sum,
+        .abs_error_max = s.abs_error_max,
+        .uncertainty_max = s.uncertainty_max,
+    });
+    report.exchanges += s.exchanges;
+    report.failures += s.failures;
+    report.failovers += s.failovers;
+    report.holdover_entries += s.holdover_entries;
+    report.holdover_time += s.holdover_time;
+    report.samples += s.samples;
+    report.abs_error_sum += s.abs_error_sum;
+    report.abs_error_max = std::max(report.abs_error_max, s.abs_error_max);
+    report.uncertainty_max =
+        std::max(report.uncertainty_max, s.uncertainty_max);
+  }
+  return report;
+}
+
+void PrecisionReport::merge(const PrecisionReport& other) {
+  // Cross-run accumulation: per-processor detail is per-run (systems may
+  // differ in processor count), so only the aggregates survive a merge.
+  processors.clear();
+  exchanges += other.exchanges;
+  failures += other.failures;
+  failovers += other.failovers;
+  holdover_entries += other.holdover_entries;
+  holdover_time += other.holdover_time;
+  samples += other.samples;
+  abs_error_sum += other.abs_error_sum;
+  abs_error_max = std::max(abs_error_max, other.abs_error_max);
+  uncertainty_max = std::max(uncertainty_max, other.uncertainty_max);
+}
+
+}  // namespace e2e

@@ -282,6 +282,7 @@ int run_faults(const ScenarioSpec& spec, std::ostream& out) {
   options.severities = spec.severities;
   options.protocols = spec.protocols;
   options.threads = spec.threads;
+  options.timesvc = spec.timesvc;
 
   ScenarioExecutor executor{spec.threads};
   if (spec.report == ReportFormat::kTable) {
@@ -290,19 +291,37 @@ int run_faults(const ScenarioSpec& spec, std::ostream& out) {
   }
 
   const FaultSweepResult result = run_fault_sweep(options, executor);
+  // Precision columns only exist when the spec enables a time service, so
+  // legacy faults scenarios stay byte-identical.
+  const bool precision = spec.timesvc.enabled();
   if (spec.report == ReportFormat::kCsv) {
     CsvWriter csv{out};
-    csv.write_row({"severity", "protocol", "viol_per_1k", "miss_per_1k", "dropped",
-                   "late", "dup", "stalls", "overruns", "retransmits"});
+    std::vector<std::string> header{"severity", "protocol", "viol_per_1k",
+                                    "miss_per_1k", "dropped", "late", "dup",
+                                    "stalls", "overruns", "retransmits"};
+    if (precision) {
+      header.insert(header.end(), {"sync_err_mean", "sync_err_max",
+                                   "sync_failures", "holdover_ticks"});
+    }
+    csv.write_row(header);
     for (const FaultCell& cell : result.cells) {
-      csv.write_row({cell.severity, std::string{to_string(cell.kind)},
-                     fmt_shortest(1000.0 * cell.violation_rate()),
-                     fmt_shortest(1000.0 * cell.miss_rate()),
-                     std::to_string(cell.dropped_signals),
-                     std::to_string(cell.late_signals),
-                     std::to_string(cell.duplicated_signals),
-                     std::to_string(cell.stalls), std::to_string(cell.overruns),
-                     std::to_string(cell.retransmits)});
+      std::vector<std::string> row{
+          cell.severity, std::string{to_string(cell.kind)},
+          fmt_shortest(1000.0 * cell.violation_rate()),
+          fmt_shortest(1000.0 * cell.miss_rate()),
+          std::to_string(cell.dropped_signals),
+          std::to_string(cell.late_signals),
+          std::to_string(cell.duplicated_signals),
+          std::to_string(cell.stalls), std::to_string(cell.overruns),
+          std::to_string(cell.retransmits)};
+      if (precision) {
+        row.insert(row.end(),
+                   {fmt_shortest(cell.precision.mean_abs_error()),
+                    std::to_string(cell.precision.abs_error_max),
+                    std::to_string(cell.precision.failures),
+                    std::to_string(cell.precision.holdover_time)});
+      }
+      csv.write_row(row);
     }
     return 0;
   }
@@ -321,8 +340,14 @@ int run_faults(const ScenarioSpec& spec, std::ostream& out) {
         << ",\"late\":" << cell.late_signals
         << ",\"dup\":" << cell.duplicated_signals << ",\"stalls\":" << cell.stalls
         << ",\"overruns\":" << cell.overruns
-        << ",\"retransmits\":" << cell.retransmits << ",\"schedule_hash\":"
-        << json_str(hex_hash(cell.schedule_hash)) << "}";
+        << ",\"retransmits\":" << cell.retransmits;
+    if (precision) {
+      out << ",\"sync_err_mean\":" << fmt_shortest(cell.precision.mean_abs_error())
+          << ",\"sync_err_max\":" << cell.precision.abs_error_max
+          << ",\"sync_failures\":" << cell.precision.failures
+          << ",\"holdover_ticks\":" << cell.precision.holdover_time;
+    }
+    out << ",\"schedule_hash\":" << json_str(hex_hash(cell.schedule_hash)) << "}";
   }
   out << "]}\n";
   return 0;

@@ -69,10 +69,10 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 ProtocolKind parse_protocol_name(int line, const std::string& name) {
-  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+  for (const ProtocolKind kind : kSelectableProtocolKinds) {
     if (name == to_string(kind)) return kind;
   }
-  fail(line, "unknown protocol '" + name + "' (DS, PM, MPM, RG, MPM-R)");
+  fail(line, "unknown protocol '" + name + "' (DS, PM, MPM, RG, MPM-R, PM-E)");
 }
 
 ScenarioKind parse_kind(int line, const std::string& name) {
@@ -272,6 +272,13 @@ ScenarioSpec parse_scenario(std::istream& in, const ScenarioDefaults& defaults) 
       } catch (const InvalidArgument& e) {
         fail(line_number, e.what());
       }
+    } else if (key == "timesvc") {
+      want(1);
+      try {
+        spec.timesvc = parse_timesvc_config(tokens[1]);
+      } catch (const InvalidArgument& e) {
+        fail(line_number, e.what());
+      }
     } else if (key == "system") {
       want(tokens.size() == 2 ? 1 : 2);
       has_system = true;
@@ -428,6 +435,9 @@ void write_scenario(std::ostream& out, const ScenarioSpec& spec) {
     out << "severity " << severity.label << " " << write_fault_plan(severity.plan)
         << "\n";
   }
+  if (spec.timesvc != TimeServiceConfig{}) {
+    out << "timesvc " << write_timesvc_config(spec.timesvc) << "\n";
+  }
   if (spec.kind == ScenarioKind::kMonteCarlo) {
     const SystemSource& src = spec.system;
     switch (src.kind) {
@@ -513,6 +523,10 @@ void validate_scenario(const ScenarioSpec& spec) {
     case ScenarioKind::kBreakdown:
     case ScenarioKind::kFigure:
       break;
+  }
+  if (spec.timesvc != TimeServiceConfig{} && spec.kind != ScenarioKind::kFaults) {
+    throw InvalidArgument(
+        "scenario: 'timesvc' only applies to faults scenarios");
   }
 }
 

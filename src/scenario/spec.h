@@ -21,6 +21,7 @@
 #include "core/protocols/factory.h"
 #include "scenario/defaults.h"
 #include "sim/fault/fault_plan.h"
+#include "sim/timesvc/timesvc_config.h"
 #include "workload/generator.h"
 
 namespace e2e {
@@ -101,6 +102,10 @@ struct ScenarioSpec {
   std::vector<Configuration> grid;
   /// Faults only: the severity ladder, in sweep order.
   std::vector<FaultSeverity> severities;
+  /// Faults only: per-processor time service (`timesvc <key=val,...|->`
+  /// line; sim/timesvc grammar). Disabled by default, which keeps faults
+  /// scenarios byte-identical to their pre-timesvc output.
+  TimeServiceConfig timesvc{};
   /// MonteCarlo only.
   SystemSource system;
 

@@ -147,7 +147,7 @@ void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
     protocol_->on_sync_signal(*this, to, instance);
     return;
   }
-  FaultInjector::SignalOutcome outcome = faults_->signal_outcome();
+  FaultInjector::SignalOutcome outcome = faults_->signal_outcome(now_);
   if (outcome.lost()) {
     ++stats_.dropped_signals;
     return;

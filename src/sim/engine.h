@@ -48,6 +48,7 @@
 namespace e2e {
 
 class FaultInjector;
+class TimeService;
 
 /// Aggregate counters produced by a run.
 struct SimStats {
@@ -103,6 +104,11 @@ struct EngineOptions {
   /// Fault layer; nullptr (or a disabled plan) = ideal conditions, in
   /// which case the engine provably never consults it. Not owned.
   FaultInjector* faults = nullptr;
+  /// Per-processor time service (src/sim/timesvc); nullptr = protocols
+  /// that ask for it fall back to uncorrected scheduling. The engine
+  /// itself never consults it -- it is a lazily-advanced estimator that
+  /// clock-aware protocols (PM-E) query through time_service(). Not owned.
+  TimeService* timesvc = nullptr;
   PrecedencePolicy precedence_policy = PrecedencePolicy::kRecord;
 };
 
@@ -138,6 +144,12 @@ class Engine {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] Time horizon() const noexcept { return options_.horizon; }
   [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  /// The bound time service, or nullptr when the run has none. Protocols
+  /// that schedule on estimated clocks (PM-E) query it; everything else
+  /// ignores it.
+  [[nodiscard]] TimeService* time_service() const noexcept {
+    return options_.timesvc;
+  }
 
   /// Number of completed instances of `ref` so far.
   [[nodiscard]] std::int64_t completed_instances(SubtaskRef ref) const;

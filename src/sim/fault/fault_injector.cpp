@@ -6,20 +6,17 @@
 #include "common/error.h"
 
 namespace e2e {
-namespace {
 
-/// delta * ppm / 1e6 in exact integer arithmetic, rounded toward zero.
 /// Deltas are bounded by the horizon (<= ~4e8 ticks) and |ppm| < 1e6, so
 /// the product fits int64 with room to spare for any sane plan; guard
 /// anyway so absurd plans saturate instead of overflowing.
-Duration drift_error(Duration delta, std::int64_t ppm) noexcept {
+Duration clock_drift_error(Duration delta, std::int64_t ppm) noexcept {
   if (ppm == 0 || delta == 0) return 0;
   constexpr Duration kLimit = std::numeric_limits<Duration>::max() / 1'000'000;
   if (delta > kLimit) delta = kLimit;
+  if (delta < -kLimit) delta = -kLimit;
   return delta * ppm / 1'000'000;
 }
-
-}  // namespace
 
 FaultInjector::FaultInjector(const TaskSystem& system, FaultPlan plan)
     : plan_(plan), stream_(plan.seed) {
@@ -51,10 +48,15 @@ std::int64_t FaultInjector::clock_drift_ppm(ProcessorId p) const {
   return drifts_[p.index()];
 }
 
+Duration FaultInjector::local_clock_error(ProcessorId p, Time at) const {
+  E2E_ASSERT(p.index() < offsets_.size(), "unknown processor");
+  return offsets_[p.index()] + clock_drift_error(at, drifts_[p.index()]);
+}
+
 Time FaultInjector::perturb_scheduled_release(ProcessorId p, Time now, Time at,
                                               bool initial) const {
   E2E_ASSERT(p.index() < offsets_.size(), "unknown processor");
-  Time fired = at + drift_error(at - now, drifts_[p.index()]);
+  Time fired = at + clock_drift_error(at - now, drifts_[p.index()]);
   // The initial offset enters once, through initialization-time schedules
   // (PM's precomputed phases); later schedules chain off actual release
   // times, which already carry it.
@@ -64,15 +66,16 @@ Time FaultInjector::perturb_scheduled_release(ProcessorId p, Time now, Time at,
 
 Time FaultInjector::perturb_timer(ProcessorId p, Time now, Time at) {
   E2E_ASSERT(p.index() < drifts_.size(), "unknown processor");
-  Time fired = at + drift_error(at - now, drifts_[p.index()]);
+  Time fired = at + clock_drift_error(at - now, drifts_[p.index()]);
   if (plan_.timer_jitter_max > 0) {
     fired += stream_.uniform_int(0, plan_.timer_jitter_max);
   }
   return std::max(now, fired);
 }
 
-FaultInjector::SignalOutcome FaultInjector::signal_outcome() {
+FaultInjector::SignalOutcome FaultInjector::signal_outcome(Time now) {
   SignalOutcome outcome;
+  if (plan_.in_partition(now)) return outcome;  // severed link: all lost
   const bool lost = plan_.signal_loss_prob > 0.0 &&
                     stream_.next_double() < plan_.signal_loss_prob;
   const bool duplicated = plan_.signal_duplicate_prob > 0.0 &&

@@ -25,6 +25,12 @@
 
 namespace e2e {
 
+/// delta * ppm / 1e6 in exact integer arithmetic, rounded toward zero and
+/// saturating on absurd deltas. The one drift formula shared by the
+/// injector's clock perturbations, the time service's truth model, and
+/// PM-E's first-order drift compensation.
+[[nodiscard]] Duration clock_drift_error(Duration delta, std::int64_t ppm) noexcept;
+
 class FaultInjector {
  public:
   /// Draws the per-processor clock parameters. Throws InvalidArgument if
@@ -39,6 +45,11 @@ class FaultInjector {
   [[nodiscard]] Duration clock_offset(ProcessorId p) const;
   /// The clock drift of `p` (ppm, may be negative).
   [[nodiscard]] std::int64_t clock_drift_ppm(ProcessorId p) const;
+  /// Total error of `p`'s local clock at global time `at`: reading the
+  /// clock at `at` returns `at + local_clock_error(p, at)`. This is the
+  /// asymptotic truth the time service estimates (the engine's chained
+  /// alarms accumulate the same offset + drift * elapsed error).
+  [[nodiscard]] Duration local_clock_error(ProcessorId p, Time at) const;
 
   /// Global time at which a release scheduled for (global-intent) time
   /// `at` by `p`'s local clock actually fires. The local clock mismeasures
@@ -65,8 +76,11 @@ class FaultInjector {
     std::vector<Duration> delays;
     [[nodiscard]] bool lost() const noexcept { return delays.empty(); }
   };
-  /// Channel outcome for one transmission attempt. Advances the stream.
-  [[nodiscard]] SignalOutcome signal_outcome();
+  /// Channel outcome for one transmission attempt at global time `now`.
+  /// Advances the stream -- except during a partition window, when every
+  /// signal is deterministically lost without consuming draws (a severed
+  /// link does not roll dice).
+  [[nodiscard]] SignalOutcome signal_outcome(Time now);
 
   // --- stalls -----------------------------------------------------------
   /// Extra execution demand injected into a released job (0 = no stall).

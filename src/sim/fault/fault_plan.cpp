@@ -56,7 +56,8 @@ std::int64_t parse_ticks(const std::string& key, const std::string& value) {
 bool FaultPlan::enabled() const noexcept {
   return clock_offset_max != 0 || drift_ppm_max != 0 || signal_loss_prob > 0.0 ||
          signal_delay_max != 0 || signal_duplicate_prob > 0.0 ||
-         timer_jitter_max != 0 || (stall_prob > 0.0 && stall_max != 0);
+         timer_jitter_max != 0 || (stall_prob > 0.0 && stall_max != 0) ||
+         sync_loss_prob > 0.0 || partition_for != 0 || source_down_for != 0;
 }
 
 void FaultPlan::validate() const {
@@ -75,10 +76,15 @@ void FaultPlan::validate() const {
   check_prob(signal_loss_prob, "signal_loss_prob");
   check_prob(signal_duplicate_prob, "signal_duplicate_prob");
   check_prob(stall_prob, "stall_prob");
+  check_prob(sync_loss_prob, "sync_loss_prob");
   check_ticks(clock_offset_max, "clock_offset_max");
   check_ticks(signal_delay_max, "signal_delay_max");
   check_ticks(timer_jitter_max, "timer_jitter_max");
   check_ticks(stall_max, "stall_max");
+  check_ticks(partition_at, "partition_at");
+  check_ticks(partition_for, "partition_for");
+  check_ticks(source_down_at, "source_down_at");
+  check_ticks(source_down_for, "source_down_for");
   if (drift_ppm_max < 0) {
     throw InvalidArgument("fault plan: drift_ppm_max must be non-negative");
   }
@@ -103,6 +109,11 @@ std::vector<std::pair<std::string, std::string>> fault_plan_keys() {
       {"timer-jitter", "max timer lateness, ticks"},
       {"stall-prob", "per-job transient stall probability [0,1]"},
       {"stall", "max stall duration, ticks"},
+      {"sync-loss-prob", "extra loss on time-service exchanges [0,1]"},
+      {"partition-at", "partition window start, ticks"},
+      {"partition-for", "partition window length, ticks"},
+      {"source-down-at", "primary-source outage start, ticks"},
+      {"source-down-for", "primary-source outage length, ticks"},
   };
 }
 
@@ -131,13 +142,36 @@ std::string write_fault_plan(const FaultPlan& plan) {
   }
   if (plan.stall_prob != 0.0) emit("stall-prob", fmt_roundtrip(plan.stall_prob));
   if (plan.stall_max != 0) emit("stall", std::to_string(plan.stall_max));
+  if (plan.sync_loss_prob != 0.0) {
+    emit("sync-loss-prob", fmt_roundtrip(plan.sync_loss_prob));
+  }
+  if (plan.partition_at != 0) {
+    emit("partition-at", std::to_string(plan.partition_at));
+  }
+  if (plan.partition_for != 0) {
+    emit("partition-for", std::to_string(plan.partition_for));
+  }
+  if (plan.source_down_at != 0) {
+    emit("source-down-at", std::to_string(plan.source_down_at));
+  }
+  if (plan.source_down_for != 0) {
+    emit("source-down-for", std::to_string(plan.source_down_for));
+  }
   return spec.empty() ? "-" : spec;
 }
 
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
   if (spec == "-") return plan;  // the writer's token for an inert plan
+  std::vector<std::string> seen;
   for (const auto& [key, value] : split_key_values(spec)) {
+    for (const auto& earlier : seen) {
+      if (earlier == key) {
+        throw InvalidArgument("duplicate fault key '" + key +
+                              "' (each key may appear at most once)");
+      }
+    }
+    seen.push_back(key);
     if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parse_ticks(key, value));
     } else if (key == "offset") {
@@ -156,13 +190,21 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       plan.stall_prob = parse_probability(key, value);
     } else if (key == "stall") {
       plan.stall_max = parse_ticks(key, value);
+    } else if (key == "sync-loss-prob") {
+      plan.sync_loss_prob = parse_probability(key, value);
+    } else if (key == "partition-at") {
+      plan.partition_at = parse_ticks(key, value);
+    } else if (key == "partition-for") {
+      plan.partition_for = parse_ticks(key, value);
+    } else if (key == "source-down-at") {
+      plan.source_down_at = parse_ticks(key, value);
+    } else if (key == "source-down-for") {
+      plan.source_down_for = parse_ticks(key, value);
     } else {
-      std::string known;
-      for (const auto& [k, _] : fault_plan_keys()) {
-        known += known.empty() ? k : ", " + k;
-      }
-      throw InvalidArgument("unknown fault key '" + key + "' (known: " + known +
-                            ")");
+      std::vector<std::string> known;
+      for (const auto& [k, _] : fault_plan_keys()) known.push_back(k);
+      throw InvalidArgument("unknown fault key '" + key +
+                            "' (known: " + format_known_keys(known) + ")");
     }
   }
   plan.validate();

@@ -23,6 +23,11 @@
 //    stalls while executing it, adding U[1, stall_max] ticks of demand on
 //    top of the sampled execution time (which may exceed the WCET: that is
 //    the point -- MPM's bound timers then fire before completion).
+//  * sync_loss_prob / partition_* / source_down_* -- faults specific to the
+//    time-service layer (src/sim/timesvc): extra loss on sync exchanges,
+//    a network-partition window that silences ALL inter-processor traffic
+//    (driving the time service into holdover), and a primary-reference
+//    outage window that forces stratum failover to the backup source.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +59,34 @@ struct FaultPlan {
   double stall_prob = 0.0;  ///< P(a released instance stalls), in [0, 1]
   Duration stall_max = 0;   ///< extra demand drawn U[1, max]
 
+  // --- time-service sync traffic (src/sim/timesvc) ---------------------
+  /// Extra loss probability applied to time-service sync exchanges only
+  /// (on top of signal_loss_prob, which the sync channel inherits).
+  double sync_loss_prob = 0.0;
+  /// Network partition window [partition_at, partition_at + partition_for):
+  /// ALL inter-processor traffic -- protocol completion signals and
+  /// time-service exchanges alike -- is dropped while it is open.
+  Time partition_at = 0;
+  Duration partition_for = 0;
+  /// Primary-reference-source outage window [source_down_at,
+  /// source_down_at + source_down_for): the stratum-1 source stops
+  /// answering sync requests, forcing clients to fail over to the
+  /// (less accurate) backup source.
+  Time source_down_at = 0;
+  Duration source_down_for = 0;
+
+  /// True while the partition window is open at `now`.
+  [[nodiscard]] bool in_partition(Time now) const noexcept {
+    return partition_for > 0 && now >= partition_at &&
+           now < partition_at + partition_for;
+  }
+
+  /// True while the primary-source outage window is open at `now`.
+  [[nodiscard]] bool source_down(Time now) const noexcept {
+    return source_down_for > 0 && now >= source_down_at &&
+           now < source_down_at + source_down_for;
+  }
+
   /// True if any fault dimension is active. A disabled plan is
   /// guaranteed zero-cost: the engine takes the ideal path everywhere.
   [[nodiscard]] bool enabled() const noexcept;
@@ -74,9 +107,10 @@ struct FaultPlan {
 /// Parses a `key=value,key=value,...` fault specification (the CLI's
 /// `--faults=` argument) into a validated plan. Keys: seed, offset,
 /// drift-ppm, loss-prob, delay, dup-prob, timer-jitter, stall-prob,
-/// stall; the lone token "-" is the inert default plan. Throws
-/// InvalidArgument naming the offending key on unknown keys, malformed
-/// numbers, or out-of-range values.
+/// stall, sync-loss-prob, partition-at, partition-for, source-down-at,
+/// source-down-for; the lone token "-" is the inert default plan.
+/// Throws InvalidArgument naming the offending key on unknown keys,
+/// duplicate keys, malformed numbers, or out-of-range values.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// The key=value pairs accepted by parse_fault_plan, for help text.

@@ -1,0 +1,72 @@
+// TimeServiceConfig: the declarative knobs of the per-processor time
+// service (see time_service.h). Like FaultPlan it has a key=value spec
+// grammar so scenarios and the CLI can carry it in one token; the
+// default-constructed config is disabled (interval=0), in which case no
+// service is constructed and every run is byte-identical to the
+// pre-timesvc behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace e2e {
+
+struct TimeServiceConfig {
+  /// Time between sync exchanges on each processor; 0 disables the
+  /// service entirely.
+  Duration sync_interval = 0;
+
+  /// Maximum rate (ppm of elapsed time) at which the servo may slew the
+  /// applied correction toward its estimate. Bounded slew is what keeps
+  /// the estimated clock monotonic: corrections never jump, so PM-E can
+  /// never schedule into the past.
+  std::int64_t max_slew_ppm = 50'000;
+
+  /// Uncertainty growth rate (ppm of elapsed time) while in holdover --
+  /// the bound on how fast an undisciplined oscillator wanders.
+  std::int64_t holdover_ppm = 1'000;
+
+  /// Fixed disagreement of the stratum-2 backup source from the
+  /// reference timeline (ticks): syncing against the backup is better
+  /// than holdover but worse than the stratum-1 primary.
+  Duration backup_offset = 1'000;
+
+  /// Consecutive failed exchanges before the servo freezes (holdover).
+  std::int64_t holdover_after = 2;
+
+  /// Consecutive silent polls of the primary source before the client
+  /// fails over to the backup (and the probe cadence for returning).
+  std::int64_t failover_after = 3;
+
+  [[nodiscard]] bool enabled() const noexcept { return sync_interval > 0; }
+
+  /// Throws InvalidArgument on out-of-range fields (negative durations,
+  /// slew/holdover rates outside [0, 1e6), counts below 1).
+  void validate() const;
+
+  friend bool operator==(const TimeServiceConfig&, const TimeServiceConfig&) =
+      default;
+};
+
+/// Renders `config` in the key=value form parse_timesvc_config accepts
+/// (only non-default keys; "-" for the all-default disabled config),
+/// such that parse_timesvc_config(write_timesvc_config(c)) == c.
+[[nodiscard]] std::string write_timesvc_config(const TimeServiceConfig& config);
+
+/// Parses a `key=value,key=value,...` time-service spec (the CLI's
+/// `--timesvc=` argument and the scenario grammar's `timesvc` line).
+/// Keys: interval, slew-ppm, holdover-ppm, backup-offset, holdover-after,
+/// failover-after; the lone token "-" is the disabled default. Throws
+/// InvalidArgument on unknown keys, duplicate keys, malformed numbers,
+/// or out-of-range values -- same diagnostics as parse_fault_plan.
+[[nodiscard]] TimeServiceConfig parse_timesvc_config(const std::string& spec);
+
+/// The key=value pairs accepted by parse_timesvc_config, for help text.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+timesvc_config_keys();
+
+}  // namespace e2e

@@ -128,6 +128,54 @@ TEST(ScenarioSpecParse, RejectsMalformedSeverity) {
       InvalidArgument);
 }
 
+TEST(ScenarioSpecParse, TimesvcLineParsesAndRoundTrips) {
+  const ScenarioSpec spec = parse(
+      "e2esync-scenario v1\n"
+      "scenario faults\n"
+      "timesvc interval=25000,slew-ppm=40000\n");
+  EXPECT_TRUE(spec.timesvc.enabled());
+  EXPECT_EQ(spec.timesvc.sync_interval, 25'000);
+  EXPECT_EQ(spec.timesvc.max_slew_ppm, 40'000);
+  // write -> parse is the identity, timesvc line included.
+  const ScenarioSpec reparsed = parse(write_scenario(spec));
+  EXPECT_EQ(reparsed, spec);
+  // A faults spec without the line stays disabled (legacy bytes).
+  const ScenarioSpec plain = parse("e2esync-scenario v1\nscenario faults\n");
+  EXPECT_FALSE(plain.timesvc.enabled());
+}
+
+TEST(ScenarioSpecParse, TimesvcErrorsCarryLineNumbers) {
+  try {
+    parse(
+        "e2esync-scenario v1\n"
+        "scenario faults\n"
+        "timesvc intervall=5\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+    EXPECT_NE(what.find("unknown timesvc key 'intervall'"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecParse, TimesvcOnlyAppliesToFaultsScenarios) {
+  EXPECT_THROW(
+      parse("e2esync-scenario v1\nscenario sweep\ntimesvc interval=5\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioSpecParse, PmEstimatedIsSelectable) {
+  const ScenarioSpec spec = parse(
+      "e2esync-scenario v1\n"
+      "scenario faults\n"
+      "protocol PM\n"
+      "protocol PM-E\n"
+      "timesvc interval=25000\n");
+  EXPECT_EQ(spec.protocols,
+            (std::vector<ProtocolKind>{ProtocolKind::kPhaseModification,
+                                       ProtocolKind::kPmEstimated}));
+}
+
 TEST(ScenarioSpecParse, RejectsUnterminatedSystemBlock) {
   EXPECT_THROW(
       parse("e2esync-scenario v1\nscenario montecarlo\nbegin system\nfoo\n"),

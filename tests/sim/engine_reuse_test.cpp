@@ -9,6 +9,8 @@
 
 #include "core/protocols/factory.h"
 #include "sim/engine.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/timesvc/time_service.h"
 #include "task/paper_examples.h"
 #include "workload/generator.h"
 
@@ -150,6 +152,60 @@ TEST(EngineReuse, ResetCanRebindToADifferentSystem) {
 
   expect_same_trace(fresh_trace, reused_trace);
   expect_same_stats(fresh.stats(), engine.stats());
+}
+
+TEST(EngineReuse, ResetReproducesFaultedRunByteForByte) {
+  // The fault path through reset(): a reused engine given a fresh
+  // injector (and time service) must replay a faulted run event for
+  // event. The injector/service are per-run state, so fresh instances
+  // with the same plan are the whole contract.
+  const TaskSystem system = paper::example2();
+  const FaultPlan plan{.seed = 17,
+                       .clock_offset_max = 5,
+                       .drift_ppm_max = 2'000,
+                       .signal_loss_prob = 0.25,
+                       .signal_delay_max = 4,
+                       .partition_at = 120,
+                       .partition_for = 60};
+  const TimeServiceConfig timesvc_config{.sync_interval = 24};
+
+  const auto run_fresh = [&](ProtocolKind kind, RecordingSink& trace) {
+    FaultInjector faults{system, plan};
+    TimeService timesvc{system, &faults, timesvc_config};
+    const auto protocol = make_protocol(kind, system);
+    Engine engine{system, *protocol,
+                  EngineOptions{.horizon = 240, .faults = &faults,
+                                .timesvc = &timesvc}};
+    engine.add_sink(&trace);
+    engine.run();
+    return engine.stats();
+  };
+
+  for (const ProtocolKind kind :
+       {ProtocolKind::kDirectSync, ProtocolKind::kPhaseModification,
+        ProtocolKind::kPmEstimated}) {
+    RecordingSink fresh_trace;
+    const SimStats fresh_stats = run_fresh(kind, fresh_trace);
+
+    // Warm the engine on an unfaulted run, then reset into the faulted
+    // configuration with a fresh injector + service.
+    const auto warmup = make_protocol(ProtocolKind::kReleaseGuard, system);
+    Engine reused{system, *warmup, EngineOptions{.horizon = 96}};
+    reused.run();
+
+    FaultInjector faults{system, plan};
+    TimeService timesvc{system, &faults, timesvc_config};
+    RecordingSink reused_trace;
+    const auto protocol = make_protocol(kind, system);
+    reused.reset(*protocol, EngineOptions{.horizon = 240, .faults = &faults,
+                                          .timesvc = &timesvc});
+    reused.add_sink(&reused_trace);
+    reused.run();
+
+    SCOPED_TRACE(std::string{to_string(kind)});
+    expect_same_trace(fresh_trace, reused_trace);
+    expect_same_stats(fresh_stats, reused.stats());
+  }
 }
 
 TEST(EngineReuse, RepeatedResetStaysStable) {

@@ -58,6 +58,46 @@ TEST(FaultPlan, ParseRoundTrip) {
   EXPECT_TRUE(plan.enabled());
 }
 
+TEST(FaultPlan, ParseRoundTripTimesvcKeys) {
+  const FaultPlan plan = parse_fault_plan(
+      "sync-loss-prob=0.4, partition-at=100, partition-for=50, "
+      "source-down-at=300, source-down-for=80");
+  EXPECT_DOUBLE_EQ(plan.sync_loss_prob, 0.4);
+  EXPECT_EQ(plan.partition_at, 100);
+  EXPECT_EQ(plan.partition_for, 50);
+  EXPECT_EQ(plan.source_down_at, 300);
+  EXPECT_EQ(plan.source_down_for, 80);
+  EXPECT_TRUE(plan.enabled());
+  // write -> parse is the identity.
+  EXPECT_EQ(parse_fault_plan(write_fault_plan(plan)), plan);
+}
+
+TEST(FaultPlan, ParseRejectsDuplicateKeys) {
+  try {
+    (void)parse_fault_plan("offset=5,loss-prob=0.1,offset=6");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate fault key 'offset'"), std::string::npos);
+  }
+  // Same value twice is still a duplicate (the spec is ambiguous).
+  EXPECT_THROW((void)parse_fault_plan("delay=3,delay=3"), InvalidArgument);
+}
+
+TEST(FaultPlan, PartitionAndSourceWindowsAreHalfOpen) {
+  const FaultPlan plan{.partition_at = 100,
+                       .partition_for = 50,
+                       .source_down_at = 300,
+                       .source_down_for = 80};
+  EXPECT_FALSE(plan.in_partition(99));
+  EXPECT_TRUE(plan.in_partition(100));
+  EXPECT_TRUE(plan.in_partition(149));
+  EXPECT_FALSE(plan.in_partition(150));
+  EXPECT_FALSE(plan.source_down(299));
+  EXPECT_TRUE(plan.source_down(300));
+  EXPECT_FALSE(plan.source_down(380));
+}
+
 TEST(FaultPlan, ParseErrorsNameTheKey) {
   try {
     (void)parse_fault_plan("offst=5");
@@ -99,7 +139,7 @@ TEST(FaultInjector, EventStreamIsReproducible) {
   FaultInjector a{sys, plan};
   FaultInjector b{sys, plan};
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(a.signal_outcome().delays, b.signal_outcome().delays);
+    EXPECT_EQ(a.signal_outcome(i).delays, b.signal_outcome(i).delays);
     EXPECT_EQ(a.stall(), b.stall());
   }
 }
@@ -112,7 +152,7 @@ TEST(FaultInjector, DifferentSeedsDiverge) {
   FaultInjector b{sys, plan};
   bool differed = false;
   for (int i = 0; i < 200 && !differed; ++i) {
-    differed = a.signal_outcome().lost() != b.signal_outcome().lost();
+    differed = a.signal_outcome(i).lost() != b.signal_outcome(i).lost();
   }
   EXPECT_TRUE(differed);
 }
@@ -144,6 +184,40 @@ TEST(FaultInjector, DriftMismeasuresTheInterval) {
   EXPECT_GE(inj.perturb_scheduled_release(p, 999'999, 1'000'000,
                                           /*initial=*/false),
             999'999);
+}
+
+TEST(FaultInjector, PartitionSeversTheChannelWithoutConsumingDraws) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 21,
+                       .signal_loss_prob = 0.3,
+                       .signal_delay_max = 10,
+                       .partition_at = 1'000,
+                       .partition_for = 500};
+  FaultInjector in_window{sys, plan};
+  FaultInjector outside{sys, plan};
+  // Every signal inside the window is lost, deterministically.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(in_window.signal_outcome(1'000 + i * 10).lost());
+  }
+  // ... and consumed no draws: the post-window stream matches an injector
+  // that never entered the window at all.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(in_window.signal_outcome(2'000 + i).delays,
+              outside.signal_outcome(2'000 + i).delays);
+  }
+}
+
+TEST(FaultInjector, LocalClockErrorCombinesOffsetAndDrift) {
+  const TaskSystem sys = paper::example2();
+  const FaultPlan plan{.seed = 7, .clock_offset_max = 1000, .drift_ppm_max = 500};
+  const FaultInjector inj{sys, plan};
+  const ProcessorId p{0};
+  EXPECT_EQ(inj.local_clock_error(p, 0), inj.clock_offset(p));
+  EXPECT_EQ(inj.local_clock_error(p, 1'000'000),
+            inj.clock_offset(p) + inj.clock_drift_ppm(p));
+  EXPECT_EQ(clock_drift_error(2'000'000, 250), 500);
+  EXPECT_EQ(clock_drift_error(-2'000'000, 250), -500);
+  EXPECT_EQ(clock_drift_error(1'000, -500), 0);  // rounds toward zero
 }
 
 TEST(FaultInjector, TimerJitterIsBoundedAndLate) {

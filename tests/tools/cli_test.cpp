@@ -351,6 +351,73 @@ TEST(Cli, RunMontecarloReportJson) {
   EXPECT_NE(r.out.find("\"schedule_hash\""), std::string::npos);
 }
 
+TEST(Cli, RunFaultsWithTimesvcReportsAchievedPrecision) {
+  const CliResult r = run_cli({"run", "-", "--threads=1"},
+                              "e2esync-scenario v1\n"
+                              "scenario faults\n"
+                              "systems 1\n"
+                              "horizon-periods 3\n"
+                              "protocol PM\n"
+                              "protocol PM-E\n"
+                              "timesvc interval=25000\n"
+                              "severity clock offset=150000,drift-ppm=15000\n");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("PM-E"), std::string::npos);
+  EXPECT_NE(r.out.find("timesvc: |err| mean"), std::string::npos);
+  EXPECT_NE(r.out.find("holdover"), std::string::npos);
+}
+
+TEST(Cli, RunFaultsWithTimesvcAddsPrecisionCsvColumns) {
+  const std::string spec =
+      "e2esync-scenario v1\n"
+      "scenario faults\n"
+      "systems 1\n"
+      "horizon-periods 3\n"
+      "protocol PM-E\n"
+      "severity clock offset=150000,drift-ppm=15000\n";
+  const CliResult with_svc = run_cli({"run", "-", "--report=csv", "--threads=1"},
+                                     spec + "timesvc interval=25000\n");
+  ASSERT_EQ(with_svc.exit_code, 0) << with_svc.err;
+  EXPECT_NE(with_svc.out.find("sync_err_mean"), std::string::npos);
+  EXPECT_NE(with_svc.out.find("holdover_ticks"), std::string::npos);
+  // Without the timesvc line the legacy header is byte-identical.
+  const CliResult without = run_cli({"run", "-", "--report=csv", "--threads=1"}, spec);
+  ASSERT_EQ(without.exit_code, 0) << without.err;
+  EXPECT_EQ(without.out.find("sync_err_mean"), std::string::npos);
+}
+
+TEST(Cli, FaultsTimesvcFlagAddsPmEstimated) {
+  const CliResult r = run_cli({"faults", "--systems=1", "--subtasks=2",
+                               "--utilization=40", "--threads=1",
+                               "--timesvc=interval=25000"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("PM-E"), std::string::npos);
+  EXPECT_NE(r.out.find("timesvc: |err| mean"), std::string::npos);
+}
+
+TEST(Cli, FaultsRejectsMalformedTimesvc) {
+  const CliResult r = run_cli({"faults", "--timesvc=intervall=5"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown timesvc key 'intervall'"), std::string::npos);
+}
+
+TEST(Cli, PartitionExampleScenarioParsesAndPlans) {
+  // The checked-in partition scenario (timesvc + partition/source-down
+  // windows) must stay parseable; --plan validates and expands it
+  // without paying for the full run.
+  const CliResult r = run_cli(
+      {"run", E2E_REPO_DIR "/examples/scenarios/partition.e2es", "--plan"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("faults"), std::string::npos);
+}
+
+TEST(Cli, SimulateAcceptsPmEstimated) {
+  const CliResult r = run_cli({"simulate", "--protocol=PM-E", "--horizon=60"},
+                              to_text(paper::example2()));
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("protocol PM-E"), std::string::npos);
+}
+
 TEST(Cli, SimulateWithExecutionVariation) {
   const CliResult r = run_cli(
       {"simulate", "--protocol=DS", "--exec-var=0.5", "--seed=4", "--horizon=600"},

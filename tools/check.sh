@@ -17,4 +17,4 @@ JOBS="${JOBS:-$(nproc)}"
 cmake -B "${CHECK_BUILD_DIR}" -S . -DE2E_SANITIZE=address,undefined
 cmake --build "${CHECK_BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${CHECK_BUILD_DIR}" --output-on-failure \
-  -L "scenario|bench-smoke"
+  -L "scenario|bench-smoke|timesvc"

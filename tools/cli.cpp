@@ -22,6 +22,7 @@
 #include "sim/execution_model.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
+#include "sim/timesvc/timesvc_config.h"
 #include "task/paper_examples.h"
 #include "task/serialize.h"
 #include "workload/generator.h"
@@ -34,11 +35,13 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  analyze  [file]      worst-case EER bounds and verdicts per protocol\n"
-    "  simulate [file]      simulate; --protocol=DS|PM|MPM|RG|MPM-R --horizon=N\n"
-    "                       --gantt[=ticks/col] --trace --exec-var=F --seed=N\n"
+    "  simulate [file]      simulate; --protocol=DS|PM|MPM|RG|MPM-R|PM-E\n"
+    "                       --horizon=N --gantt[=ticks/col] --trace --exec-var=F\n"
+    "                       --seed=N\n"
     "                       --faults=key=val,...  (keys: seed, offset, drift-ppm,\n"
     "                         loss-prob, delay, dup-prob, timer-jitter,\n"
-    "                         stall-prob, stall)\n"
+    "                         stall-prob, stall, sync-loss-prob, partition-at,\n"
+    "                         partition-for, source-down-at, source-down-for)\n"
     "                       --precedence=record|abort|defer\n"
     "  generate             random paper-style system; --subtasks=N\n"
     "                       --utilization=PCT --tasks=N --processors=N\n"
@@ -51,7 +54,10 @@ constexpr const char* kUsage =
     "                       --seed=N --horizon-periods=F --threads=N\n"
     "  faults               robustness ladder (all protocols); --systems=N\n"
     "                       --subtasks=N --utilization=PCT --seed=N\n"
-    "                       --threads=N\n"
+    "                       --threads=N --timesvc=key=val,...  (keys: interval,\n"
+    "                         slew-ppm, holdover-ppm, backup-offset,\n"
+    "                         holdover-after, failover-after; adds PM-E and\n"
+    "                         achieved-precision lines to the report)\n"
     "  run <spec|->         run a declarative scenario spec (see\n"
     "                       docs/scenarios.md); --threads=N --report=FMT\n"
     "                       --plan (print the cell plan, don't run)\n"
@@ -74,11 +80,11 @@ TaskSystem load_system(const ArgParser& args, std::istream& in) {
 }
 
 ProtocolKind parse_protocol(const std::string& name) {
-  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+  for (const ProtocolKind kind : kSelectableProtocolKinds) {
     if (name == to_string(kind)) return kind;
   }
   throw InvalidArgument("unknown protocol '" + name +
-                        "' (DS, PM, MPM, RG, MPM-R)");
+                        "' (DS, PM, MPM, RG, MPM-R, PM-E)");
 }
 
 /// --threads: absent -> 0 (defer to E2E_THREADS / hardware concurrency);
@@ -248,7 +254,8 @@ int cmd_sweep(const ArgParser& args, std::istream& in, std::ostream& out) {
 }
 
 int cmd_faults(const ArgParser& args, std::istream& in, std::ostream& out) {
-  args.expect_known({"systems", "subtasks", "utilization", "seed", "threads"});
+  args.expect_known(
+      {"systems", "subtasks", "utilization", "seed", "threads", "timesvc"});
   ScenarioSpec spec;
   spec.kind = ScenarioKind::kFaults;
   spec.seed = static_cast<std::uint64_t>(args.value_int("seed", 20260806));
@@ -261,6 +268,16 @@ int cmd_faults(const ArgParser& args, std::istream& in, std::ostream& out) {
   spec.protocols.assign(std::begin(kExtendedProtocolKinds),
                         std::end(kExtendedProtocolKinds));
   spec.severities = default_fault_severities();
+  if (args.has("timesvc")) {
+    const std::optional<std::string> value = args.value("timesvc");
+    if (!value.has_value()) {
+      throw InvalidArgument("--timesvc expects key=value,... (see 'e2e help')");
+    }
+    spec.timesvc = parse_timesvc_config(*value);
+    // With a live time service the estimated-clock protocol becomes
+    // meaningful; add it to the ladder so PM vs PM-E is visible.
+    spec.protocols.push_back(ProtocolKind::kPmEstimated);
+  }
   return run_scenario(spec, in, out);
 }
 

@@ -43,7 +43,7 @@ fi
 
 BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
-  BENCHES=(faults montecarlo analysis)
+  BENCHES=(faults montecarlo analysis timesvc)
 fi
 
 mkdir -p "${RESULTS_DIR}"
