@@ -11,24 +11,6 @@ SubtaskTable::SubtaskTable(const TaskSystem& system, Duration initial) {
   }
 }
 
-Duration SubtaskTable::at(SubtaskRef ref) const {
-  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
-             "SubtaskTable: task out of range");
-  const auto& row = values_[ref.task.index()];
-  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
-             "SubtaskTable: index out of range");
-  return row[static_cast<std::size_t>(ref.index)];
-}
-
-void SubtaskTable::set(SubtaskRef ref, Duration value) {
-  E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
-             "SubtaskTable: task out of range");
-  auto& row = values_[ref.task.index()];
-  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
-             "SubtaskTable: index out of range");
-  row[static_cast<std::size_t>(ref.index)] = value;
-}
-
 Duration SubtaskTable::predecessor_or_zero(SubtaskRef ref) const {
   if (ref.index <= 0) return 0;
   return at(SubtaskRef{ref.task, ref.index - 1});

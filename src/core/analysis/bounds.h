@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/error.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "task/system.h"
@@ -17,8 +18,24 @@ class SubtaskTable {
   /// Creates a table shaped like `system`, filled with `initial`.
   SubtaskTable(const TaskSystem& system, Duration initial);
 
-  [[nodiscard]] Duration at(SubtaskRef ref) const;
-  void set(SubtaskRef ref, Duration value);
+  // at()/set() are inline: they sit on protocol hot paths (MPM arms one
+  // bound timer per instance) via the engine's sealed fast path.
+  [[nodiscard]] Duration at(SubtaskRef ref) const {
+    E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
+               "SubtaskTable: task out of range");
+    const auto& row = values_[ref.task.index()];
+    E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
+               "SubtaskTable: index out of range");
+    return row[static_cast<std::size_t>(ref.index)];
+  }
+  void set(SubtaskRef ref, Duration value) {
+    E2E_ASSERT(ref.task.value() >= 0 && ref.task.index() < values_.size(),
+               "SubtaskTable: task out of range");
+    auto& row = values_[ref.task.index()];
+    E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < row.size(),
+               "SubtaskTable: index out of range");
+    row[static_cast<std::size_t>(ref.index)] = value;
+  }
 
   /// Value for the predecessor of `ref`, or 0 for a first subtask.
   /// This is the R_{u,v-1} term of Algorithm IEERT.

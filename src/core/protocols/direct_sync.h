@@ -7,6 +7,10 @@
 // subtasks lose periodicity (the "clumping effect"), which is why its
 // worst-case analysis (Algorithm SA/DS) yields much larger, sometimes
 // unbounded, EER bounds.
+//
+// Header-only: both callbacks are on the engine's sealed fast path
+// (SealedKind::kDirectSync) and must be inline for the devirtualized
+// calls in Engine to flatten.
 #pragma once
 
 #include "core/protocols/traits.h"
@@ -18,10 +22,27 @@ namespace e2e {
 class DirectSyncProtocol final : public SyncProtocol {
  public:
   [[nodiscard]] std::string_view name() const override { return "DS"; }
+  [[nodiscard]] SealedKind sealed_kind() const noexcept override {
+    return SealedKind::kDirectSync;
+  }
 
-  void on_job_completed(Engine& engine, const Job& job) override;
+  void on_job_completed(Engine& engine, const Job& job) override {
+    const Task& task = engine.system().task(job.ref.task);
+    if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
+    engine.send_sync_signal(SubtaskRef{job.ref.task, job.ref.index + 1},
+                            job.instance);
+  }
+
   void on_sync_signal(Engine& engine, SubtaskRef ref,
-                      std::int64_t instance) override;
+                      std::int64_t instance) override {
+    // Catch-up rule: completions are in-order, so a signal for instance m
+    // proves the predecessors of every instance <= m completed. Releasing
+    // the whole backlog makes lost or reordered signals recoverable; under
+    // an ideal channel the loop runs exactly once.
+    for (std::int64_t i = engine.released_instances(ref); i <= instance; ++i) {
+      engine.release_now(ref, i);
+    }
+  }
 
   [[nodiscard]] static ProtocolTraits traits() noexcept {
     return ProtocolTraits{.interrupts_per_instance = 1,

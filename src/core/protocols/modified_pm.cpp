@@ -21,26 +21,4 @@ ModifiedPmProtocol::ModifiedPmProtocol(const TaskSystem& system,
   }
 }
 
-void ModifiedPmProtocol::on_job_released(Engine& engine, const Job& job) {
-  const Task& task = engine.system().task(job.ref.task);
-  if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
-  // Timer at release + R_{i,j}; fires after the instance's completion.
-  engine.set_timer(engine.now() + bounds_.at(job.ref), job.ref, job.instance);
-}
-
-void ModifiedPmProtocol::on_timer(Engine& engine, SubtaskRef ref,
-                                  std::int64_t instance) {
-  if (engine.completed_instances(ref) <= instance) ++overruns_;
-  engine.send_sync_signal(SubtaskRef{ref.task, ref.index + 1}, instance);
-}
-
-void ModifiedPmProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
-                                        std::int64_t instance) {
-  // Catch-up rule (see DirectSyncProtocol::on_sync_signal): the loop runs
-  // exactly once under an ideal channel.
-  for (std::int64_t i = engine.released_instances(ref); i <= instance; ++i) {
-    engine.release_now(ref, i);
-  }
-}
-
 }  // namespace e2e

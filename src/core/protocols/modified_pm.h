@@ -29,11 +29,33 @@ class ModifiedPmProtocol final : public SyncProtocol {
   ModifiedPmProtocol(const TaskSystem& system, SubtaskTable response_bounds);
 
   [[nodiscard]] std::string_view name() const override { return "MPM"; }
+  [[nodiscard]] SealedKind sealed_kind() const noexcept override {
+    return SealedKind::kModifiedPm;
+  }
 
-  void on_job_released(Engine& engine, const Job& job) override;
-  void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) override;
+  // The three callbacks below are on the engine's sealed fast path and
+  // defined inline for the devirtualized calls to flatten.
+
+  void on_job_released(Engine& engine, const Job& job) override {
+    const Task& task = engine.system().task(job.ref.task);
+    if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
+    // Timer at release + R_{i,j}; fires after the instance's completion.
+    engine.set_timer(engine.now() + bounds_.at(job.ref), job.ref, job.instance);
+  }
+
+  void on_timer(Engine& engine, SubtaskRef ref, std::int64_t instance) override {
+    if (engine.completed_instances(ref) <= instance) ++overruns_;
+    engine.send_sync_signal(SubtaskRef{ref.task, ref.index + 1}, instance);
+  }
+
   void on_sync_signal(Engine& engine, SubtaskRef ref,
-                      std::int64_t instance) override;
+                      std::int64_t instance) override {
+    // Catch-up rule (see DirectSyncProtocol::on_sync_signal): the loop
+    // runs exactly once under an ideal channel.
+    for (std::int64_t i = engine.released_instances(ref); i <= instance; ++i) {
+      engine.release_now(ref, i);
+    }
+  }
 
   /// Number of bound overruns observed (0 when the bounds are correct).
   [[nodiscard]] std::int64_t overruns() const noexcept { return overruns_; }

@@ -7,6 +7,11 @@ namespace e2e {
 PhaseModificationProtocol::PhaseModificationProtocol(const TaskSystem& system,
                                                      SubtaskTable response_bounds)
     : phases_(system, 0) {
+  rebind(system, response_bounds);
+}
+
+void PhaseModificationProtocol::rebind(const TaskSystem& system,
+                                       const SubtaskTable& response_bounds) {
   for (const Task& t : system.tasks()) {
     Time phase = t.phase;  // f_{i,1} = f_i
     for (const Subtask& s : t.subtasks) {
@@ -39,16 +44,6 @@ void PhaseModificationProtocol::initialize(Engine& engine) {
         engine.schedule_release(s.ref, 0, phases_.at(s.ref));
       }
     }
-  }
-}
-
-void PhaseModificationProtocol::on_job_released(Engine& engine, const Job& job) {
-  if (job.ref.index == 0) return;  // arrivals drive the first subtask
-  engine.count_timer_interrupt();  // each periodic release is timer-driven
-  const Duration period = engine.system().task(job.ref.task).period;
-  const Time next = job.release_time + period;
-  if (next <= engine.horizon()) {
-    engine.schedule_release(job.ref, job.instance + 1, next);
   }
 }
 

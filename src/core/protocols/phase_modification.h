@@ -28,10 +28,31 @@ class PhaseModificationProtocol final : public SyncProtocol {
   /// PM cannot compute phases for an unbounded predecessor.
   PhaseModificationProtocol(const TaskSystem& system, SubtaskTable response_bounds);
 
+  /// Recomputes the phase table in place for `system` (same structure,
+  /// possibly different task phases) -- the per-run path of the Monte-
+  /// Carlo drivers, which randomize phases on every run and would
+  /// otherwise reconstruct the protocol each time. Equivalent to
+  /// constructing a fresh protocol; allocates nothing.
+  void rebind(const TaskSystem& system, const SubtaskTable& response_bounds);
+
   [[nodiscard]] std::string_view name() const override { return "PM"; }
+  [[nodiscard]] SealedKind sealed_kind() const noexcept override {
+    return SealedKind::kPhaseModification;
+  }
 
   void initialize(Engine& engine) override;
-  void on_job_released(Engine& engine, const Job& job) override;
+
+  /// Inline: on the engine's sealed fast path (every release re-arms the
+  /// next strictly periodic one).
+  void on_job_released(Engine& engine, const Job& job) override {
+    if (job.ref.index == 0) return;  // arrivals drive the first subtask
+    engine.count_timer_interrupt();  // each periodic release is timer-driven
+    const Duration period = engine.system().task(job.ref.task).period;
+    const Time next = job.release_time + period;
+    if (next <= engine.horizon()) {
+      engine.schedule_release(job.ref, job.instance + 1, next);
+    }
+  }
 
   /// Phase f_{i,j} assigned to `ref`.
   [[nodiscard]] Time phase_of(SubtaskRef ref) const;

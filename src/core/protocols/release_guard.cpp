@@ -1,121 +1,18 @@
 #include "core/protocols/release_guard.h"
 
-#include <algorithm>
-
-#include "common/error.h"
-
 namespace e2e {
 
 ReleaseGuardProtocol::ReleaseGuardProtocol(const TaskSystem& system, Options options)
     : options_(options) {
-  guards_.resize(system.task_count());
+  base_.resize(system.task_count());
+  std::uint32_t total = 0;
   for (const Task& t : system.tasks()) {
-    guards_[t.id.index()].resize(t.subtasks.size());
+    base_[t.id.index()] = total;
+    total += static_cast<std::uint32_t>(t.subtasks.size());
   }
-}
-
-ReleaseGuardProtocol::GuardState& ReleaseGuardProtocol::state(SubtaskRef ref) {
-  return guards_[ref.task.index()][static_cast<std::size_t>(ref.index)];
-}
-
-const ReleaseGuardProtocol::GuardState& ReleaseGuardProtocol::state(
-    SubtaskRef ref) const {
-  return guards_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  guards_.resize(total);
 }
 
 Time ReleaseGuardProtocol::guard_of(SubtaskRef ref) const { return state(ref).guard; }
-
-void ReleaseGuardProtocol::release(Engine& engine, SubtaskRef ref,
-                                   std::int64_t instance) {
-  GuardState& gs = state(ref);
-  if (!gs.held.empty() && gs.held.front() == instance) gs.held.pop_front();
-  // Guard rule 1, applied eagerly at the release *instant* rather than
-  // when the engine processes the release event: a second signal arriving
-  // at the same timestamp must already see the advanced guard.
-  gs.guard = engine.now() + engine.system().task(ref.task).period;
-  engine.release_now(ref, instance);
-}
-
-void ReleaseGuardProtocol::on_job_released(Engine& engine, const Job& job) {
-  // Guard rule 1 for releases not initiated by this protocol (first
-  // subtasks are arrival-driven). Idempotent for our own releases, which
-  // already advanced the guard at enqueue time within the same instant.
-  state(job.ref).guard = engine.now() + engine.system().task(job.ref.task).period;
-}
-
-void ReleaseGuardProtocol::on_job_completed(Engine& engine, const Job& job) {
-  const Task& task = engine.system().task(job.ref.task);
-  if (job.ref.index + 1 >= static_cast<std::int32_t>(task.chain_length())) return;
-  engine.send_sync_signal(SubtaskRef{job.ref.task, job.ref.index + 1}, job.instance);
-}
-
-void ReleaseGuardProtocol::on_sync_signal(Engine& engine, SubtaskRef ref,
-                                          std::int64_t instance) {
-  GuardState& gs = state(ref);
-  // Catch-up rule: a signal for instance m implies the predecessors of
-  // every instance <= m completed, so admit the whole backlog (lost or
-  // reordered signals). Duplicates fall below the cursor and are ignored.
-  // Under an ideal channel the loop runs exactly once.
-  const std::int64_t upto = instance;
-  while (gs.signaled <= upto) {
-    const std::int64_t next = gs.signaled++;
-    admit(engine, ref, next);
-  }
-}
-
-void ReleaseGuardProtocol::admit(Engine& engine, SubtaskRef ref,
-                                 std::int64_t instance) {
-  GuardState& gs = state(ref);
-  const Time now = engine.now();
-
-  if (gs.held.empty()) {
-    if (now >= gs.guard) {
-      release(engine, ref, instance);
-      return;
-    }
-    // Guard rule 2 at signal arrival: if the subtask's processor is at
-    // an idle point right now, pull the guard down and release.
-    if (options_.enable_idle_point_rule &&
-        engine.is_idle_point(engine.system().subtask(ref).processor)) {
-      gs.guard = now;
-      release(engine, ref, instance);
-      return;
-    }
-  }
-  // Held: release when the guard is due (or at an earlier idle point).
-  // The guard can already be due here when a faulted timer fired late and
-  // left an earlier instance holding the queue; clamp to now.
-  gs.held.push_back(instance);
-  engine.set_timer(std::max(now, gs.guard), ref, instance);
-}
-
-void ReleaseGuardProtocol::on_timer(Engine& engine, SubtaskRef ref,
-                                    std::int64_t instance) {
-  GuardState& gs = state(ref);
-  // Stale timer: the instance was already released (by an idle point or an
-  // earlier timer).
-  if (gs.held.empty() || gs.held.front() != instance) return;
-  if (engine.now() >= gs.guard) {
-    release(engine, ref, instance);
-  } else {
-    // The guard moved later (rule 1 fired for a predecessor instance that
-    // was released early at an idle point); re-arm.
-    engine.set_timer(gs.guard, ref, instance);
-  }
-}
-
-void ReleaseGuardProtocol::on_idle_point(Engine& engine, ProcessorId processor) {
-  if (!options_.enable_idle_point_rule) return;
-  // Guard rule 2: for every subtask of this processor holding a release,
-  // reset the guard to now and release the earliest held instance. Rule 1
-  // inside release() re-advances the guard, so at most one instance per
-  // subtask fires per idle point.
-  for (const SubtaskRef ref : engine.system().subtasks_on(processor)) {
-    GuardState& gs = state(ref);
-    if (gs.held.empty()) continue;
-    gs.guard = engine.now();
-    release(engine, ref, gs.held.front());
-  }
-}
 
 }  // namespace e2e

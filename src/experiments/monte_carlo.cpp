@@ -6,31 +6,16 @@
 #include "common/error.h"
 #include "common/hash.h"
 #include "core/analysis/cache.h"
+#include "core/protocols/phase_modification.h"
+#include "core/protocols/release_guard.h"
 #include "metrics/eer_collector.h"
 #include "scenario/executor.h"
 #include "metrics/schedule_hash.h"
 #include "sim/engine.h"
 #include "sim/execution_model.h"
-#include "task/builder.h"
 
 namespace e2e {
 namespace {
-
-TaskSystem with_random_phases(const TaskSystem& system, Rng& rng) {
-  TaskSystemBuilder builder{system.processor_count()};
-  for (const Task& t : system.tasks()) {
-    auto handle = builder.add_task({.period = t.period,
-                                    .phase = rng.uniform_int(0, t.period - 1),
-                                    .deadline = t.relative_deadline,
-                                    .release_jitter = t.release_jitter,
-                                    .name = t.name});
-    for (const Subtask& s : t.subtasks) {
-      handle.subtask(s.processor, s.execution_time, s.priority, s.name);
-      if (!s.preemptible) handle.non_preemptible();
-    }
-  }
-  return std::move(builder).build();
-}
 
 /// Everything one run contributes, extracted from the run's collectors
 /// (the per-run phased system dies with the run).
@@ -39,6 +24,53 @@ struct RunOutcome {
   std::uint64_t schedule_hash = 0;
   std::int64_t events = 0;
 };
+
+/// Per-worker warm state, parked in the executor's WorkerSlot scratch:
+/// the phased system clone (mutated in place per run via set_phases),
+/// the protocol instance (reused whenever the kind is resettable), and
+/// the EER collector. Keyed on (input system, kind, randomize flag): a
+/// different scenario cell on the same executor rebuilds everything.
+/// With this cache warm, a run's only allocator traffic is the outcome
+/// series it returns.
+struct McScratch {
+  const TaskSystem* source = nullptr;
+  ProtocolKind kind{};
+  bool randomized = false;
+  std::optional<TaskSystem> variant;       ///< worker-local phased clone
+  std::unique_ptr<SyncProtocol> protocol;  ///< reused across runs when safe
+  std::optional<EerCollector> eer;
+  std::vector<Time> phases;  ///< per-run phase draw buffer
+};
+
+/// Returns the worker's protocol for this run: the cached instance
+/// rewound/rebound for protocols whose cross-run state is resettable
+/// (DS is stateless, MPM only accumulates a schedule-inert overrun
+/// counter, RG rewinds its guards, PM recomputes its phase table), a
+/// fresh construction otherwise (MPM-R, PM-E carry per-run cursors).
+SyncProtocol& protocol_for_run(McScratch& scratch, ProtocolKind kind,
+                               const TaskSystem& variant,
+                               const SubtaskTable& bounds) {
+  if (scratch.protocol == nullptr) {
+    scratch.protocol = make_protocol(kind, variant, &bounds);
+    return *scratch.protocol;
+  }
+  switch (kind) {
+    case ProtocolKind::kDirectSync:
+    case ProtocolKind::kModifiedPm:
+      break;
+    case ProtocolKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol&>(*scratch.protocol).reset_state();
+      break;
+    case ProtocolKind::kPhaseModification:
+      static_cast<PhaseModificationProtocol&>(*scratch.protocol)
+          .rebind(variant, bounds);
+      break;
+    default:
+      scratch.protocol = make_protocol(kind, variant, &bounds);
+      break;
+  }
+  return *scratch.protocol;
+}
 
 }  // namespace
 
@@ -78,35 +110,65 @@ MonteCarloResult estimate_latency(const TaskSystem& system, ProtocolKind kind,
   // reset is observationally identical to fresh construction, so which
   // worker simulates a run cannot affect its outcome.
   const std::vector<RunOutcome> outcomes = executor.map<RunOutcome>(
-      options.runs, [&](std::int64_t run, std::optional<Engine>& engine) {
+      options.runs, [&](std::int64_t run, ScenarioExecutor::WorkerSlot& slot) {
         Rng rng = streams[static_cast<std::size_t>(run)];
-        std::optional<TaskSystem> phased;
-        const TaskSystem& variant =
-            options.randomize_phases ? phased.emplace(with_random_phases(system, rng))
-                                     : system;
+        McScratch& scratch = slot.scratch_as<McScratch>([] { return McScratch{}; });
+        if (scratch.source != &system || scratch.kind != kind ||
+            scratch.randomized != options.randomize_phases) {
+          scratch.source = &system;
+          scratch.kind = kind;
+          scratch.randomized = options.randomize_phases;
+          scratch.eer.reset();  // before variant: it references the clone
+          scratch.protocol.reset();
+          scratch.variant.reset();
+          if (options.randomize_phases) scratch.variant.emplace(system);
+        }
 
-        const auto protocol = make_protocol(kind, variant, &bounds.subtask_bounds);
+        // Phase randomization: one uniform draw per task in TaskId order
+        // (the exact draw sequence of the builder-rebuild path this
+        // replaces), written into the worker's clone in place.
+        const TaskSystem* variant = &system;
+        if (options.randomize_phases) {
+          scratch.phases.clear();
+          for (const Task& t : system.tasks()) {
+            scratch.phases.push_back(rng.uniform_int(0, t.period - 1));
+          }
+          scratch.variant->set_phases(scratch.phases);
+          variant = &*scratch.variant;
+        }
+
+        SyncProtocol& protocol =
+            protocol_for_run(scratch, kind, *variant, bounds.subtask_bounds);
         UniformExecutionVariation variation{rng.fork(1),
                                             options.execution_min_fraction};
         const EngineOptions engine_options{
-            .horizon = variant.max_phase() + horizon,
+            .horizon = variant->max_phase() + horizon,
             .execution =
                 options.execution_min_fraction < 1.0 ? &variation : nullptr};
+        std::optional<Engine>& engine = slot.engine;
         if (engine.has_value()) {
-          engine->reset(variant, *protocol, engine_options);
+          engine->reset(*variant, protocol, engine_options);
         } else {
-          engine.emplace(variant, *protocol, engine_options);
+          engine.emplace(*variant, protocol, engine_options);
         }
 
-        EerCollector eer{variant, {.keep_series = true}};
+        // The collector is reference-bound to the worker's clone (a
+        // stable object mutated in place), so it too survives across
+        // runs; reset() is observationally identical to reconstruction.
+        if (scratch.eer.has_value()) {
+          scratch.eer->reset();
+        } else {
+          scratch.eer.emplace(*variant, EerCollector::Options{.keep_series = true});
+        }
+        EerCollector& eer = *scratch.eer;
         ScheduleHash hash;
         engine->add_sink(&eer);
         engine->add_sink(&hash);
         engine->run();
 
         RunOutcome outcome;
-        outcome.series.reserve(variant.task_count());
-        for (const Task& t : variant.tasks()) {
+        outcome.series.reserve(variant->task_count());
+        for (const Task& t : variant->tasks()) {
           outcome.series.push_back(eer.eer_series(t.id));
         }
         outcome.schedule_hash = hash.value();

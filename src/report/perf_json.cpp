@@ -7,6 +7,11 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <thread>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/error.h"
 
@@ -114,6 +119,22 @@ class JsonReader {
   const std::string& text_;
   std::size_t pos_ = 0;
 };
+
+/// Peak RSS of this process in bytes; 0 where unsupported. Linux reports
+/// ru_maxrss in kilobytes, macOS in bytes.
+std::int64_t peak_rss_bytes_now() {
+#if defined(__linux__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+#elif defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::int64_t>(usage.ru_maxrss);
+#else
+  return 0;
+#endif
+}
 
 void check_hash_string(const std::string& value) {
   if (value.size() != 18 || value.compare(0, 2, "0x") != 0) {
@@ -243,6 +264,8 @@ PerfReport run_perf_harness(
   report.bench = bench;
   report.workload = workload;
   report.deterministic = true;
+  const unsigned hw = std::thread::hardware_concurrency();
+  report.hw_threads = hw > 0 ? static_cast<int>(hw) : 1;
 
   for (const int threads : thread_counts) {
     const auto start = std::chrono::steady_clock::now();
@@ -271,6 +294,9 @@ PerfReport run_perf_harness(
       report.deterministic = false;
     }
   }
+  // Sampled after the runs so the figure covers the workload's high-water
+  // mark, not just the harness's own footprint.
+  report.peak_rss_bytes = peak_rss_bytes_now();
   return report;
 }
 
@@ -281,6 +307,8 @@ std::string to_json(const PerfReport& report) {
       << "  \"workload\": \"" << escape(report.workload) << "\",\n"
       << "  \"deterministic\": " << (report.deterministic ? "true" : "false")
       << ",\n"
+      << "  \"hw_threads\": " << report.hw_threads << ",\n"
+      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << ",\n"
       << "  \"entries\": [";
   for (std::size_t i = 0; i < report.entries.size(); ++i) {
     const PerfEntry& entry = report.entries[i];
@@ -317,7 +345,7 @@ void validate_perf_json(const std::string& json) {
   JsonReader reader{json};
   reader.expect('{');
   bool saw_bench = false, saw_workload = false, saw_deterministic = false,
-       saw_entries = false;
+       saw_hw_threads = false, saw_peak_rss = false, saw_entries = false;
   do {
     const std::string key = reader.read_string();
     reader.expect(':');
@@ -332,6 +360,16 @@ void validate_perf_json(const std::string& json) {
     } else if (key == "deterministic") {
       saw_deterministic = true;
       (void)reader.read_bool();
+    } else if (key == "hw_threads") {
+      saw_hw_threads = true;
+      if (reader.read_number() < 1.0) {
+        throw InvalidArgument("perf json: hw_threads must be positive");
+      }
+    } else if (key == "peak_rss_bytes") {
+      saw_peak_rss = true;
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: peak_rss_bytes must be non-negative");
+      }
     } else if (key == "entries") {
       saw_entries = true;
       reader.expect('[');
@@ -356,9 +394,28 @@ void validate_perf_json(const std::string& json) {
   } while (reader.consume(','));
   reader.expect('}');
   reader.expect_end();
-  if (!saw_bench || !saw_workload || !saw_deterministic || !saw_entries) {
+  if (!saw_bench || !saw_workload || !saw_deterministic || !saw_hw_threads ||
+      !saw_peak_rss || !saw_entries) {
     throw InvalidArgument("perf json: missing a required top-level field");
   }
+}
+
+std::optional<std::string> scaling_gate_failure(const PerfReport& report,
+                                                double floor) {
+  // A host with fewer than 4 hardware threads cannot exhibit the scaling
+  // being gated: its multi-thread runs time oversubscription of the same
+  // cores, so any floor check would be noise.
+  if (report.hw_threads < 4) return std::nullopt;
+  const PerfEntry* one = report.entry_for(1);
+  const PerfEntry* eight = report.entry_for(8);
+  if (one == nullptr || eight == nullptr) return std::nullopt;
+  if (eight->speedup_vs_1_thread >= floor) return std::nullopt;
+  std::ostringstream message;
+  message << report.bench << ": 8-thread speedup " << std::setprecision(3)
+          << std::fixed << eight->speedup_vs_1_thread << "x is below the "
+          << floor << "x scaling floor (hw_threads=" << report.hw_threads
+          << ")";
+  return message.str();
 }
 
 int write_perf_report(const std::string& bench, const std::string& workload,
@@ -411,7 +468,33 @@ int write_perf_report(const std::string& bench, const std::string& workload,
       << (report.deterministic ? "" : " (NOT deterministic across threads!)")
       << (variants_agree ? "" : " (variant results DIVERGE!)") << "\n";
   if (!report.deterministic) return 4;
-  return variants_agree ? 0 : 5;
+  if (!variants_agree) return 5;
+
+  // Opt-in thread-scaling gate (E2E_BENCH_GATE=1): fail the bench when the
+  // 8-thread run scales below the floor (E2E_BENCH_GATE_FLOOR, default 3x).
+  // scaling_gate_failure() skips itself on hosts with hw_threads < 4.
+  if (const char* gate = std::getenv("E2E_BENCH_GATE");
+      gate != nullptr && *gate != '\0' && std::string{gate} != "0") {
+    double floor = 3.0;
+    if (const char* env = std::getenv("E2E_BENCH_GATE_FLOOR");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const double value = std::strtod(env, &end);
+      if (end == env || value <= 0.0) {
+        throw InvalidArgument("E2E_BENCH_GATE_FLOOR must be a positive number");
+      }
+      floor = value;
+    }
+    if (const std::optional<std::string> failure =
+            scaling_gate_failure(report, floor)) {
+      out << "SCALING GATE FAILED: " << *failure << "\n";
+      return 6;
+    }
+    out << "scaling gate: "
+        << (report.hw_threads < 4 ? "skipped (hw_threads < 4)" : "passed")
+        << "\n";
+  }
+  return 0;
 }
 
 }  // namespace e2e

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,14 @@ struct PerfReport {
   std::string workload;  ///< human-readable workload description
   /// True iff every entry produced the same schedule hash.
   bool deterministic = false;
+  /// Hardware threads of the measuring host. Multi-thread speedups from a
+  /// host with fewer cores than the thread count measure oversubscription,
+  /// not scaling -- consumers (and the scaling gate) must check this
+  /// before judging speedup_vs_1_thread.
+  int hw_threads = 0;
+  /// Peak resident set size of the benchmarking process in bytes
+  /// (getrusage ru_maxrss); 0 where the platform cannot report it.
+  std::int64_t peak_rss_bytes = 0;
   std::vector<PerfEntry> entries;
   /// Optional code-path comparison (empty for benches without variants).
   std::vector<PerfVariant> variants;
@@ -72,11 +81,22 @@ struct PerfRunOutcome {
 [[nodiscard]] std::string to_json(const PerfReport& report);
 
 /// Validates that `json` is a well-formed perf report document: a JSON
-/// object with bench/workload strings, a deterministic bool, and an
-/// entries array whose objects carry the numeric fields above (threads
-/// positive, wall_seconds and events non-negative, schedule_hash a
-/// "0x..." hex string). Throws InvalidArgument with the first problem.
+/// object with bench/workload strings, a deterministic bool, a positive
+/// hw_threads, a non-negative peak_rss_bytes, and an entries array whose
+/// objects carry the numeric fields above (threads positive,
+/// wall_seconds and events non-negative, schedule_hash a "0x..." hex
+/// string). Throws InvalidArgument with the first problem.
 void validate_perf_json(const std::string& json);
+
+/// Thread-scaling gate: returns a failure description when the report's
+/// 8-thread entry fails to reach `floor` x speedup over the 1-thread
+/// entry, or nullopt when the gate passes or does not apply. The gate is
+/// skipped (nullopt) when the host cannot exhibit the scaling being
+/// gated: hw_threads < 4 (e.g. a 1-CPU CI container, where every thread
+/// count times the same serialized work), or when the report has no 1-
+/// and 8-thread entries to compare.
+[[nodiscard]] std::optional<std::string> scaling_gate_failure(
+    const PerfReport& report, double floor);
 
 /// Bench driver: runs the harness, validates its own JSON, writes it to
 /// `path`, prints a one-line summary per thread count to `out`, and

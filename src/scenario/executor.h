@@ -16,7 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <type_traits>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -28,11 +31,39 @@ namespace e2e {
 
 class ScenarioExecutor {
  public:
+  /// Per-worker persistent state. Worker w only ever touches slot w, so
+  /// nothing here is synchronized. Besides the engine, experiment
+  /// drivers park arbitrary warm scratch here (phase-variant system
+  /// clones, reusable protocol instances, collectors) via scratch_as():
+  /// steady-state runs then recycle every allocation instead of
+  /// rebuilding per work item.
+  struct WorkerSlot {
+    std::optional<Engine> engine;
+
+    /// The worker's scratch of type T, constructed via `make()` on first
+    /// use. A different T than the current occupant (another experiment
+    /// reusing the executor) simply replaces it.
+    template <typename T, typename Make>
+    [[nodiscard]] T& scratch_as(Make&& make) {
+      if (scratch_ == nullptr || *scratch_type_ != typeid(T)) {
+        scratch_ = std::shared_ptr<void>(new T(make()), [](void* p) {
+          delete static_cast<T*>(p);
+        });
+        scratch_type_ = &typeid(T);
+      }
+      return *static_cast<T*>(scratch_.get());
+    }
+
+   private:
+    std::shared_ptr<void> scratch_;
+    const std::type_info* scratch_type_ = nullptr;
+  };
+
   /// `threads` as in exec::resolve_threads: > 0 wins, else E2E_THREADS,
   /// else hardware concurrency.
   explicit ScenarioExecutor(int threads = 0)
       : pool_(threads),
-        engines_(static_cast<std::size_t>(pool_.thread_count())) {}
+        slots_(static_cast<std::size_t>(pool_.thread_count())) {}
 
   [[nodiscard]] int thread_count() const noexcept { return pool_.thread_count(); }
   [[nodiscard]] exec::ThreadPool& pool() noexcept { return pool_; }
@@ -56,14 +87,20 @@ class ScenarioExecutor {
     return streams;
   }
 
-  /// Runs fn(index, engine_slot) for every index in [0, n) over the
-  /// pool. The slot is the running worker's persistent engine (empty on
-  /// its first item); fn decides reset-vs-emplace. Exceptions follow
-  /// ThreadPool: the lowest-index one is rethrown.
+  /// Runs fn for every index in [0, n) over the pool, passing the
+  /// running worker's persistent slot: either fn(index, WorkerSlot&) or
+  /// the narrower fn(index, std::optional<Engine>&) (the engine is empty
+  /// on the worker's first item; fn decides reset-vs-emplace).
+  /// Exceptions follow ThreadPool: the lowest-index one is rethrown.
   template <typename Fn>
   void for_each(std::int64_t n, Fn&& fn) {
     pool_.parallel_for_indexed(n, [&](std::int64_t index, int worker) {
-      fn(index, engines_[static_cast<std::size_t>(worker)]);
+      WorkerSlot& slot = slots_[static_cast<std::size_t>(worker)];
+      if constexpr (std::is_invocable_v<Fn&, std::int64_t, WorkerSlot&>) {
+        fn(index, slot);
+      } else {
+        fn(index, slot.engine);
+      }
     });
   }
 
@@ -73,8 +110,12 @@ class ScenarioExecutor {
   template <typename T, typename Fn>
   [[nodiscard]] std::vector<T> map(std::int64_t n, Fn&& fn) {
     std::vector<T> results(static_cast<std::size_t>(n));
-    for_each(n, [&](std::int64_t index, std::optional<Engine>& engine) {
-      results[static_cast<std::size_t>(index)] = fn(index, engine);
+    for_each(n, [&](std::int64_t index, WorkerSlot& slot) {
+      if constexpr (std::is_invocable_v<Fn&, std::int64_t, WorkerSlot&>) {
+        results[static_cast<std::size_t>(index)] = fn(index, slot);
+      } else {
+        results[static_cast<std::size_t>(index)] = fn(index, slot.engine);
+      }
     });
     return results;
   }
@@ -82,8 +123,8 @@ class ScenarioExecutor {
  private:
   exec::ThreadPool pool_;
   /// One slot per worker, persistent across for_each/map calls and
-  /// scenario cells; worker w only ever touches engines_[w].
-  std::vector<std::optional<Engine>> engines_;
+  /// scenario cells; worker w only ever touches slots_[w].
+  std::vector<WorkerSlot> slots_;
 };
 
 }  // namespace e2e

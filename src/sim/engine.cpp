@@ -1,9 +1,14 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/error.h"
+#include "core/protocols/direct_sync.h"
+#include "core/protocols/modified_pm.h"
+#include "core/protocols/phase_modification.h"
+#include "core/protocols/release_guard.h"
 #include "sim/fault/fault_injector.h"
 
 namespace e2e {
@@ -22,6 +27,7 @@ void Engine::bind(const TaskSystem& system, SyncProtocol& protocol,
                   EngineOptions options) {
   system_ = &system;
   protocol_ = &protocol;
+  sealed_ = protocol.sealed_kind();
   options_ = options;
   arrivals_ = options.arrivals != nullptr ? options.arrivals : &default_arrivals_;
   execution_ =
@@ -33,10 +39,12 @@ void Engine::bind(const TaskSystem& system, SyncProtocol& protocol,
                 ? options_.faults
                 : nullptr;
 
-  // Per-run state: rewind everything, recycle every allocation. All of
-  // the containers below keep their capacity across clear()/assign(), so
-  // a reset engine replays the allocation pattern of a fresh one without
-  // touching the allocator on the hot path.
+  // Per-run state: rewind everything, recycle every allocation. The
+  // member containers keep their capacity across clear(); the SoA tables
+  // are re-carved from the rewound arena, which replays the allocation
+  // sequence of the previous run against retained blocks. A warm
+  // reset()+run cycle therefore never calls the global allocator
+  // (engine_alloc_test).
   queue_.clear();
   pool_.clear();
   now_ = 0;
@@ -49,41 +57,58 @@ void Engine::bind(const TaskSystem& system, SyncProtocol& protocol,
 
   processors_.resize(system.processor_count());
   for (ProcessorState& proc : processors_) proc.rewind();
-  dispatch_marked_.assign(system.processor_count(), false);
-  released_count_.resize(system.task_count());
-  completed_count_.resize(system.task_count());
-  requested_count_.resize(system.task_count());
-  deferred_.resize(system.task_count());
-  first_release_times_.resize(system.task_count());
+  // Unmark every processor by bumping the epoch; stamps are only ever set
+  // to the then-current epoch, so none can collide with the new value.
+  ++dispatch_epoch_;
+  if (dispatch_stamp_.size() < system.processor_count()) {
+    dispatch_stamp_.resize(system.processor_count(), 0);
+  }
+
+  arena_.rewind();
+  const std::size_t tasks = system.task_count();
+  subtask_base_ = arena_.alloc_array<std::uint32_t>(tasks);
+  std::uint32_t total = 0;
   for (const Task& t : system.tasks()) {
-    released_count_[t.id.index()].assign(t.subtasks.size(), 0);
-    completed_count_[t.id.index()].assign(t.subtasks.size(), 0);
-    requested_count_[t.id.index()].assign(t.subtasks.size(), 0);
-    deferred_[t.id.index()].resize(t.subtasks.size());
-    for (auto& held : deferred_[t.id.index()]) held.clear();
-    first_release_times_[t.id.index()].clear();
+    subtask_base_[t.id.index()] = total;
+    total += static_cast<std::uint32_t>(t.subtasks.size());
+  }
+  subtask_total_ = total;
+  meta_ = arena_.alloc_array<SubtaskMeta>(total);
+  for (const Task& t : system.tasks()) {
+    std::uint32_t fi = subtask_base_[t.id.index()];
+    for (const Subtask& s : t.subtasks) {
+      meta_[fi++] = SubtaskMeta{
+          .processor = s.processor,
+          .priority = s.priority,
+          .execution_time = s.execution_time,
+          .deadline = t.relative_deadline,
+          .preemptible = static_cast<std::uint8_t>(s.preemptible ? 1 : 0),
+          .is_last = static_cast<std::uint8_t>(
+              s.ref.index + 1 == static_cast<std::int32_t>(t.chain_length()) ? 1
+                                                                             : 0)};
+    }
+  }
+  // One allocation, three planes: requested | released | completed.
+  std::int64_t* counters = arena_.alloc_array<std::int64_t>(3 * std::size_t{total});
+  std::memset(counters, 0, 3 * std::size_t{total} * sizeof(std::int64_t));
+  requested_ = counters;
+  released_ = counters + total;
+  completed_ = counters + 2 * std::size_t{total};
+  defer_head_ = arena_.alloc_array<DeferNode*>(total);
+  defer_tail_ = arena_.alloc_array<DeferNode*>(total);
+  std::memset(static_cast<void*>(defer_head_), 0, total * sizeof(DeferNode*));
+  std::memset(static_cast<void*>(defer_tail_), 0, total * sizeof(DeferNode*));
+  defer_free_ = nullptr;  // nodes are arena garbage after the rewind
+  first_release_ = arena_.alloc_array<ArenaVec<Time>>(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    first_release_[i] = ArenaVec<Time>{};
+    first_release_[i].bind(arena_, 16);
   }
 }
 
 void Engine::add_sink(TraceSink* sink) {
   E2E_ASSERT(sink != nullptr, "null trace sink");
   sinks_.push_back(sink);
-}
-
-std::int64_t Engine::completed_instances(SubtaskRef ref) const {
-  return completed_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
-}
-
-std::int64_t Engine::released_instances(SubtaskRef ref) const {
-  return released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
-}
-
-std::optional<Time> Engine::first_release_time(TaskId task, std::int64_t instance) const {
-  const auto& times = first_release_times_[task.index()];
-  if (instance < 0 || static_cast<std::size_t>(instance) >= times.size()) {
-    return std::nullopt;
-  }
-  return times[static_cast<std::size_t>(instance)];
 }
 
 std::int64_t Engine::incomplete_released_before_now(const ProcessorState& proc) const {
@@ -144,7 +169,7 @@ void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
   if (faults_ == nullptr) {
     // Ideal channel: zero-time delivery, exactly once -- semantically the
     // pre-fault-layer direct call, so schedules are bit-identical.
-    protocol_->on_sync_signal(*this, to, instance);
+    proto_on_sync_signal(to, instance);
     return;
   }
   FaultInjector::SignalOutcome outcome = faults_->signal_outcome(now_);
@@ -155,7 +180,7 @@ void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
   stats_.duplicated_signals += static_cast<std::int64_t>(outcome.delays.size()) - 1;
   for (const Duration delay : outcome.delays) {
     if (delay == 0) {
-      protocol_->on_sync_signal(*this, to, instance);
+      proto_on_sync_signal(to, instance);
     } else {
       ++stats_.late_signals;
       queue_.push(Event{.time = now_ + delay,
@@ -164,6 +189,101 @@ void Engine::send_sync_signal(SubtaskRef to, std::int64_t instance) {
                         .ref = to,
                         .instance = instance});
     }
+  }
+}
+
+// --- sealed-protocol dispatch ----------------------------------------
+// The four built-in protocols are final classes whose hot callbacks are
+// defined inline in their headers, so each static_cast'ed call below is a
+// direct (inlinable) call. Cases a protocol does not override fall
+// through to nothing -- exactly the base class's no-op -- and everything
+// else takes the one virtual call of the generic path.
+
+void Engine::proto_on_job_released(const Job& job) {
+  switch (sealed_) {
+    case SealedKind::kDirectSync:
+      break;  // DS does not observe releases
+    case SealedKind::kPhaseModification:
+      static_cast<PhaseModificationProtocol*>(protocol_)->on_job_released(*this, job);
+      break;
+    case SealedKind::kModifiedPm:
+      static_cast<ModifiedPmProtocol*>(protocol_)->on_job_released(*this, job);
+      break;
+    case SealedKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol*>(protocol_)->on_job_released(*this, job);
+      break;
+    case SealedKind::kGeneric:
+      protocol_->on_job_released(*this, job);
+      break;
+  }
+}
+
+void Engine::proto_on_job_completed(const Job& job) {
+  switch (sealed_) {
+    case SealedKind::kDirectSync:
+      static_cast<DirectSyncProtocol*>(protocol_)->on_job_completed(*this, job);
+      break;
+    case SealedKind::kPhaseModification:
+      break;  // PM ignores completions by design
+    case SealedKind::kModifiedPm:
+      break;  // MPM signals from its bound timer, not completions
+    case SealedKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol*>(protocol_)->on_job_completed(*this, job);
+      break;
+    case SealedKind::kGeneric:
+      protocol_->on_job_completed(*this, job);
+      break;
+  }
+}
+
+void Engine::proto_on_timer(SubtaskRef ref, std::int64_t instance) {
+  switch (sealed_) {
+    case SealedKind::kDirectSync:
+    case SealedKind::kPhaseModification:
+      break;  // neither sets timers
+    case SealedKind::kModifiedPm:
+      static_cast<ModifiedPmProtocol*>(protocol_)->on_timer(*this, ref, instance);
+      break;
+    case SealedKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol*>(protocol_)->on_timer(*this, ref, instance);
+      break;
+    case SealedKind::kGeneric:
+      protocol_->on_timer(*this, ref, instance);
+      break;
+  }
+}
+
+void Engine::proto_on_sync_signal(SubtaskRef ref, std::int64_t instance) {
+  switch (sealed_) {
+    case SealedKind::kDirectSync:
+      static_cast<DirectSyncProtocol*>(protocol_)->on_sync_signal(*this, ref, instance);
+      break;
+    case SealedKind::kPhaseModification:
+      break;  // PM never signals
+    case SealedKind::kModifiedPm:
+      static_cast<ModifiedPmProtocol*>(protocol_)->on_sync_signal(*this, ref, instance);
+      break;
+    case SealedKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol*>(protocol_)->on_sync_signal(*this, ref, instance);
+      break;
+    case SealedKind::kGeneric:
+      protocol_->on_sync_signal(*this, ref, instance);
+      break;
+  }
+}
+
+void Engine::proto_on_idle_point(ProcessorId processor) {
+  switch (sealed_) {
+    case SealedKind::kDirectSync:
+    case SealedKind::kPhaseModification:
+    case SealedKind::kModifiedPm:
+      break;  // only RG acts on idle points
+    case SealedKind::kReleaseGuard:
+      static_cast<ReleaseGuardProtocol*>(protocol_)->on_idle_point(*this, processor);
+      break;
+    case SealedKind::kGeneric:
+      protocol_->on_idle_point(*this, processor);
+      break;
   }
 }
 
@@ -189,60 +309,88 @@ void Engine::run() {
   protocol_->initialize(*this);
   initializing_ = false;
 
+  // One iteration per *instant*: drain every event at the head timestamp
+  // into batch_, process the batch, then run scheduling decisions once.
+  // Handlers may enqueue same-instant events; every such event carries a
+  // larger seq than the whole batch, so it sorts after the batch entry
+  // that created it unless its phase is strictly smaller -- the
+  // pop_if_at(key) interleave below merges those in exact (phase, seq)
+  // order, keeping the batched loop's event order identical to the
+  // one-pop-per-iteration loop it replaced (engine_soa_test pins this
+  // against pre-refactor golden hashes).
   while (!queue_.empty()) {
-    if (queue_.top().time > options_.horizon) break;
-    const Event event = queue_.pop();
-    E2E_ASSERT(event.time >= now_, "event queue went backwards in time");
-    now_ = event.time;
-    ++stats_.events_processed;
-    switch (event.kind) {
-      case EventKind::kArrival:
-        handle_arrival(event);
-        break;
-      case EventKind::kRelease:
-        handle_release(event);
-        break;
-      case EventKind::kTimer:
-        handle_timer(event);
-        break;
-      case EventKind::kCompletion:
-        handle_completion(event);
-        break;
-      case EventKind::kSignal:
-        handle_signal(event);
-        break;
+    const Time t = queue_.top_time();
+    if (t > options_.horizon) break;
+    E2E_ASSERT(t >= now_, "event queue went backwards in time");
+    now_ = t;
+    queue_.pop_batch_at(t, batch_);
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      EventQueue::Packed mid;
+      while (queue_.pop_if_at(t, batch_[i].key, mid)) process(mid);
+      process(batch_[i]);
     }
+    // Same-instant events enqueued after their merge position passed the
+    // final batch entry (e.g. releases from the last handler).
+    EventQueue::Packed tail;
+    while (queue_.pop_if_at(t, ~std::uint64_t{0}, tail)) process(tail);
     // Scheduling decisions fire once per instant, after every simultaneous
-    // event has been absorbed (handlers may enqueue same-instant releases,
-    // which keeps this condition false until they are processed too). The
-    // flush itself only enqueues future completions (executions are >= 1
-    // tick), so it runs at most once per instant.
-    if (queue_.empty() || queue_.top().time > now_) flush_dispatches();
+    // event has been absorbed. The flush itself only enqueues future
+    // completions (executions are >= 1 tick), so it cannot reopen the
+    // instant.
+    flush_dispatches();
+  }
+}
+
+void Engine::process(const EventQueue::Packed& packed) {
+  ++stats_.events_processed;
+  const Event event = EventQueue::unpack(packed);
+  switch (event.kind) {
+    case EventKind::kArrival:
+      handle_arrival(event.ref, event.instance);
+      break;
+    case EventKind::kRelease:
+      do_release(event.ref, event.instance);
+      break;
+    case EventKind::kTimer:
+      ++stats_.timer_interrupts;
+      proto_on_timer(event.ref, event.instance);
+      break;
+    case EventKind::kCompletion:
+      handle_completion(event.processor, event.slot, event.generation);
+      break;
+    case EventKind::kSignal:
+      // Delayed delivery of a faulted sync signal (the ideal path never
+      // enqueues these). Accounting happened at send time.
+      proto_on_sync_signal(event.ref, event.instance);
+      break;
   }
 }
 
 void Engine::mark_for_dispatch(ProcessorId processor) {
-  if (dispatch_marked_[processor.index()]) return;
-  dispatch_marked_[processor.index()] = true;
+  std::uint64_t& stamp = dispatch_stamp_[processor.index()];
+  if (stamp == dispatch_epoch_) return;
+  stamp = dispatch_epoch_;
   dispatch_pending_.push_back(processor.value());
 }
 
 void Engine::flush_dispatches() {
+  if (dispatch_pending_.empty()) return;
+  // Bumping the epoch unmarks every pending processor in O(1).
+  ++dispatch_epoch_;
   for (const std::int32_t p : dispatch_pending_) {
-    dispatch_marked_[static_cast<std::size_t>(p)] = false;
     dispatch(processors_[static_cast<std::size_t>(p)]);
   }
   dispatch_pending_.clear();
 }
 
-void Engine::handle_arrival(const Event& event) {
-  const Task& task = system_->task(event.ref.task);
-  auto& first_times = first_release_times_[task.id.index()];
-  E2E_ASSERT(static_cast<std::int64_t>(first_times.size()) == event.instance,
+void Engine::handle_arrival(SubtaskRef ref, std::int64_t instance) {
+  const Task& task = system_->task(ref.task);
+  ArenaVec<Time>& first_times = first_release_[task.id.index()];
+  E2E_ASSERT(static_cast<std::int64_t>(first_times.size()) == instance,
              "arrival out of order");
-  first_times.push_back(now_);
+  first_times.push_back(arena_, now_);
 
-  do_release(event.ref, event.instance);
+  do_release(ref, instance);
 
   const Time next = arrivals_->next(task, now_);
   // Strictly increasing is the only engine-level contract: bounded-jitter
@@ -252,18 +400,14 @@ void Engine::handle_arrival(const Event& event) {
     queue_.push(Event{.time = next,
                       .phase = kReleasePhase,
                       .kind = EventKind::kArrival,
-                      .ref = event.ref,
-                      .instance = event.instance + 1});
+                      .ref = ref,
+                      .instance = instance + 1});
   }
 }
 
-void Engine::handle_release(const Event& event) {
-  do_release(event.ref, event.instance);
-}
-
 void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
-  auto& requested =
-      requested_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  const std::uint32_t fi = flat(ref);
+  std::int64_t& requested = requested_[fi];
   if (instance < requested) {
     // Re-request of an already-requested instance: a duplicated or
     // retransmitted signal. Only the fault layer can produce these.
@@ -277,12 +421,11 @@ void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
 
   if (options_.precedence_policy == PrecedencePolicy::kDeferRelease &&
       ref.index > 0) {
-    const SubtaskRef pred{ref.task, ref.index - 1};
-    auto& held = deferred_[ref.task.index()][static_cast<std::size_t>(ref.index)];
-    // FIFO within the subtask: if anything is already held, queue behind it
-    // even when this instance's own predecessor has completed.
-    if (!held.empty() || completed_instances(pred) <= instance) {
-      held.push_back(instance);
+    // The predecessor's flat index is fi - 1 (same task, previous link).
+    // FIFO within the subtask: if anything is already held, queue behind
+    // it even when this instance's own predecessor has completed.
+    if (defer_head_[fi] != nullptr || completed_[fi - 1] <= instance) {
+      defer_push(fi, instance);
       ++stats_.deferred_releases;
       return;
     }
@@ -290,15 +433,33 @@ void Engine::do_release(SubtaskRef ref, std::int64_t instance) {
   activate_release(ref, instance);
 }
 
+void Engine::defer_push(std::uint32_t flat_index, std::int64_t instance) {
+  DeferNode* node = defer_free_;
+  if (node != nullptr) {
+    defer_free_ = node->next;
+  } else {
+    node = arena_.alloc_array<DeferNode>(1);
+  }
+  node->instance = instance;
+  node->next = nullptr;
+  if (defer_tail_[flat_index] != nullptr) {
+    defer_tail_[flat_index]->next = node;
+  } else {
+    defer_head_[flat_index] = node;
+  }
+  defer_tail_[flat_index] = node;
+}
+
 void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
-  auto& released = released_count_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+  const std::uint32_t fi = flat(ref);
+  std::int64_t& released = released_[fi];
   E2E_ASSERT(instance == released, "releases activated out of order");
   ++released;
 
-  const Subtask& subtask = system_->subtask(ref);
+  const SubtaskMeta& meta = meta_[fi];
   Duration actual_execution =
-      execution_->sample(ref, instance, subtask.execution_time);
-  E2E_ASSERT(actual_execution >= 1 && actual_execution <= subtask.execution_time,
+      execution_->sample(ref, instance, meta.execution_time);
+  E2E_ASSERT(actual_execution >= 1 && actual_execution <= meta.execution_time,
              "execution model must return a value in [1, WCET]");
   if (faults_ != nullptr) {
     const Duration stall = faults_->stall();
@@ -311,9 +472,9 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
   }
   Job job{.ref = ref,
           .instance = instance,
-          .processor = subtask.processor,
-          .priority = subtask.priority,
-          .preemptible = subtask.preemptible,
+          .processor = meta.processor,
+          .priority = meta.priority,
+          .preemptible = meta.preemptible != 0,
           .release_time = now_,
           .execution_time = actual_execution,
           .remaining = actual_execution,
@@ -321,7 +482,7 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
   const JobSlot slot = pool_.allocate(job);
   const Job& stored = pool_.get(slot);
 
-  ProcessorState& proc = processors_[subtask.processor.index()];
+  ProcessorState& proc = processors_[meta.processor.index()];
   if (proc.last_release_time != now_) {
     proc.last_release_time = now_;
     proc.released_at_last = 0;
@@ -333,8 +494,7 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
   // Precedence check: the matching predecessor instance must have completed.
   // Under kDeferRelease this cannot fire: violating releases are held back.
   if (ref.index > 0) {
-    const SubtaskRef pred{ref.task, ref.index - 1};
-    if (completed_instances(pred) <= instance) {
+    if (completed_[fi - 1] <= instance) {
       ++stats_.precedence_violations;
       if (!sinks_.empty()) {
         for (TraceSink* sink : sinks_) sink->on_precedence_violation(stored, now_);
@@ -352,46 +512,39 @@ void Engine::activate_release(SubtaskRef ref, std::int64_t instance) {
   if (!sinks_.empty()) {
     for (TraceSink* sink : sinks_) sink->on_release(stored);
   }
-  protocol_->on_job_released(*this, stored);
+  proto_on_job_released(stored);
 
   push_ready(proc, ProcessorState::ReadyEntry{.priority_level = stored.priority.level,
                                               .release_time = stored.release_time,
                                               .seq = stored.seq,
                                               .slot = slot});
-  mark_for_dispatch(subtask.processor);
+  mark_for_dispatch(meta.processor);
 }
 
 void Engine::flush_deferred(SubtaskRef pred, std::int64_t completed) {
-  const auto succ_index = static_cast<std::size_t>(pred.index) + 1;
-  auto& held = deferred_[pred.task.index()][succ_index];
+  const std::uint32_t fi = flat(pred) + 1;  // the successor's flat index
   // Instance m may activate once completed_instances(pred) > m.
-  while (!held.empty() && held.front() < completed) {
-    const std::int64_t instance = held.front();
-    held.pop_front();
+  while (defer_head_[fi] != nullptr && defer_head_[fi]->instance < completed) {
+    DeferNode* node = defer_head_[fi];
+    const std::int64_t instance = node->instance;
+    defer_head_[fi] = node->next;
+    if (node->next == nullptr) defer_tail_[fi] = nullptr;
+    node->next = defer_free_;
+    defer_free_ = node;
     activate_release(SubtaskRef{pred.task, pred.index + 1}, instance);
   }
 }
 
-void Engine::handle_timer(const Event& event) {
-  ++stats_.timer_interrupts;
-  protocol_->on_timer(*this, event.ref, event.instance);
-}
-
-void Engine::handle_signal(const Event& event) {
-  // Delayed delivery of a faulted sync signal (the ideal path never
-  // enqueues these). Accounting happened at send time.
-  protocol_->on_sync_signal(*this, event.ref, event.instance);
-}
-
-void Engine::handle_completion(const Event& event) {
+void Engine::handle_completion(ProcessorId processor, JobSlot slot,
+                               std::uint32_t generation) {
   // Stale completion events (the job was preempted, or the slot recycled)
   // are dropped: the generation recorded at dispatch no longer matches.
-  if (!pool_.occupied(event.slot)) return;
-  Job& job = pool_.get(event.slot);
-  if (job.generation != event.generation) return;
+  if (!pool_.occupied(slot)) return;
+  Job& job = pool_.get(slot);
+  if (job.generation != generation) return;
 
-  ProcessorState& proc = processors_[event.processor.index()];
-  E2E_ASSERT(proc.running_slot == static_cast<std::int64_t>(event.slot),
+  ProcessorState& proc = processors_[processor.index()];
+  E2E_ASSERT(proc.running_slot == static_cast<std::int64_t>(slot),
              "valid completion for a job that is not running");
   E2E_ASSERT(now_ == job.last_dispatch_time + job.remaining,
              "completion event at the wrong time");
@@ -400,31 +553,31 @@ void Engine::handle_completion(const Event& event) {
   proc.running_slot = -1;
   --proc.incomplete_total;
 
-  auto& completed =
-      completed_count_[job.ref.task.index()][static_cast<std::size_t>(job.ref.index)];
+  const std::uint32_t fi = flat(job.ref);
+  std::int64_t& completed = completed_[fi];
   E2E_ASSERT(completed == job.instance, "subtask instances completed out of order");
   ++completed;
   ++stats_.jobs_completed;
 
-  const Task& task = system_->task(job.ref.task);
-  const bool is_last = job.ref.index + 1 == static_cast<std::int32_t>(task.chain_length());
+  const SubtaskMeta& meta = meta_[fi];
+  const bool is_last = meta.is_last != 0;
   if (is_last) {
-    const std::optional<Time> released = first_release_time(task.id, job.instance);
+    const std::optional<Time> released = first_release_time(job.ref.task, job.instance);
     // `released` can be empty only under a misused protocol (PM with
     // sporadic arrivals), where the precedence violation was already
     // recorded at release time; there is no meaningful EER to check then.
-    if (released.has_value() && now_ - *released > task.relative_deadline) {
+    if (released.has_value() && now_ - *released > meta.deadline) {
       ++stats_.deadline_misses;
     }
   }
 
   const Job completed_job = job;  // keep a copy past the slot's lifetime
-  pool_.release(event.slot);
+  pool_.release(slot);
 
   if (!sinks_.empty()) {
     for (TraceSink* sink : sinks_) sink->on_complete(completed_job, now_);
   }
-  protocol_->on_job_completed(*this, completed_job);
+  proto_on_job_completed(completed_job);
   if (options_.precedence_policy == PrecedencePolicy::kDeferRelease && !is_last) {
     flush_deferred(completed_job.ref, completed);
   }
@@ -438,7 +591,7 @@ void Engine::check_idle_point(ProcessorId processor) {
   if (!sinks_.empty()) {
     for (TraceSink* sink : sinks_) sink->on_idle_point(processor, now_);
   }
-  protocol_->on_idle_point(*this, processor);
+  proto_on_idle_point(processor);
 }
 
 void Engine::push_ready(ProcessorState& proc, ProcessorState::ReadyEntry entry) {

@@ -23,12 +23,22 @@
 // Reuse: experiments that simulate thousands of runs recycle one Engine
 // via reset(), which rebinds the (system, protocol, options) triple and
 // rewinds all simulation state while keeping every allocation warm (event
-// heap, job-slot arena, ready queues, counter tables). A reset engine is
-// observationally identical to a freshly constructed one -- same events,
-// same schedule hash -- asserted by engine_reuse_test.
+// heap, job-slot arena, ready queues, the per-run arena). A reset engine
+// is observationally identical to a freshly constructed one -- same
+// events, same schedule hash -- asserted by engine_reuse_test; a *warm*
+// reset+run cycle performs zero global-allocator calls -- asserted by
+// engine_alloc_test.
+//
+// Memory layout (DESIGN.md section 9): all per-run tables live in a
+// MonotonicArena as flat SoA planes indexed by a precomputed
+// (task, chain index) -> flat-subtask offset table; reset() rewinds the
+// arena cursor instead of clear()ing nested containers. The run loop
+// drains one timestamp at a time from the event queue into a batch
+// buffer (see run() for the interleaving rule) and devirtualizes the
+// protocol callbacks of the four built-in protocols behind a sealed-kind
+// switch.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -36,6 +46,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "sim/arena.h"
 #include "sim/arrival.h"
 #include "sim/event_queue.h"
 #include "sim/execution_model.h"
@@ -122,8 +133,9 @@ class Engine {
 
   /// Re-arms the engine for another run: rebinds system/protocol/options,
   /// rewinds all simulation state (clock, stats, counters, event queue,
-  /// job pool), and drops registered sinks -- while keeping allocated
-  /// storage for reuse. `system` may differ from the previous one.
+  /// job pool, arena cursor), and drops registered sinks -- while keeping
+  /// allocated storage for reuse. `system` may differ from the previous
+  /// one.
   void reset(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
   /// Same-system reuse (new protocol instance and/or options).
   void reset(SyncProtocol& protocol, EngineOptions options) {
@@ -152,17 +164,32 @@ class Engine {
   }
 
   /// Number of completed instances of `ref` so far.
-  [[nodiscard]] std::int64_t completed_instances(SubtaskRef ref) const;
+  [[nodiscard]] std::int64_t completed_instances(SubtaskRef ref) const noexcept {
+    return completed_[flat(ref)];
+  }
   /// Number of released instances of `ref` so far.
-  [[nodiscard]] std::int64_t released_instances(SubtaskRef ref) const;
+  [[nodiscard]] std::int64_t released_instances(SubtaskRef ref) const noexcept {
+    return released_[flat(ref)];
+  }
   /// Release time of T_{i,1}(m); nullopt if not yet arrived. Kept for
   /// every instance (deadline checking & metrics).
   [[nodiscard]] std::optional<Time> first_release_time(TaskId task,
-                                                       std::int64_t instance) const;
+                                                       std::int64_t instance) const {
+    const ArenaVec<Time>& times = first_release_[task.index()];
+    if (instance < 0 || static_cast<std::uint32_t>(instance) >= times.size()) {
+      return std::nullopt;
+    }
+    return times[static_cast<std::size_t>(instance)];
+  }
 
   /// Total time `processor` spent executing jobs so far (work that is
   /// mid-execution when the simulation ends is included up to `now`).
   [[nodiscard]] Duration busy_time(ProcessorId processor) const;
+
+  /// Bytes of arena-backed per-run state (diagnostics/tests).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.bytes_reserved();
+  }
 
   // --- protocol-facing API -------------------------------------------
   /// True if `now` is an idle point on `processor`: every instance
@@ -243,17 +270,43 @@ class Engine {
     }
   };
 
+  /// Deferred-release queue node (kDeferRelease): a singly linked FIFO
+  /// per subtask, nodes arena-allocated and recycled through an intrusive
+  /// free list. Trivially copyable by construction (arena payload).
+  struct DeferNode {
+    std::int64_t instance;
+    DeferNode* next;
+  };
+
+  /// Hot per-subtask parameters, copied out of the TaskSystem into one
+  /// flat arena plane at bind() time. The release/completion handlers
+  /// index this by flat subtask instead of chasing Task::subtasks
+  /// vectors -- one contiguous load per event instead of two bounds-
+  /// checked indirections.
+  struct SubtaskMeta {
+    ProcessorId processor;
+    Priority priority;
+    Duration execution_time;  ///< WCET epsilon_{i,j}
+    Duration deadline;        ///< owning task's relative deadline
+    std::uint8_t preemptible;
+    std::uint8_t is_last;     ///< last subtask in its task's chain
+  };
+
+  /// Flat subtask index of `ref` in the SoA planes.
+  [[nodiscard]] std::uint32_t flat(SubtaskRef ref) const noexcept {
+    return subtask_base_[ref.task.index()] + static_cast<std::uint32_t>(ref.index);
+  }
+
   /// Shared by the constructor and reset(): binds the run's inputs and
   /// (re)initializes all per-run state, recycling allocations.
   void bind(const TaskSystem& system, SyncProtocol& protocol, EngineOptions options);
   static void push_ready(ProcessorState& proc, ProcessorState::ReadyEntry entry);
   /// Removes and returns the dispatch-first ready entry's slot.
   static JobSlot pop_ready(ProcessorState& proc);
-  void handle_arrival(const Event& event);
-  void handle_release(const Event& event);
-  void handle_completion(const Event& event);
-  void handle_timer(const Event& event);
-  void handle_signal(const Event& event);
+  void process(const EventQueue::Packed& packed);
+  void handle_arrival(SubtaskRef ref, std::int64_t instance);
+  void handle_completion(ProcessorId processor, JobSlot slot,
+                         std::uint32_t generation);
   void do_release(SubtaskRef ref, std::int64_t instance);
   /// The release proper (job allocation, precedence check, dispatch),
   /// after do_release's duplicate filtering and defer-policy gate.
@@ -261,6 +314,7 @@ class Engine {
   /// Releases deferred successors of `pred` whose precedence constraint
   /// `completed` completions now satisfy (kDeferRelease only).
   void flush_deferred(SubtaskRef pred, std::int64_t completed);
+  void defer_push(std::uint32_t flat_index, std::int64_t instance);
   /// Marks a processor as needing a scheduling decision. Decisions are
   /// deferred to the end of the current instant (flush_dispatches) so
   /// that simultaneous releases resolve purely by priority -- in
@@ -276,8 +330,17 @@ class Engine {
   [[nodiscard]] std::int64_t incomplete_released_before_now(
       const ProcessorState& proc) const;
 
+  // Sealed-protocol dispatch: direct (inlinable) calls into the four
+  // built-in protocols, one virtual call for everything else.
+  void proto_on_job_released(const Job& job);
+  void proto_on_job_completed(const Job& job);
+  void proto_on_timer(SubtaskRef ref, std::int64_t instance);
+  void proto_on_sync_signal(SubtaskRef ref, std::int64_t instance);
+  void proto_on_idle_point(ProcessorId processor);
+
   const TaskSystem* system_;  // rebindable via reset()
   SyncProtocol* protocol_;
+  SealedKind sealed_ = SealedKind::kGeneric;  // cached protocol_->sealed_kind()
   EngineOptions options_;
   PeriodicArrivals default_arrivals_;
   WcetExecution default_execution_;
@@ -294,15 +357,34 @@ class Engine {
 
   std::vector<ProcessorState> processors_;
   std::vector<std::int32_t> dispatch_pending_;  ///< processors awaiting flush
-  std::vector<bool> dispatch_marked_;           ///< dedup for the list above
-  std::vector<std::vector<std::int64_t>> released_count_;   // [task][index]
-  std::vector<std::vector<std::int64_t>> completed_count_;  // [task][index]
-  /// Release *requests* per subtask; equals released_count_ except while
+  /// Dedup for dispatch_pending_: processor p is marked iff
+  /// dispatch_stamp_[p] == dispatch_epoch_. Bumping the epoch (per flush
+  /// and per reset) unmarks every processor in O(1) -- the vector<bool>
+  /// assign() this replaces re-touched each element every run.
+  std::vector<std::uint64_t> dispatch_stamp_;
+  std::uint64_t dispatch_epoch_ = 0;
+
+  /// Same-timestamp batch buffer drained from queue_ by run().
+  std::vector<EventQueue::Packed> batch_;
+
+  // --- arena-backed per-run SoA state (DESIGN.md section 9) -----------
+  // All pointers below are into arena_ and are re-established by bind();
+  // reset() invalidates them wholesale via arena_.rewind().
+  MonotonicArena arena_;
+  std::uint32_t subtask_total_ = 0;       ///< flat subtask count
+  std::uint32_t* subtask_base_ = nullptr; ///< [task] -> first flat index
+  SubtaskMeta* meta_ = nullptr;           // [flat subtask]
+  /// Release *requests* per subtask; equals released_ except while
   /// kDeferRelease holds a release back. Filters duplicated requests.
-  std::vector<std::vector<std::int64_t>> requested_count_;  // [task][index]
-  /// Held-back instances per subtask (kDeferRelease), ascending.
-  std::vector<std::vector<std::deque<std::int64_t>>> deferred_;
-  std::vector<std::vector<Time>> first_release_times_;      // [task][instance]
+  std::int64_t* requested_ = nullptr;     // [flat subtask]
+  std::int64_t* released_ = nullptr;      // [flat subtask]
+  std::int64_t* completed_ = nullptr;     // [flat subtask]
+  /// Held-back instances per subtask (kDeferRelease), FIFO.
+  DeferNode** defer_head_ = nullptr;      // [flat subtask]
+  DeferNode** defer_tail_ = nullptr;      // [flat subtask]
+  DeferNode* defer_free_ = nullptr;       ///< recycled nodes
+  ArenaVec<Time>* first_release_ = nullptr;  // [task][instance]
+
   std::vector<TraceSink*> sinks_;
   SimStats stats_;
 };

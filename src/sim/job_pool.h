@@ -5,10 +5,17 @@
 // the number of in-flight jobs. Slot generations are preserved across
 // recycling, which (together with the per-dispatch generation bump) makes
 // stale completion events detectable.
+//
+// Header-only: allocate/release/get/occupied run several times per
+// simulated event, so they must inline into the engine's dispatch loop.
+// The occupancy flags live in their own byte plane beside the Job records
+// so the stale-completion check (occupied + generation) touches one hot
+// line instead of dragging whole Job records through the cache.
 #pragma once
 
 #include <vector>
 
+#include "common/error.h"
 #include "sim/job.h"
 
 namespace e2e {
@@ -17,14 +24,49 @@ class JobPool {
  public:
   /// Allocates a slot and move-initializes it from `job`, preserving the
   /// slot's generation counter (monotone across recycling).
-  JobSlot allocate(Job job);
+  JobSlot allocate(Job job) {
+    JobSlot slot = 0;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      // Preserve the recycled slot's generation so completion events queued
+      // against the previous occupant can never validate against this one.
+      job.generation = jobs_[slot].generation;
+      jobs_[slot] = job;
+      occupied_[slot] = 1;
+    } else {
+      slot = static_cast<JobSlot>(jobs_.size());
+      jobs_.push_back(job);
+      occupied_.push_back(1);
+    }
+    ++live_;
+    return slot;
+  }
 
   /// Releases a slot for reuse. The Job's generation survives.
-  void release(JobSlot slot);
+  void release(JobSlot slot) {
+    E2E_ASSERT(slot < jobs_.size() && occupied_[slot] != 0,
+               "releasing a dead job slot");
+    occupied_[slot] = 0;
+    // Bump the generation so any event still referring to this slot is stale.
+    ++jobs_[slot].generation;
+    free_.push_back(slot);
+    --live_;
+  }
 
-  [[nodiscard]] Job& get(JobSlot slot);
-  [[nodiscard]] const Job& get(JobSlot slot) const;
-  [[nodiscard]] bool occupied(JobSlot slot) const noexcept;
+  [[nodiscard]] Job& get(JobSlot slot) {
+    E2E_ASSERT(slot < jobs_.size() && occupied_[slot] != 0,
+               "accessing a dead job slot");
+    return jobs_[slot];
+  }
+  [[nodiscard]] const Job& get(JobSlot slot) const {
+    E2E_ASSERT(slot < jobs_.size() && occupied_[slot] != 0,
+               "accessing a dead job slot");
+    return jobs_[slot];
+  }
+  [[nodiscard]] bool occupied(JobSlot slot) const noexcept {
+    return slot < jobs_.size() && occupied_[slot] != 0;
+  }
 
   /// Number of live jobs.
   [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
@@ -33,17 +75,23 @@ class JobPool {
   /// storage. A cleared pool is observationally identical to a fresh one
   /// -- slot indices and generations restart from zero -- which is what
   /// lets a reused Engine reproduce a fresh engine's schedule exactly.
-  void clear() noexcept;
+  void clear() noexcept {
+    jobs_.clear();
+    occupied_.clear();
+    free_.clear();
+    live_ = 0;
+  }
   /// Pre-sizes the arena for `capacity` concurrent jobs.
-  void reserve(std::size_t capacity);
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.capacity(); }
+  void reserve(std::size_t capacity) {
+    jobs_.reserve(capacity);
+    occupied_.reserve(capacity);
+    free_.reserve(capacity);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return jobs_.capacity(); }
 
  private:
-  struct Slot {
-    Job job;
-    bool occupied = false;
-  };
-  std::vector<Slot> slots_;
+  std::vector<Job> jobs_;           // [slot]
+  std::vector<std::uint8_t> occupied_;  // [slot]; SoA plane beside jobs_
   std::vector<JobSlot> free_;
   std::size_t live_ = 0;
 };

@@ -6,24 +6,6 @@
 
 namespace e2e {
 
-const Task& TaskSystem::task(TaskId id) const {
-  E2E_ASSERT(id.value() >= 0 && id.index() < tasks_.size(), "TaskId out of range");
-  return tasks_[id.index()];
-}
-
-const Subtask& TaskSystem::subtask(SubtaskRef ref) const {
-  const Task& t = task(ref.task);
-  E2E_ASSERT(ref.index >= 0 && static_cast<std::size_t>(ref.index) < t.subtasks.size(),
-             "subtask index out of range");
-  return t.subtasks[static_cast<std::size_t>(ref.index)];
-}
-
-std::span<const SubtaskRef> TaskSystem::subtasks_on(ProcessorId p) const {
-  E2E_ASSERT(p.value() >= 0 && p.index() < per_processor_.size(),
-             "ProcessorId out of range");
-  return per_processor_[p.index()];
-}
-
 double TaskSystem::processor_utilization(ProcessorId p) const {
   double total = 0.0;
   for (const SubtaskRef ref : subtasks_on(p)) {
@@ -34,6 +16,19 @@ double TaskSystem::processor_utilization(ProcessorId p) const {
   return total;
 }
 
+void TaskSystem::set_phases(std::span<const Time> phases) {
+  E2E_ASSERT(phases.size() == tasks_.size(), "set_phases needs one phase per task");
+  for (const Time phase : phases) {
+    if (phase < 0) throw InvalidArgument("task phase must be non-negative");
+  }
+  Time max_phase = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tasks_[i].phase = phases[i];
+    max_phase = std::max(max_phase, phases[i]);
+  }
+  max_phase_ = max_phase;
+}
+
 double TaskSystem::max_processor_utilization() const {
   double best = 0.0;
   for (std::size_t k = 0; k < processor_count_; ++k) {
@@ -41,12 +36,6 @@ double TaskSystem::max_processor_utilization() const {
                     processor_utilization(ProcessorId{static_cast<std::int32_t>(k)}));
   }
   return best;
-}
-
-bool TaskSystem::contains(SubtaskRef ref) const noexcept {
-  if (ref.task.value() < 0 || ref.task.index() >= tasks_.size()) return false;
-  return ref.index >= 0 &&
-         static_cast<std::size_t>(ref.index) < tasks_[ref.task.index()].subtasks.size();
 }
 
 }  // namespace e2e

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "task/model.h"
@@ -18,7 +19,11 @@ namespace e2e {
 class TaskSystemBuilder;
 
 /// Immutable system description. Cheap to copy-construct tasks out of;
-/// usually passed by const reference.
+/// usually passed by const reference. The single sanctioned mutation is
+/// set_phases(): phases participate in no structural invariant, and the
+/// Monte-Carlo drivers randomize them thousands of times per second --
+/// rebuilding through the builder (names, vectors, re-validation) was
+/// their dominant non-simulation cost.
 class TaskSystem {
  public:
   /// Number of processors P_0 .. P_{count-1}.
@@ -28,11 +33,26 @@ class TaskSystem {
   [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
 
-  [[nodiscard]] const Task& task(TaskId id) const;
-  [[nodiscard]] const Subtask& subtask(SubtaskRef ref) const;
+  // task()/subtask()/subtasks_on()/contains() are inline: they run on
+  // the simulator's hot path (several per processed event).
+  [[nodiscard]] const Task& task(TaskId id) const {
+    E2E_ASSERT(id.value() >= 0 && id.index() < tasks_.size(), "TaskId out of range");
+    return tasks_[id.index()];
+  }
+  [[nodiscard]] const Subtask& subtask(SubtaskRef ref) const {
+    const Task& t = task(ref.task);
+    E2E_ASSERT(ref.index >= 0 &&
+                   static_cast<std::size_t>(ref.index) < t.subtasks.size(),
+               "subtask index out of range");
+    return t.subtasks[static_cast<std::size_t>(ref.index)];
+  }
 
   /// Subtasks resident on `p`, in an arbitrary but deterministic order.
-  [[nodiscard]] std::span<const SubtaskRef> subtasks_on(ProcessorId p) const;
+  [[nodiscard]] std::span<const SubtaskRef> subtasks_on(ProcessorId p) const {
+    E2E_ASSERT(p.value() >= 0 && p.index() < per_processor_.size(),
+               "ProcessorId out of range");
+    return per_processor_[p.index()];
+  }
 
   /// Total number of subtasks over all tasks.
   [[nodiscard]] std::size_t subtask_count() const noexcept { return subtask_count_; }
@@ -66,8 +86,18 @@ class TaskSystem {
     return horizon_ticks(kDefaultHorizonPeriods);
   }
 
+  /// Rewrites every task's phase in place (one entry per task, in TaskId
+  /// order) without reallocating. Exactly equivalent to rebuilding the
+  /// system with the new phases: phases carry no cross-field invariant
+  /// beyond being non-negative (validated here, mirroring the builder).
+  void set_phases(std::span<const Time> phases);
+
   /// True if `ref` names an existing subtask.
-  [[nodiscard]] bool contains(SubtaskRef ref) const noexcept;
+  [[nodiscard]] bool contains(SubtaskRef ref) const noexcept {
+    if (ref.task.value() < 0 || ref.task.index() >= tasks_.size()) return false;
+    return ref.index >= 0 && static_cast<std::size_t>(ref.index) <
+                                 tasks_[ref.task.index()].subtasks.size();
+  }
 
  private:
   friend class TaskSystemBuilder;

@@ -16,6 +16,8 @@ PerfReport sample_report() {
   report.bench = "faults";
   report.workload = "2 systems, horizon 5 max-periods";
   report.deterministic = true;
+  report.hw_threads = 8;
+  report.peak_rss_bytes = 64 * 1024 * 1024;
   report.entries = {
       {.threads = 1,
        .wall_seconds = 2.0,
@@ -38,6 +40,8 @@ TEST(PerfJson, SerializedReportValidates) {
   EXPECT_NO_THROW(validate_perf_json(json));
   EXPECT_NE(json.find("\"bench\": \"faults\""), std::string::npos);
   EXPECT_NE(json.find("\"deterministic\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"hw_threads\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\": 67108864"), std::string::npos);
   EXPECT_NE(json.find("\"0xdeadbeefcafef00d\""), std::string::npos);
 }
 
@@ -56,13 +60,21 @@ TEST(PerfJson, ValidateRejectsNonObjects) {
 
 TEST(PerfJson, ValidateRejectsMissingFields) {
   // No entries array.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 4, "peak_rss_bytes": 1024})"),
+      InvalidArgument);
+  // No hw_threads / peak_rss_bytes (pre-schema-v2 document).
   EXPECT_THROW(validate_perf_json(
-                   R"({"bench": "x", "workload": "y", "deterministic": true})"),
+                   R"({"bench": "x", "workload": "y", "deterministic": true,
+                       "entries": []})"),
                InvalidArgument);
   // Entry without a schedule_hash.
   EXPECT_THROW(
       validate_perf_json(
           R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 4, "peak_rss_bytes": 1024,
               "entries": [{"threads": 1, "wall_seconds": 1.0, "events": 2,
                            "events_per_second": 2.0,
                            "speedup_vs_1_thread": 1.0}]})"),
@@ -74,15 +86,29 @@ TEST(PerfJson, ValidateRejectsMalformedValues) {
   EXPECT_THROW(
       validate_perf_json(
           R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 4, "peak_rss_bytes": 1024,
               "entries": [{"threads": 0, "wall_seconds": 1.0, "events": 2,
                            "events_per_second": 2.0,
                            "speedup_vs_1_thread": 1.0,
                            "schedule_hash": "0x0000000000000001"}]})"),
       InvalidArgument);
+  // Zero hw_threads.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 0, "peak_rss_bytes": 1024, "entries": []})"),
+      InvalidArgument);
+  // Negative peak RSS.
+  EXPECT_THROW(
+      validate_perf_json(
+          R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 4, "peak_rss_bytes": -1, "entries": []})"),
+      InvalidArgument);
   // Hash that is not an 0x-prefixed 16-digit hex string.
   EXPECT_THROW(
       validate_perf_json(
           R"({"bench": "x", "workload": "y", "deterministic": true,
+              "hw_threads": 4, "peak_rss_bytes": 1024,
               "entries": [{"threads": 1, "wall_seconds": 1.0, "events": 2,
                            "events_per_second": 2.0,
                            "speedup_vs_1_thread": 1.0,
@@ -136,6 +162,50 @@ TEST(PerfJson, HarnessFlagsNonDeterministicWorkloads) {
                                   static_cast<std::uint64_t>(threads)};
       });
   EXPECT_FALSE(report.deterministic);
+}
+
+TEST(PerfJson, HarnessRecordsHostFacts) {
+  const PerfReport report = run_perf_harness(
+      "demo", "w", {1}, [](int) { return PerfRunOutcome{}; });
+  EXPECT_GE(report.hw_threads, 1);
+  EXPECT_GE(report.peak_rss_bytes, 0);
+}
+
+PerfReport gate_report(int hw_threads, double eight_thread_speedup) {
+  PerfReport report = sample_report();
+  report.hw_threads = hw_threads;
+  report.entries.push_back({.threads = 8,
+                            .wall_seconds = 2.0 / eight_thread_speedup,
+                            .events = 1000,
+                            .events_per_second = 500.0 * eight_thread_speedup,
+                            .speedup_vs_1_thread = eight_thread_speedup,
+                            .schedule_hash = 0xdeadbeefcafef00dULL});
+  return report;
+}
+
+TEST(PerfJson, ScalingGatePassesAtOrAboveTheFloor) {
+  EXPECT_EQ(scaling_gate_failure(gate_report(8, 3.0), 3.0), std::nullopt);
+  EXPECT_EQ(scaling_gate_failure(gate_report(8, 5.5), 3.0), std::nullopt);
+}
+
+TEST(PerfJson, ScalingGateFailsBelowTheFloor) {
+  const std::optional<std::string> failure =
+      scaling_gate_failure(gate_report(8, 1.2), 3.0);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("1.200x"), std::string::npos);
+  EXPECT_NE(failure->find("faults"), std::string::npos);
+}
+
+TEST(PerfJson, ScalingGateSkipsSmallHosts) {
+  // A 1- or 2-core host times oversubscription, not scaling: no verdict.
+  EXPECT_EQ(scaling_gate_failure(gate_report(1, 1.0), 3.0), std::nullopt);
+  EXPECT_EQ(scaling_gate_failure(gate_report(2, 1.1), 3.0), std::nullopt);
+}
+
+TEST(PerfJson, ScalingGateSkipsWithoutAnEightThreadEntry) {
+  PerfReport report = sample_report();  // entries for 1 and 2 threads only
+  report.hw_threads = 16;
+  EXPECT_EQ(scaling_gate_failure(report, 3.0), std::nullopt);
 }
 
 }  // namespace

@@ -87,5 +87,44 @@ TEST(ScenarioExecutor, EngineSlotsPersistAcrossCalls) {
   });
 }
 
+TEST(ScenarioExecutor, WorkerSlotScratchPersistsAcrossCalls) {
+  // The typed scratch parked in a WorkerSlot must survive between
+  // for_each calls (that is what makes Monte-Carlo warm-up pay off) and
+  // the make-callback must run only on first touch.
+  ScenarioExecutor executor{1};
+  int makes = 0;
+  executor.for_each(3, [&](std::int64_t, ScenarioExecutor::WorkerSlot& slot) {
+    std::vector<int>& scratch =
+        slot.scratch_as<std::vector<int>>([&] { ++makes; return std::vector<int>{}; });
+    scratch.push_back(1);
+  });
+  executor.for_each(1, [&](std::int64_t, ScenarioExecutor::WorkerSlot& slot) {
+    std::vector<int>& scratch =
+        slot.scratch_as<std::vector<int>>([&] { ++makes; return std::vector<int>{}; });
+    EXPECT_EQ(scratch.size(), 3u);  // all prior cells appended to one object
+  });
+  EXPECT_EQ(makes, 1);
+}
+
+TEST(ScenarioExecutor, WorkerSlotScratchRebuildsOnTypeChange) {
+  // A different scenario cell parking a different scratch type evicts the
+  // old one instead of reinterpreting it.
+  ScenarioExecutor executor{1};
+  executor.for_each(1, [&](std::int64_t, ScenarioExecutor::WorkerSlot& slot) {
+    slot.scratch_as<std::vector<int>>([] { return std::vector<int>{1, 2, 3}; });
+  });
+  executor.for_each(1, [&](std::int64_t, ScenarioExecutor::WorkerSlot& slot) {
+    const double& value = slot.scratch_as<double>([] { return 2.5; });
+    EXPECT_EQ(value, 2.5);
+  });
+  executor.for_each(1, [&](std::int64_t, ScenarioExecutor::WorkerSlot& slot) {
+    // Back to the first type: the double evicted the vector, so this is a
+    // fresh make, not the {1,2,3} from the first pass.
+    std::vector<int>& scratch =
+        slot.scratch_as<std::vector<int>>([] { return std::vector<int>{}; });
+    EXPECT_TRUE(scratch.empty());
+  });
+}
+
 }  // namespace
 }  // namespace e2e

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/error.h"
 #include "task/builder.h"
 #include "task/paper_examples.h"
 
@@ -53,6 +56,23 @@ TEST(TaskSystem, ContainsChecksBothDimensions) {
 TEST(TaskSystem, TotalExecutionTime) {
   const TaskSystem sys = two_processor_system();
   EXPECT_EQ(sys.task(TaskId{1}).total_execution_time(), 5);
+}
+
+TEST(TaskSystem, SetPhasesUpdatesTasksAndMaxPhase) {
+  TaskSystem sys = two_processor_system();
+  EXPECT_EQ(sys.max_phase(), 0);
+  sys.set_phases(std::vector<Time>{3, 5});
+  EXPECT_EQ(sys.task(TaskId{0}).phase, 3);
+  EXPECT_EQ(sys.task(TaskId{1}).phase, 5);
+  EXPECT_EQ(sys.max_phase(), 5);
+  // Re-phasing downward shrinks max_phase (recomputed, not maxed in).
+  sys.set_phases(std::vector<Time>{1, 0});
+  EXPECT_EQ(sys.max_phase(), 1);
+}
+
+TEST(TaskSystem, SetPhasesRejectsNegativePhases) {
+  TaskSystem sys = two_processor_system();
+  EXPECT_THROW(sys.set_phases(std::vector<Time>{0, -1}), InvalidArgument);
 }
 
 TEST(PaperExample2, MatchesFigure2Parameters) {

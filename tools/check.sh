@@ -6,7 +6,12 @@
 #
 # Usage: tools/check.sh
 #   CHECK_BUILD_DIR (default: build-check) -- sanitizer build tree
+#   PERF_BUILD_DIR  (default: build)       -- unsanitized tree for the gate
 #   JOBS            (default: nproc)       -- build parallelism
+#   E2E_BENCH_GATE  (default: unset)       -- when set (and not 0), also run
+#                     the perf-labelled thread-scaling gates. The gate
+#                     self-skips on hosts with < 4 hardware threads (a
+#                     1-CPU CI box times oversubscription, not scaling).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,3 +23,13 @@ cmake -B "${CHECK_BUILD_DIR}" -S . -DE2E_SANITIZE=address,undefined
 cmake --build "${CHECK_BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${CHECK_BUILD_DIR}" --output-on-failure \
   -L "scenario|bench-smoke|timesvc"
+
+# Opt-in scaling gate, run against an unsanitized tree: wall-clock under
+# ASan/UBSan says nothing about real scaling, so the gate deliberately
+# uses a plain build.
+if [[ -n "${E2E_BENCH_GATE:-}" && "${E2E_BENCH_GATE}" != "0" ]]; then
+  PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
+  cmake -B "${PERF_BUILD_DIR}" -S .
+  cmake --build "${PERF_BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${PERF_BUILD_DIR}" --output-on-failure -L perf
+fi
