@@ -1,0 +1,200 @@
+// Admission-control churn: one deterministic admit/remove/query stream
+// replayed through the full-recompute engines (rebuild the system and
+// rerun the offline analysis per request -- the obviously-correct
+// baseline) and through the incremental engines (delta schedulability
+// analysis, see docs/admission.md), for both SA/PM and SA/DS.
+//
+// Variant hashes are cross-folded so the generic agreement check in
+// write_perf_report (all variant hashes equal) tests exactly "each
+// incremental engine matches its full baseline on every request": every
+// variant's hash combines its own replay's running result hash --
+// verdicts, rejection reasons, bounds -- with the *full* replay of the
+// other policy, so all four agree iff incremental-pm == full-pm and
+// incremental-ds == full-ds.
+//
+// `--json[=path]` additionally runs a shard ladder at several thread
+// counts (E2E_ADMIT_SHARDS independent controllers, each replaying its
+// own forked stream, fanned out over the pool with an index-ordered
+// fold) and exits nonzero on any cross-thread or cross-variant hash
+// mismatch. E2E_ADMIT_GATE=1 arms the headline perf gate: exit 7 when
+// the incremental-pm speedup falls below E2E_ADMIT_GATE_FLOOR (default
+// 10).
+//
+// E2E_* overrides: docs/cli_and_formats.md.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "admission/churn.h"
+#include "admission/controller.h"
+#include "common/args.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "report/perf_json.h"
+#include "report/table.h"
+#include "scenario/defaults.h"
+
+namespace {
+
+using namespace e2e;
+using admission::AdmissionController;
+using admission::ChurnShape;
+using admission::ControllerOptions;
+using admission::Policy;
+using admission::Request;
+
+std::uint64_t replay(const std::vector<Request>& stream, Policy policy,
+                     bool full_recompute, std::size_t processors) {
+  AdmissionController controller{ControllerOptions{
+      .policy = policy, .processors = processors, .full_recompute = full_recompute}};
+  for (const Request& request : stream) (void)controller.submit(request);
+  return controller.result_hash();
+}
+
+template <typename Fn>
+double timed(const Fn& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+  const auto processors = static_cast<std::size_t>(defaults.admission_processors);
+  ChurnShape shape;
+  shape.processors = processors;
+  shape.initial_admits = static_cast<std::size_t>(defaults.admission_initial_tasks);
+  shape.requests = static_cast<std::size_t>(defaults.admission_requests);
+
+  try {
+    const ArgParser args{argc, argv};
+    args.expect_known({"json"});
+
+    Rng master{defaults.admission_seed};
+    const std::vector<Request> stream = generate_churn(master, shape);
+
+    std::uint64_t h_full_pm = 0, h_incr_pm = 0, h_full_ds = 0, h_incr_ds = 0;
+    const double w_full_pm =
+        timed([&] { h_full_pm = replay(stream, Policy::kPm, true, processors); });
+    const double w_incr_pm =
+        timed([&] { h_incr_pm = replay(stream, Policy::kPm, false, processors); });
+    const double w_full_ds =
+        timed([&] { h_full_ds = replay(stream, Policy::kDs, true, processors); });
+    const double w_incr_ds =
+        timed([&] { h_incr_ds = replay(stream, Policy::kDs, false, processors); });
+
+    const auto speedup = [](double full, double incremental) {
+      return incremental > 0.0 ? full / incremental : 0.0;
+    };
+    const double pm_speedup = speedup(w_full_pm, w_incr_pm);
+    const double ds_speedup = speedup(w_full_ds, w_incr_ds);
+    const std::vector<PerfVariant> variants{
+        {.name = "full-pm",
+         .wall_seconds = w_full_pm,
+         .speedup_vs_legacy = 1.0,
+         .result_hash = hash_combine(h_full_pm, h_full_ds)},
+        {.name = "incremental-pm",
+         .wall_seconds = w_incr_pm,
+         .speedup_vs_legacy = pm_speedup,
+         .result_hash = hash_combine(h_incr_pm, h_full_ds)},
+        {.name = "full-ds",
+         .wall_seconds = w_full_ds,
+         .speedup_vs_legacy = 1.0,
+         .result_hash = hash_combine(h_full_pm, h_full_ds)},
+        {.name = "incremental-ds",
+         .wall_seconds = w_incr_ds,
+         .speedup_vs_legacy = ds_speedup,
+         .result_hash = hash_combine(h_full_pm, h_incr_ds)},
+    };
+
+    if (!args.has("json")) {
+      TextTable table({"policy", "full wall", "incremental wall", "speedup",
+                       "identical"});
+      table.add_row({"SA/PM", TextTable::fmt(w_full_pm, 3) + "s",
+                     TextTable::fmt(w_incr_pm, 3) + "s",
+                     TextTable::fmt(pm_speedup, 2) + "x",
+                     h_full_pm == h_incr_pm ? "yes" : "NO"});
+      table.add_row({"SA/DS", TextTable::fmt(w_full_ds, 3) + "s",
+                     TextTable::fmt(w_incr_ds, 3) + "s",
+                     TextTable::fmt(ds_speedup, 2) + "x",
+                     h_full_ds == h_incr_ds ? "yes" : "NO"});
+      std::cout << "== Admission churn: incremental vs full recompute ("
+                << shape.requests << " requests, " << shape.initial_admits
+                << " initial tasks, " << processors << " processors) ==\n\n"
+                << table.to_string();
+      return (h_full_pm == h_incr_pm && h_full_ds == h_incr_ds) ? 0 : 5;
+    }
+
+    // Shard ladder: independent controllers (one forked stream each)
+    // fanned out over the pool; results fold in shard-index order, so
+    // the combined hash is thread-count independent.
+    const auto shards = static_cast<std::int64_t>(defaults.admission_shards);
+    ChurnShape shard_shape = shape;
+    shard_shape.requests =
+        static_cast<std::size_t>(defaults.admission_shard_requests);
+    shard_shape.initial_admits = shard_shape.requests / 3;
+    std::vector<std::vector<Request>> shard_streams;
+    shard_streams.reserve(static_cast<std::size_t>(shards));
+    for (std::int64_t s = 0; s < shards; ++s) {
+      Rng rng = master.fork(static_cast<std::uint64_t>(s));
+      shard_streams.push_back(generate_churn(rng, shard_shape));
+    }
+
+    const std::string path = args.value_string("json", "BENCH_admission.json");
+    std::ostringstream workload;
+    workload << shape.requests << " churn requests (" << shape.initial_admits
+             << " initial tasks, " << processors << " processors), "
+             << "incremental vs full SA/PM and SA/DS; ladder: " << shards
+             << " shards x " << shard_shape.requests
+             << " requests, incremental SA/PM";
+    const int rc = write_perf_report(
+        "admission", workload.str(), path, bench_thread_counts(),
+        [&](int threads) {
+          exec::ThreadPool pool{threads};
+          std::vector<std::uint64_t> hashes(shard_streams.size(), 0);
+          std::vector<std::int64_t> events(shard_streams.size(), 0);
+          pool.parallel_for_indexed(
+              static_cast<std::int64_t>(shard_streams.size()),
+              [&](std::int64_t index, int /*worker*/) {
+                const auto i = static_cast<std::size_t>(index);
+                hashes[i] = replay(shard_streams[i], Policy::kPm, false, processors);
+                events[i] = static_cast<std::int64_t>(shard_streams[i].size());
+              });
+          PerfRunOutcome outcome;
+          for (std::size_t i = 0; i < hashes.size(); ++i) {
+            outcome.events += events[i];
+            outcome.schedule_hash = hash_combine(outcome.schedule_hash, hashes[i]);
+          }
+          return outcome;
+        },
+        PerfWriteOptions{.variants = variants}, std::cout);
+    if (rc != 0) return rc;
+
+    // Headline gate (opt-in): the whole point of the incremental engine
+    // is query-stream rates, so a collapse of the PM speedup is a perf
+    // regression even when every hash still agrees.
+    if (const char* gate = std::getenv("E2E_ADMIT_GATE");
+        gate != nullptr && std::string{gate} != "0" && *gate != '\0') {
+      const double floor = env_double("E2E_ADMIT_GATE_FLOOR", 10.0);
+      if (pm_speedup < floor) {
+        std::cerr << "bench_admission: incremental-pm speedup "
+                  << TextTable::fmt(pm_speedup, 2) << "x below gate floor "
+                  << TextTable::fmt(floor, 2) << "x\n";
+        return 7;
+      }
+    }
+    return 0;
+  } catch (const InvalidArgument& e) {
+    std::cerr << "bench_admission: " << e.what() << "\n";
+    return 1;
+  }
+}

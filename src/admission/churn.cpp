@@ -1,0 +1,74 @@
+#include "admission/churn.h"
+
+#include <algorithm>
+#include <string>
+
+namespace e2e::admission {
+namespace {
+
+/// Period grid in ticks. Spanning a 20x range exercises real rate
+/// diversity while keeping the maximum sparse: the engines' divergence
+/// caps key off the max live period, and a grid keeps cap changes (the
+/// incremental engines' cold-path) present but rare, as in real fleets.
+constexpr Duration kPeriods[] = {500, 1000, 2000, 2500, 5000, 10000};
+
+Request make_admit(Rng& rng, const ChurnShape& shape, std::uint64_t serial) {
+  Request request;
+  request.verb = Verb::kAdmit;
+  TaskSpec& task = request.task;
+  task.name = "T" + std::to_string(serial);
+  task.period = kPeriods[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(std::size(kPeriods)) - 1))];
+  task.deadline = task.period;
+  if (rng.next_double() < 0.1) task.release_jitter = task.period / 100;
+  const int chain = static_cast<int>(rng.uniform_int(1, shape.max_chain));
+  task.subtasks.reserve(static_cast<std::size_t>(chain));
+  for (int j = 0; j < chain; ++j) {
+    SubtaskSpec sub;
+    sub.processor = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shape.processors) - 1));
+    const double util =
+        rng.uniform_real(shape.min_sub_utilization, shape.max_sub_utilization);
+    sub.execution_time =
+        std::max<Duration>(1, static_cast<Duration>(util * static_cast<double>(task.period)));
+    sub.priority_level = static_cast<int>(rng.uniform_int(0, 30));
+    sub.preemptible = rng.next_double() >= 0.05;
+    task.subtasks.push_back(sub);
+  }
+  return request;
+}
+
+}  // namespace
+
+std::vector<Request> generate_churn(Rng& rng, const ChurnShape& shape) {
+  std::vector<Request> stream;
+  stream.reserve(shape.requests);
+  std::vector<std::string> live;  // optimistically-tracked admitted names
+  std::uint64_t serial = 0;
+
+  while (stream.size() < shape.requests) {
+    const bool ramping = stream.size() < shape.initial_admits;
+    const double roll = ramping ? 1.0 : rng.next_double();
+    if (!ramping && roll < shape.remove_fraction && !live.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      Request request;
+      request.verb = Verb::kRemove;
+      request.task.name = live[pick];
+      live[pick] = std::move(live.back());
+      live.pop_back();
+      stream.push_back(std::move(request));
+    } else if (!ramping && roll < shape.remove_fraction + shape.query_fraction) {
+      Request request;
+      request.verb = Verb::kQuery;
+      stream.push_back(std::move(request));
+    } else {
+      Request request = make_admit(rng, shape, serial++);
+      live.push_back(request.task.name);
+      stream.push_back(std::move(request));
+    }
+  }
+  return stream;
+}
+
+}  // namespace e2e::admission

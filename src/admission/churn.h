@@ -1,0 +1,42 @@
+// Deterministic churn-workload generator for the admission service.
+//
+// Produces an admit / remove / query request stream with the statistics
+// an online controller actually faces: a ramp of initial admits, then a
+// steady mix of arrivals and departures, with periodic queries. The same
+// (seed, shape) always yields the same stream -- bench_admission replays
+// one stream through the full-recompute and incremental engines and the
+// property test replays random streams through both in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "admission/request.h"
+#include "common/rng.h"
+
+namespace e2e::admission {
+
+struct ChurnShape {
+  std::size_t processors = 16;
+  /// Admits issued before the steady-state mix begins (they count toward
+  /// `requests`).
+  std::size_t initial_admits = 200;
+  /// Total requests to generate, ramp included.
+  std::size_t requests = 1000;
+  /// Steady-state mix (fractions of a request; the remainder is admits).
+  double remove_fraction = 0.30;
+  double query_fraction = 0.10;
+  /// Per-subtask utilization drawn uniformly from this range.
+  double min_sub_utilization = 0.005;
+  double max_sub_utilization = 0.020;
+  /// Chain length drawn uniformly from [1, max_chain].
+  int max_chain = 3;
+};
+
+/// Generates the stream. Removal targets are drawn from the names this
+/// generator has admitted and not yet removed, *assuming every admit was
+/// accepted*: a name whose admit was actually rejected simply produces a
+/// deterministic unknown-task removal, which is itself realistic load.
+[[nodiscard]] std::vector<Request> generate_churn(Rng& rng, const ChurnShape& shape);
+
+}  // namespace e2e::admission

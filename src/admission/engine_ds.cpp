@@ -1,0 +1,365 @@
+// Incremental SA/DS (and holistic) verdict engine.
+//
+// SA/DS is a global Kleene iteration: the IEER table is the least
+// fixpoint of cap o IEERT above the optimistic init, so unlike SA/PM
+// there is no per-entry locality to exploit directly. What there is
+// instead is the monotone-seed theorem: iterating the operator from ANY
+// table sandwiched between the init and the new least fixpoint converges
+// to exactly that fixpoint. The engine therefore keeps the committed
+// converged table (plus the per-subtask fixpoint warm seeds) and, per
+// request, seeds the iteration with it:
+//
+//  * admit: demand only grows, so every old entry under-approximates the
+//    new fixpoint. Survivor entries keep their values and warm seeds;
+//    entries whose demand equation changed -- the candidate's own, and
+//    every survivor on a processor the candidate occupies -- are force-
+//    flagged so the first sweep recomputes them, and the IEERT dependency
+//    tracking propagates any growth transitively from there. Untouched
+//    regions converge in zero recomputations.
+//
+//  * remove: demand shrinks, so old values OVER-approximate and must not
+//    seed the affected entries. The engine resets exactly the dependency
+//    cone of the touched processors -- the closure, under reverse IEERT
+//    dependencies, of the entries whose interference sets changed -- to
+//    the optimistic init with cold fixpoints; entries outside the cone
+//    provably keep their exact old fixpoint values and are seeded as-is.
+//
+//  * a divergence-cap change (the cap is 2 x 300 x the max live period,
+//    so it moves only when the maximum period changes) invalidates even
+//    infinite entries in both directions; the engine falls back to a
+//    cold run, as it also does when the pass budget blows: a non-
+//    converged result is a mid-iteration table whose exact bytes depend
+//    on the trajectory, and only the cold trajectory matches the offline
+//    analyze_sa_ds the full engine runs.
+//
+// Commit semantics: an accepted admit and every remove commit the trial
+// table; a rejected admit discards it, leaving the engine bit-identical
+// to before the request.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "admission/engine_internal.h"
+#include "common/math.h"
+#include "core/analysis/ieert.h"
+#include "core/analysis/sa_ds.h"
+
+namespace e2e::admission {
+namespace {
+
+/// Committed per-task analysis state, in build (ascending slot) order.
+struct DsTask {
+  Duration deadline = 0;
+  Duration eer = kTimeInfinity;
+  std::vector<Duration> bounds;      ///< converged IEER bounds per subtask
+  std::vector<IeertWarmEntry> warm;  ///< fixpoint seeds per subtask
+};
+
+/// Local replica of analyze_sa_ds's failure cap so the seeded loop below
+/// is the same transition function, pass for pass.
+void apply_failure_cap(const TaskSystem& system, double multiplier,
+                       SubtaskTable& table) {
+  for (const Task& t : system.tasks()) {
+    const Duration cutoff =
+        static_cast<Duration>(multiplier * static_cast<double>(t.period));
+    for (const Subtask& s : t.subtasks) {
+      if (!is_infinite(table.at(s.ref)) && table.at(s.ref) > cutoff) {
+        table.set(s.ref, kTimeInfinity);
+      }
+    }
+  }
+}
+
+class IncrementalDsEngine final : public Engine {
+ public:
+  explicit IncrementalDsEngine(bool refine) : refine_(refine) {}
+
+  TrialVerdict admit(const SystemState& state, std::uint32_t slot,
+                     const TaskSpec& spec) override {
+    const SystemState::Built built = state.build_with(&spec, slot, std::nullopt);
+    Trial trial = run(built, &spec, /*removing=*/false);
+    if (trial.result.system_schedulable()) {
+      commit(built, trial);
+      return {true, std::nullopt};
+    }
+    return {false, failure_of(built, trial.result, slot)};
+  }
+
+  TrialVerdict remove(const SystemState& state, std::uint32_t slot) override {
+    if (state.task_count() <= 1) {  // removing the last task: empty system
+      live_.clear();
+      failing_.clear();
+      prev_cap_ = -1;
+      return {true, std::nullopt};
+    }
+    const TaskSpec& spec = state.spec(slot);  // still live pre-commit
+    const SystemState::Built built = state.build_with(nullptr, 0, slot);
+    live_.erase(slot);
+    failing_.erase(slot);
+    Trial trial = run(built, &spec, /*removing=*/true);
+    commit(built, trial);
+    if (trial.result.system_schedulable()) return {true, std::nullopt};
+    return {false, failure_of(built, trial.result, std::nullopt)};
+  }
+
+  std::uint64_t fold_bounds(std::uint64_t acc) const override {
+    for (const auto& [slot, task] : live_) {
+      acc = detail::fold_task_bounds(acc, task.eer, task.bounds);
+    }
+    return acc;
+  }
+
+  double margin() const override {
+    double worst = 0.0;
+    for (const auto& [slot, task] : live_) {
+      worst = std::max(worst, detail::margin_ratio(task.eer, task.deadline));
+    }
+    return worst;
+  }
+
+  const char* name() const noexcept override { return "incremental"; }
+
+ private:
+  struct Trial {
+    AnalysisResult result;
+    IeertIncrementalState state;  ///< warm seeds to keep on commit
+    Time cap = 0;
+  };
+
+  /// Runs the (seeded or cold) SA/DS iteration for `built`. `delta` is
+  /// the request's spec -- the candidate on admit, the departed task on
+  /// removal -- whose processors delimit the equation-changed region.
+  [[nodiscard]] Trial run(const SystemState::Built& built, const TaskSpec* delta,
+                          bool removing) const {
+    const TaskSystem& system = built.system;
+    const InterferenceMap interference{system};
+    const std::size_t count = interference.subtask_count();
+    const SaDsOptions options{.refine_jitter_with_best_case = refine_};
+
+    Duration max_cutoff = 0;
+    for (const Task& t : system.tasks()) {
+      max_cutoff = std::max(
+          max_cutoff, static_cast<Duration>(options.failure_period_multiplier *
+                                            static_cast<double>(t.period)));
+    }
+    const IeertOptions pass_options{
+        .cap = sat_mul(max_cutoff, 2),
+        .refine_jitter_with_best_case = options.refine_jitter_with_best_case,
+        .failure_period_multiplier = options.failure_period_multiplier,
+        .legacy_demand_path = options.legacy_demand_path};
+
+    // Figure 11 step 1: optimistic init (cumulative execution times).
+    SubtaskTable init{system, 0};
+    for (const Task& t : system.tasks()) {
+      Duration cumulative = 0;
+      for (const Subtask& s : t.subtasks) {
+        cumulative += s.execution_time;
+        init.set(s.ref, cumulative);
+      }
+    }
+
+    // A cap change invalidates every seed (finite bounds may diverge
+    // under a smaller cap, infinite ones converge under a larger one).
+    const bool cold = prev_cap_ < 0 || pass_options.cap != prev_cap_;
+
+    Trial trial;
+    trial.cap = pass_options.cap;
+    SubtaskTable current = init;
+    if (!cold) {
+      seed(built, interference, *delta, removing, current, trial.state);
+    }
+
+    int passes = 0;
+    bool converged = iterate(system, interference, options, pass_options,
+                             current, trial.state, passes);
+    if (!converged && !cold) {
+      // A pass-budget blowout yields a mid-iteration table whose bytes
+      // depend on the trajectory; only the cold trajectory matches the
+      // offline analysis, so restart exactly as analyze_sa_ds would run.
+      current = init;
+      trial.state = IeertIncrementalState{};
+      passes = 0;
+      converged = iterate(system, interference, options, pass_options, current,
+                          trial.state, passes);
+    }
+
+    trial.result.subtask_bounds = std::move(current);
+    trial.result.eer_bounds.assign(system.task_count(), kTimeInfinity);
+    if (converged) {
+      for (const Task& t : system.tasks()) {
+        trial.result.eer_bounds[t.id.index()] =
+            trial.result.subtask_bounds.at(t.last_subtask().ref);
+      }
+    }
+    finalize_schedulability(system, trial.result);
+    return trial;
+  }
+
+  /// The analyze_sa_ds pass loop, verbatim, over caller-owned state.
+  [[nodiscard]] static bool iterate(const TaskSystem& system,
+                                    const InterferenceMap& interference,
+                                    const SaDsOptions& options,
+                                    const IeertOptions& pass_options,
+                                    SubtaskTable& current,
+                                    IeertIncrementalState& state, int& passes) {
+    for (; passes < options.max_passes;) {
+      SubtaskTable next =
+          ieert_pass(system, interference, current, pass_options, &state);
+      apply_failure_cap(system, options.failure_period_multiplier, next);
+      ++passes;
+      if (next == current) return true;
+      current = std::move(next);
+    }
+    return false;
+  }
+
+  /// Seeds `current` and `state` from the committed tables. Entries on
+  /// `delta`'s processors changed equations; on admit they keep their
+  /// (under-approximating) values and are force-flagged, on removal their
+  /// whole reverse-dependency cone is reset to the init with cold
+  /// fixpoints. Everything else seeds as the exact old fixpoint value.
+  void seed(const SystemState::Built& built, const InterferenceMap& interference,
+            const TaskSpec& delta, bool removing, SubtaskTable& current,
+            IeertIncrementalState& state) const {
+    const TaskSystem& system = built.system;
+    const std::size_t count = interference.subtask_count();
+    state.warm.assign(count, {});
+    state.changed.assign(count, 0);  // arm the dependency dirty-skip
+    state.force.assign(count, 0);
+
+    std::set<int> touched;
+    for (const SubtaskSpec& sub : delta.subtasks) touched.insert(sub.processor);
+
+    // reset[flat] == 1: leave the init value and a cold fixpoint seed.
+    std::vector<std::uint8_t> reset(count, 1);
+    if (removing) {
+      mark_remove_cone(system, interference, touched, reset, state.force);
+    } else {
+      for (const Task& t : system.tasks()) {
+        const bool is_candidate = t.id.index() == system.task_count() - 1;
+        for (const Subtask& s : t.subtasks) {
+          const std::size_t flat = interference.flat_index(s.ref);
+          if (!is_candidate) reset[flat] = 0;
+          if (is_candidate || touched.count(s.processor.value()) != 0) {
+            state.force[flat] = 1;
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < built.slots.size(); ++i) {
+      const auto it = live_.find(built.slots[i]);
+      if (it == live_.end()) continue;  // the admit candidate
+      const Task& t = system.tasks()[i];
+      for (const Subtask& s : t.subtasks) {
+        const std::size_t flat = interference.flat_index(s.ref);
+        if (reset[flat] != 0) continue;
+        current.set(s.ref, it->second.bounds[static_cast<std::size_t>(s.ref.index)]);
+        state.warm[flat] = it->second.warm[static_cast<std::size_t>(s.ref.index)];
+      }
+    }
+  }
+
+  /// Closure, under reverse IEERT table dependencies, of the entries on
+  /// the touched processors. Dependencies mirror the incremental pass's
+  /// own dep sets: an entry reads its predecessor's and each interferer's
+  /// predecessor's table values (the jitter terms). The cone being closed
+  /// under reverse deps is what lets everything outside it keep its old
+  /// value: no input of a non-cone entry ever changes.
+  static void mark_remove_cone(const TaskSystem& system,
+                               const InterferenceMap& interference,
+                               const std::set<int>& touched,
+                               std::vector<std::uint8_t>& reset,
+                               std::vector<std::uint8_t>& force) {
+    const std::size_t count = interference.subtask_count();
+    std::vector<std::vector<std::uint32_t>> rdeps(count);
+    std::vector<std::uint32_t> queue;
+    for (const Task& t : system.tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        const auto flat = static_cast<std::uint32_t>(interference.flat_index(s.ref));
+        const auto depend_on = [&](SubtaskRef pred) {
+          rdeps[interference.flat_index(pred)].push_back(flat);
+        };
+        if (s.ref.index > 0) depend_on(SubtaskRef{s.ref.task, s.ref.index - 1});
+        for (const Interferer& k : interference.of(s.ref)) {
+          if (k.ref.index > 0) depend_on(SubtaskRef{k.ref.task, k.ref.index - 1});
+        }
+        reset[flat] = 0;
+        if (touched.count(s.processor.value()) != 0) {
+          reset[flat] = 1;
+          queue.push_back(flat);
+        }
+      }
+    }
+    for (const std::uint32_t flat : queue) force[flat] = 1;
+    while (!queue.empty()) {
+      const std::uint32_t flat = queue.back();
+      queue.pop_back();
+      for (const std::uint32_t r : rdeps[flat]) {
+        if (reset[r] != 0) continue;
+        reset[r] = 1;
+        force[r] = 1;
+        queue.push_back(r);
+      }
+    }
+  }
+
+  void commit(const SystemState::Built& built, Trial& trial) {
+    const TaskSystem& system = built.system;
+    const InterferenceMap interference{system};
+    live_.clear();
+    failing_.clear();
+    for (std::size_t i = 0; i < built.slots.size(); ++i) {
+      const Task& t = system.tasks()[i];
+      DsTask& task = live_[built.slots[i]];
+      task.deadline = t.relative_deadline;
+      task.eer = trial.result.eer_bounds[i];
+      task.bounds.reserve(t.subtasks.size());
+      task.warm.reserve(t.subtasks.size());
+      for (const Subtask& s : t.subtasks) {
+        task.bounds.push_back(trial.result.subtask_bounds.at(s.ref));
+        const std::size_t flat = interference.flat_index(s.ref);
+        task.warm.push_back(flat < trial.state.warm.size()
+                                ? std::move(trial.state.warm[flat])
+                                : IeertWarmEntry{});
+      }
+      if (!trial.result.task_schedulable[i]) failing_.insert(built.slots[i]);
+    }
+    prev_cap_ = trial.cap;
+  }
+
+  [[nodiscard]] static TrialFailure failure_of(
+      const SystemState::Built& built, const AnalysisResult& result,
+      std::optional<std::uint32_t> candidate_slot) {
+    TrialFailure failure;
+    for (const Task& t : built.system.tasks()) {
+      if (result.task_schedulable[t.id.index()]) continue;
+      failure.slot = built.slots[t.id.index()];
+      failure.is_candidate =
+          candidate_slot.has_value() && failure.slot == *candidate_slot;
+      failure.eer = result.eer_bounds[t.id.index()];
+      failure.deadline = t.relative_deadline;
+      for (const Subtask& s : t.subtasks) {
+        failure.subtask_bounds.push_back(result.subtask_bounds.at(s.ref));
+      }
+      break;
+    }
+    return failure;
+  }
+
+  bool refine_;
+  std::map<std::uint32_t, DsTask> live_;
+  std::set<std::uint32_t> failing_;
+  Time prev_cap_ = -1;  ///< divergence cap of the committed analysis; -1 = none
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Engine> make_incremental_ds_engine(bool refine) {
+  return std::make_unique<IncrementalDsEngine>(refine);
+}
+}  // namespace detail
+
+}  // namespace e2e::admission

@@ -1,0 +1,34 @@
+// Internals shared by the admission verdict engines (not installed API).
+#pragma once
+
+#include <memory>
+
+#include "admission/engine.h"
+#include "common/hash.h"
+
+namespace e2e::admission::detail {
+
+/// One task's contribution to the `query` margin; kept in one place so
+/// the full and incremental engines produce bit-identical doubles.
+[[nodiscard]] inline double margin_ratio(Duration eer, Duration deadline) noexcept {
+  return is_infinite(eer) ? 1e9
+                          : static_cast<double>(eer) / static_cast<double>(deadline);
+}
+
+/// One task's contribution to fold_bounds: EER first, then the chain.
+template <typename BoundRange>
+[[nodiscard]] std::uint64_t fold_task_bounds(std::uint64_t acc, Duration eer,
+                                             const BoundRange& bounds) {
+  acc = hash_combine(acc, static_cast<std::uint64_t>(eer));
+  for (const Duration b : bounds) {
+    acc = hash_combine(acc, static_cast<std::uint64_t>(b));
+  }
+  return acc;
+}
+
+[[nodiscard]] std::unique_ptr<Engine> make_full_engine(Policy policy);
+[[nodiscard]] std::unique_ptr<Engine> make_incremental_pm_engine();
+/// `refine` selects the holistic (best-case-refined jitter) operator.
+[[nodiscard]] std::unique_ptr<Engine> make_incremental_ds_engine(bool refine);
+
+}  // namespace e2e::admission::detail

@@ -1,0 +1,327 @@
+// Incremental SA/PM verdict engine.
+//
+// Under SA/PM every subtask bound is a pure function of its own demand
+// equation: (period, exec, jitter, blocking, cap) plus the co-located
+// higher-or-equal-priority interferer parameters. The engine therefore
+// keeps, per processor, the resident subtask entries plus each entry's
+// equation signature, converged bound, and SubtaskScratch fixpoints, and
+// on every request re-solves exactly the entries whose *fresh* signature
+// differs from the stored one:
+//
+//  * admit touches the candidate's processors only (every other entry's
+//    equation -- interferer set, blocking, cap -- is bit-identical, so
+//    signature-exact reuse applies with no monotonicity argument);
+//  * admits never shrink demand or the cap, so re-solves warm-start from
+//    the stored fixpoints (monotone warm start; entries whose previous
+//    bound was infinite restart cold, since a larger cap can turn
+//    "unbounded" into a finite bound);
+//  * removes shrink demand, so touched entries restart cold;
+//  * the divergence cap is 300 x the maximum live period; when the
+//    maximum period changes, every signature in the system changes and
+//    the sweep widens to all processors -- rare under steady churn.
+//
+// A rejected admit rolls back by restoring the snapshotted entries, so
+// trial state never leaks. No TaskSystem or InterferenceMap is ever
+// built: per-request cost is proportional to the touched processors'
+// residents, not to the system -- which is where the order-of-magnitude
+// win over full recompute comes from (bench_admission).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "admission/engine_internal.h"
+#include "common/math.h"
+#include "core/analysis/kernels.h"
+#include "core/analysis/sa_pm.h"
+
+namespace e2e::admission {
+namespace {
+
+struct PmSub {
+  int processor = -1;
+  int level = 0;
+  Duration exec = 0;
+  bool preemptible = true;
+  Duration bound = 0;
+  std::uint64_t signature = 0;
+  SubtaskScratch scratch;
+};
+
+struct PmTask {
+  Duration period = 0;
+  Duration jitter = 0;
+  Duration deadline = 0;
+  Duration eer = 0;
+  std::vector<PmSub> subs;
+};
+
+/// One resident subtask of a processor plane, ordered by (slot, sub) so
+/// hp signatures are stable for unchanged interference sets.
+struct PlaneRef {
+  std::uint32_t slot = 0;
+  std::uint32_t sub = 0;
+  friend bool operator<(const PlaneRef& a, const PlaneRef& b) noexcept {
+    return a.slot != b.slot ? a.slot < b.slot : a.sub < b.sub;
+  }
+};
+
+class IncrementalPmEngine final : public Engine {
+ public:
+  TrialVerdict admit(const SystemState& state, std::uint32_t slot,
+                     const TaskSpec& spec) override {
+    planes_.resize(state.processor_count());
+    const bool was_empty = live_.empty();
+    insert_task(slot, spec);
+    const Time new_cap = cap_from_periods();
+    const bool cap_changed = was_empty || new_cap != cap_;
+
+    std::vector<std::uint8_t> touched(planes_.size(), 0);
+    if (cap_changed) {
+      std::fill(touched.begin(), touched.end(), 1);
+    } else {
+      for (const SubtaskSpec& sub : spec.subtasks) {
+        touched[static_cast<std::size_t>(sub.processor)] = 1;
+      }
+    }
+
+    // Snapshot everything the trial may overwrite; the candidate's own
+    // entries need none (a reject erases the whole task).
+    struct EntrySnap {
+      PlaneRef ref;
+      Duration bound;
+      std::uint64_t signature;
+      SubtaskScratch scratch;
+    };
+    std::vector<EntrySnap> snap_entries;
+    std::vector<std::pair<std::uint32_t, Duration>> snap_eers;
+    const std::set<std::uint32_t> snap_failing = failing_;
+
+    std::set<std::uint32_t> dirty;
+    for (std::size_t p = 0; p < planes_.size(); ++p) {
+      if (touched[p] == 0) continue;
+      for (const PlaneRef& ref : planes_[p]) {
+        PmSub& entry = sub_of(ref);
+        const ResponseEquation eq = equation_of(ref, entry, new_cap);
+        const std::uint64_t sig = response_equation_signature(eq, hp_view());
+        if (sig == entry.signature && entry.scratch.has) continue;
+        if (ref.slot != slot) {
+          snap_entries.push_back({ref, entry.bound, entry.signature, entry.scratch});
+        }
+        // Admits only grow demand and the cap, so finite fixpoints
+        // warm-start; a previously unbounded entry must restart cold.
+        const bool warm = entry.scratch.has && !is_infinite(entry.bound);
+        entry.bound = solve_response_bound(eq, hp_view(), &entry.scratch, warm);
+        entry.signature = sig;
+        dirty.insert(ref.slot);
+      }
+    }
+
+    for (const std::uint32_t s : dirty) {
+      PmTask& task = live_.at(s);
+      if (s != slot) snap_eers.emplace_back(s, task.eer);
+      refresh_task(s, task);
+    }
+
+    if (failing_.empty()) {
+      cap_ = new_cap;
+      return {true, std::nullopt};
+    }
+
+    TrialFailure failure = failure_of(*failing_.begin(), slot);
+    // Roll back: the engine must be bit-identical to before the trial.
+    for (const EntrySnap& snap : snap_entries) {
+      PmSub& entry = sub_of(snap.ref);
+      entry.bound = snap.bound;
+      entry.signature = snap.signature;
+      entry.scratch = snap.scratch;
+    }
+    for (const auto& [s, eer] : snap_eers) live_.at(s).eer = eer;
+    failing_ = snap_failing;
+    erase_task(slot, spec.period);
+    return {false, std::move(failure)};
+  }
+
+  TrialVerdict remove(const SystemState& state, std::uint32_t slot) override {
+    const TaskSpec& spec = state.spec(slot);
+    erase_task(slot, spec.period);
+    failing_.erase(slot);
+    if (live_.empty()) return {true, std::nullopt};
+
+    const Time new_cap = cap_from_periods();
+    const bool cap_changed = new_cap != cap_;
+    std::vector<std::uint8_t> touched(planes_.size(), 0);
+    if (cap_changed) {
+      std::fill(touched.begin(), touched.end(), 1);
+    } else {
+      for (const SubtaskSpec& sub : spec.subtasks) {
+        touched[static_cast<std::size_t>(sub.processor)] = 1;
+      }
+    }
+
+    std::set<std::uint32_t> dirty;
+    for (std::size_t p = 0; p < planes_.size(); ++p) {
+      if (touched[p] == 0) continue;
+      for (const PlaneRef& ref : planes_[p]) {
+        PmSub& entry = sub_of(ref);
+        const ResponseEquation eq = equation_of(ref, entry, new_cap);
+        const std::uint64_t sig = response_equation_signature(eq, hp_view());
+        if (sig == entry.signature && entry.scratch.has) continue;
+        // Demand shrank: the old fixpoint over-approximates, so restart
+        // cold (signature-exact reuse above needs no such care).
+        entry.scratch = SubtaskScratch{};
+        entry.bound = solve_response_bound(eq, hp_view(), &entry.scratch, false);
+        entry.signature = sig;
+        dirty.insert(ref.slot);
+      }
+    }
+    for (const std::uint32_t s : dirty) refresh_task(s, live_.at(s));
+    cap_ = new_cap;
+    if (failing_.empty()) return {true, std::nullopt};
+    return {false, failure_of(*failing_.begin(), std::nullopt)};
+  }
+
+  std::uint64_t fold_bounds(std::uint64_t acc) const override {
+    for (const auto& [slot, task] : live_) {
+      acc = hash_combine(acc, static_cast<std::uint64_t>(task.eer));
+      for (const PmSub& sub : task.subs) {
+        acc = hash_combine(acc, static_cast<std::uint64_t>(sub.bound));
+      }
+    }
+    return acc;
+  }
+
+  double margin() const override {
+    double worst = 0.0;
+    for (const auto& [slot, task] : live_) {
+      worst = std::max(worst, detail::margin_ratio(task.eer, task.deadline));
+    }
+    return worst;
+  }
+
+  const char* name() const noexcept override { return "incremental"; }
+
+ private:
+  [[nodiscard]] PmSub& sub_of(const PlaneRef& ref) {
+    return live_.at(ref.slot).subs[ref.sub];
+  }
+
+  /// Same expression as analyze_sa_pm's cap so signatures agree with the
+  /// offline analysis of the identical system.
+  [[nodiscard]] Time cap_from_periods() const {
+    const Duration max_period = period_counts_.rbegin()->first;
+    return static_cast<Time>(SaPmOptions{}.cap_period_multiplier *
+                             static_cast<double>(max_period));
+  }
+
+  /// Assembles the demand equation of `ref` against the *current* plane
+  /// into the reusable hp buffers (valid until the next call).
+  [[nodiscard]] ResponseEquation equation_of(const PlaneRef& ref, const PmSub& entry,
+                                             Time cap) {
+    hp_periods_.clear();
+    hp_execs_.clear();
+    hp_jitters_.clear();
+    Duration blocking = 0;
+    for (const PlaneRef& other_ref :
+         planes_[static_cast<std::size_t>(entry.processor)]) {
+      if (other_ref.slot == ref.slot && other_ref.sub == ref.sub) continue;
+      const PmTask& other_task = live_.at(other_ref.slot);
+      const PmSub& other = other_task.subs[other_ref.sub];
+      if (other.level <= entry.level) {  // the paper's H set: >= priority
+        hp_periods_.push_back(other_task.period);
+        hp_execs_.push_back(other.exec);
+        hp_jitters_.push_back(other_task.jitter);
+      } else if (!other.preemptible) {
+        blocking = std::max(blocking, other.exec - 1);
+      }
+    }
+    const PmTask& task = live_.at(ref.slot);
+    return ResponseEquation{.period = task.period,
+                            .exec = entry.exec,
+                            .jitter = task.jitter,
+                            .blocking = blocking,
+                            .cap = cap};
+  }
+
+  [[nodiscard]] HpView hp_view() const noexcept {
+    return HpView{hp_periods_, hp_execs_, hp_jitters_};
+  }
+
+  /// Recomputes a task's EER (SA/PM step 5: the sum of its subtask
+  /// bounds) and its membership in the failing set.
+  void refresh_task(std::uint32_t slot, PmTask& task) {
+    Duration eer = 0;
+    for (const PmSub& sub : task.subs) eer = sat_add(eer, sub.bound);
+    task.eer = eer;
+    if (!is_infinite(eer) && eer <= task.deadline) {
+      failing_.erase(slot);
+    } else {
+      failing_.insert(slot);
+    }
+  }
+
+  void insert_task(std::uint32_t slot, const TaskSpec& spec) {
+    PmTask task{.period = spec.period,
+                .jitter = spec.release_jitter,
+                .deadline = spec.deadline};
+    task.subs.reserve(spec.subtasks.size());
+    for (const SubtaskSpec& sub : spec.subtasks) {
+      task.subs.push_back({.processor = sub.processor,
+                           .level = sub.priority_level,
+                           .exec = sub.execution_time,
+                           .preemptible = sub.preemptible});
+    }
+    live_.emplace(slot, std::move(task));
+    for (std::uint32_t j = 0; j < spec.subtasks.size(); ++j) {
+      auto& plane = planes_[static_cast<std::size_t>(spec.subtasks[j].processor)];
+      const PlaneRef ref{slot, j};
+      plane.insert(std::lower_bound(plane.begin(), plane.end(), ref), ref);
+    }
+    ++period_counts_[spec.period];
+  }
+
+  void erase_task(std::uint32_t slot, Duration period) {
+    const auto it = live_.find(slot);
+    for (std::uint32_t j = 0; j < it->second.subs.size(); ++j) {
+      auto& plane =
+          planes_[static_cast<std::size_t>(it->second.subs[j].processor)];
+      const PlaneRef ref{slot, j};
+      const auto pos = std::lower_bound(plane.begin(), plane.end(), ref);
+      plane.erase(pos);
+    }
+    live_.erase(it);
+    const auto period_it = period_counts_.find(period);
+    if (--period_it->second == 0) period_counts_.erase(period_it);
+  }
+
+  [[nodiscard]] TrialFailure failure_of(std::uint32_t slot,
+                                        std::optional<std::uint32_t> candidate) const {
+    const PmTask& task = live_.at(slot);
+    TrialFailure failure{.slot = slot,
+                        .is_candidate = candidate.has_value() && slot == *candidate,
+                        .eer = task.eer,
+                        .deadline = task.deadline};
+    for (const PmSub& sub : task.subs) failure.subtask_bounds.push_back(sub.bound);
+    return failure;
+  }
+
+  std::map<std::uint32_t, PmTask> live_;
+  std::vector<std::vector<PlaneRef>> planes_;  // per processor, sorted
+  std::map<Duration, std::size_t> period_counts_;
+  std::set<std::uint32_t> failing_;  // slots whose task is unschedulable
+  Time cap_ = 0;                     // valid only while live_ is non-empty
+  // Reusable hp-assembly buffers (never shared across threads).
+  std::vector<Duration> hp_periods_;
+  std::vector<Duration> hp_execs_;
+  std::vector<Duration> hp_jitters_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Engine> make_incremental_pm_engine() {
+  return std::make_unique<IncrementalPmEngine>();
+}
+}  // namespace detail
+
+}  // namespace e2e::admission

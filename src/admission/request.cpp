@@ -1,0 +1,165 @@
+#include "admission/request.h"
+
+#include <algorithm>
+#include <charconv>
+#include <vector>
+
+#include "common/args.h"
+#include "common/error.h"
+
+namespace e2e::admission {
+namespace {
+
+const std::vector<std::string> kAdmitKeys{"name",   "period", "phase",
+                                          "deadline", "jitter", "sub"};
+const std::vector<std::string> kRemoveKeys{"name"};
+
+/// Whitespace-splits `line`, dropping everything from the first '#'.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw InvalidArgument(key + " expects an integer, got '" + value + "'");
+  }
+  return parsed;
+}
+
+/// `proc:exec:prio[:np]`.
+SubtaskSpec parse_subtask(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : value) {
+    if (c == ':') {
+      parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(std::move(current));
+  if (parts.size() < 3 || parts.size() > 4) {
+    throw InvalidArgument("sub expects proc:exec:prio[:np], got '" + value + "'");
+  }
+  SubtaskSpec sub;
+  sub.processor = static_cast<int>(parse_int("sub processor", parts[0]));
+  sub.execution_time = parse_int("sub execution time", parts[1]);
+  sub.priority_level = static_cast<int>(parse_int("sub priority", parts[2]));
+  if (parts.size() == 4) {
+    if (parts[3] != "np") {
+      throw InvalidArgument("sub flag must be 'np', got '" + parts[3] + "'");
+    }
+    sub.preemptible = false;
+  }
+  return sub;
+}
+
+Request parse_tokens(const std::vector<std::string>& tokens) {
+  Request request;
+  const std::string& verb = tokens.front();
+  const std::vector<std::string>* known = nullptr;
+  if (verb == "admit") {
+    request.verb = Verb::kAdmit;
+    known = &kAdmitKeys;
+  } else if (verb == "remove") {
+    request.verb = Verb::kRemove;
+    known = &kRemoveKeys;
+  } else if (verb == "query") {
+    request.verb = Verb::kQuery;
+    if (tokens.size() > 1) {
+      throw InvalidArgument("query takes no arguments");
+    }
+    return request;
+  } else {
+    throw InvalidArgument("unknown request verb '" + verb +
+                          "' (admit, remove, query)");
+  }
+
+  bool saw_period = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgument("expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (std::find(known->begin(), known->end(), key) == known->end()) {
+      throw InvalidArgument("unknown key '" + key +
+                            "' (known: " + format_known_keys(*known) + ")");
+    }
+    // Every key but the repeatable `sub` may appear at most once.
+    if (key == "sub") {
+      request.task.subtasks.push_back(parse_subtask(value));
+      continue;
+    }
+    if (key == "name") {
+      if (!request.task.name.empty()) throw InvalidArgument("duplicate key 'name'");
+      if (value.empty()) throw InvalidArgument("name must not be empty");
+      request.task.name = value;
+      continue;
+    }
+    const auto set_once = [&](Duration& field) {
+      if (field != 0) throw InvalidArgument("duplicate key '" + key + "'");
+      field = parse_int(key, value);
+    };
+    if (key == "period") {
+      if (saw_period) throw InvalidArgument("duplicate key 'period'");
+      saw_period = true;
+      request.task.period = parse_int(key, value);
+    } else if (key == "phase") {
+      set_once(request.task.phase);
+    } else if (key == "deadline") {
+      set_once(request.task.deadline);
+    } else {  // jitter
+      set_once(request.task.release_jitter);
+    }
+  }
+
+  if (request.task.name.empty()) {
+    throw InvalidArgument(std::string{to_string(request.verb)} +
+                          " requires name=...");
+  }
+  return request;
+}
+
+}  // namespace
+
+const char* to_string(Verb verb) noexcept {
+  switch (verb) {
+    case Verb::kAdmit: return "admit";
+    case Verb::kRemove: return "remove";
+    case Verb::kQuery: return "query";
+  }
+  return "?";
+}
+
+std::optional<Request> parse_request(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return std::nullopt;
+  try {
+    return parse_tokens(tokens);
+  } catch (const InvalidArgument& e) {
+    Request request;
+    request.parse_error = e.what();
+    return request;
+  }
+}
+
+}  // namespace e2e::admission

@@ -1,0 +1,45 @@
+// Line-oriented request grammar of the admission service.
+//
+// One request per line, verb first, then space-separated key=value
+// pairs; '#' starts a comment and blank lines are skipped:
+//
+//   admit name=T1 period=5000 sub=0:700:3 sub=1:300:2:np
+//   admit name=T2 period=2500 deadline=2400 jitter=10 sub=1:120:5
+//   remove name=T1
+//   query
+//
+// admit keys: name (required), period (required, ticks), phase,
+// deadline (0 or absent = period), jitter, and one sub=... per chain
+// stage in precedence order. A sub value is proc:exec:prio with an
+// optional :np suffix marking the stage non-preemptible.
+//
+// Parsing never throws: a malformed line yields a Request whose
+// `parse_error` is non-empty (the controller reports it and the stream
+// continues), so one typo cannot take down a long-running service.
+// Unknown keys are diagnosed with the same "(known: ...)" suffix the
+// CLI's expect_known produces.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "admission/types.h"
+
+namespace e2e::admission {
+
+enum class Verb : std::uint8_t { kAdmit, kRemove, kQuery };
+
+[[nodiscard]] const char* to_string(Verb verb) noexcept;
+
+struct Request {
+  Verb verb = Verb::kQuery;
+  TaskSpec task;             ///< admit: full spec; remove: only `name`
+  std::string parse_error;   ///< non-empty when the line was malformed
+  [[nodiscard]] bool ok() const noexcept { return parse_error.empty(); }
+};
+
+/// Parses one line of the request stream. Returns nullopt for blank and
+/// comment lines; otherwise a Request (inspect `parse_error`).
+[[nodiscard]] std::optional<Request> parse_request(const std::string& line);
+
+}  // namespace e2e::admission

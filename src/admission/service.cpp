@@ -1,0 +1,153 @@
+#include "admission/service.h"
+
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace e2e::admission {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string verdict_of(const Outcome& outcome) {
+  if (outcome.reason != ReasonCode::kNone) return to_string(outcome.reason);
+  return outcome.accepted ? "accepted" : "rejected";
+}
+
+std::string bound_str(Duration bound) {
+  return TextTable::fmt_or_inf(static_cast<long long>(bound),
+                               static_cast<long long>(kTimeInfinity));
+}
+
+std::string render_table(const std::vector<Outcome>& outcomes) {
+  TextTable table({"#", "verb", "task", "verdict", "live", "detail"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    table.add_row({std::to_string(i), to_string(o.verb), o.task_name,
+                   verdict_of(o), std::to_string(o.live_tasks),
+                   o.message + (o.from_cache ? " [cached]" : "")});
+  }
+  return table.to_string();
+}
+
+std::string render_csv(const std::vector<Outcome>& outcomes) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"index", "verb", "task", "accepted", "reason", "slot",
+                 "culprit_task", "culprit_subtask", "culprit_processor",
+                 "culprit_bound", "culprit_eer", "culprit_deadline", "margin",
+                 "live_tasks", "cached"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    csv.write_row({std::to_string(i), to_string(o.verb), o.task_name,
+                   o.accepted ? "1" : "0", to_string(o.reason),
+                   std::to_string(o.slot), o.culprit_task,
+                   std::to_string(o.culprit_subtask),
+                   std::to_string(o.culprit_processor), bound_str(o.culprit_bound),
+                   bound_str(o.culprit_eer), std::to_string(o.culprit_deadline),
+                   TextTable::fmt(o.margin, 6), std::to_string(o.live_tasks),
+                   o.from_cache ? "1" : "0"});
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Outcome>& outcomes,
+                        const ServiceResult& result, const ServiceOptions& options,
+                        const AdmissionController& controller) {
+  std::ostringstream out;
+  out << "{\n  \"policy\": " << json_str(to_string(options.controller.policy))
+      << ",\n  \"engine\": " << json_str(controller.engine_name())
+      << ",\n  \"outcomes\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    out << "    {\"index\": " << i << ", \"verb\": " << json_str(to_string(o.verb))
+        << ", \"task\": " << json_str(o.task_name)
+        << ", \"accepted\": " << (o.accepted ? "true" : "false")
+        << ", \"reason\": " << json_str(to_string(o.reason))
+        << ", \"live_tasks\": " << o.live_tasks;
+    if (o.reason == ReasonCode::kBoundFailure || !o.remaining_schedulable) {
+      out << ", \"culprit\": {\"task\": " << json_str(o.culprit_task)
+          << ", \"subtask\": " << o.culprit_subtask
+          << ", \"processor\": " << o.culprit_processor << ", \"bound\": "
+          << json_str(bound_str(o.culprit_bound)) << ", \"eer\": "
+          << json_str(bound_str(o.culprit_eer))
+          << ", \"deadline\": " << o.culprit_deadline << "}";
+    }
+    if (o.verb == Verb::kQuery) out << ", \"margin\": " << TextTable::fmt(o.margin, 6);
+    out << ", \"message\": " << json_str(o.message) << "}"
+        << (i + 1 < outcomes.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"summary\": {\"requests\": " << result.requests
+      << ", \"admitted\": " << result.admitted << ", \"rejected\": " << result.rejected
+      << ", \"removed\": " << result.removed << ", \"errors\": " << result.errors
+      << ", \"cache_hits\": " << controller.cache_hits()
+      << ", \"result_hash\": \"" << std::hex << result.result_hash << std::dec
+      << "\"}\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+ServiceResult run_admission_stream(std::istream& in, const ServiceOptions& options) {
+  AdmissionController controller{options.controller};
+  std::vector<Outcome> outcomes;
+  ServiceResult result;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::optional<Request> request = parse_request(line);
+    if (!request.has_value()) continue;  // blank / comment
+    Outcome outcome = controller.submit(*request);
+    ++result.requests;
+    if (outcome.reason == ReasonCode::kParseError ||
+        outcome.reason == ReasonCode::kUnknownTask) {
+      ++result.errors;
+    } else if (outcome.verb == Verb::kAdmit) {
+      ++(outcome.accepted ? result.admitted : result.rejected);
+    } else if (outcome.verb == Verb::kRemove) {
+      ++result.removed;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+
+  result.result_hash = controller.result_hash();
+  switch (options.report) {
+    case ReportFormat::kTable: {
+      std::ostringstream out;
+      out << render_table(outcomes);
+      out << "requests " << result.requests << "  admitted " << result.admitted
+          << "  rejected " << result.rejected << "  removed " << result.removed
+          << "  errors " << result.errors << "  engine " << controller.engine_name()
+          << "  cache " << controller.cache_hits() << "/"
+          << controller.cache_hits() + controller.cache_misses() << "  hash "
+          << std::hex << result.result_hash << std::dec << "\n";
+      result.report = out.str();
+      break;
+    }
+    case ReportFormat::kCsv: result.report = render_csv(outcomes); break;
+    case ReportFormat::kJson:
+      result.report = render_json(outcomes, result, options, controller);
+      break;
+  }
+  return result;
+}
+
+}  // namespace e2e::admission

@@ -1,0 +1,36 @@
+// Stream front end: drives one AdmissionController over a line-oriented
+// request stream (see request.h for the grammar) and renders the
+// outcome log as a table, CSV, or JSON -- the `e2e admit` subcommand's
+// engine room, kept CLI-free so tests can drive it with string streams.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "admission/controller.h"
+#include "scenario/spec.h"
+
+namespace e2e::admission {
+
+struct ServiceOptions {
+  ControllerOptions controller;
+  ReportFormat report = ReportFormat::kTable;
+};
+
+struct ServiceResult {
+  std::size_t requests = 0;      ///< non-blank, non-comment lines
+  std::size_t admitted = 0;      ///< accepted admits
+  std::size_t rejected = 0;      ///< rejected admits (any reason)
+  std::size_t removed = 0;       ///< accepted removals
+  std::size_t errors = 0;        ///< parse errors + unknown-task removals
+  std::uint64_t result_hash = 0; ///< controller's final result hash
+  std::string report;            ///< rendered in the requested format
+};
+
+/// Reads requests from `in` until EOF, one per line, and answers each.
+/// Malformed lines are reported and counted, never fatal.
+[[nodiscard]] ServiceResult run_admission_stream(std::istream& in,
+                                                 const ServiceOptions& options);
+
+}  // namespace e2e::admission

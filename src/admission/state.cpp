@@ -1,0 +1,95 @@
+#include "admission/state.h"
+
+#include "common/error.h"
+#include "task/builder.h"
+
+namespace e2e::admission {
+namespace {
+
+/// SplitMix64-style avalanche, so XOR-folding per-slot terms does not
+/// cancel structure (slots are small sequential integers).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t slot_term(std::uint32_t slot, const TaskSpec& spec) noexcept {
+  return mix64(hash_combine(spec_content_hash(spec), slot));
+}
+
+void add_to_builder(TaskSystemBuilder& builder, const TaskSpec& spec) {
+  auto handle = builder.add_task({.period = spec.period,
+                                  .phase = spec.phase,
+                                  .deadline = spec.deadline,
+                                  .release_jitter = spec.release_jitter,
+                                  .name = spec.name});
+  for (const SubtaskSpec& sub : spec.subtasks) {
+    handle.subtask(ProcessorId{sub.processor}, sub.execution_time,
+                   Priority{sub.priority_level});
+    if (!sub.preemptible) handle.non_preemptible();
+  }
+}
+
+}  // namespace
+
+SystemState::SystemState(std::size_t processor_count)
+    : processor_count_(processor_count), util_(processor_count, 0.0) {}
+
+std::optional<std::uint32_t> SystemState::slot_of(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const TaskSpec& SystemState::spec(std::uint32_t slot) const {
+  const auto it = live_.find(slot);
+  E2E_ASSERT(it != live_.end(), "SystemState: slot not live");
+  return it->second;
+}
+
+std::uint32_t SystemState::commit_admit(const TaskSpec& spec) {
+  const std::uint32_t slot = next_slot_++;
+  for (const SubtaskSpec& sub : spec.subtasks) {
+    util_[static_cast<std::size_t>(sub.processor)] +=
+        static_cast<double>(sub.execution_time) / static_cast<double>(spec.period);
+  }
+  content_hash_ ^= slot_term(slot, spec);
+  by_name_.emplace(spec.name, slot);
+  live_.emplace(slot, spec);
+  return slot;
+}
+
+void SystemState::commit_remove(std::uint32_t slot) {
+  const auto it = live_.find(slot);
+  E2E_ASSERT(it != live_.end(), "SystemState: removing a non-live slot");
+  const TaskSpec& spec = it->second;
+  for (const SubtaskSpec& sub : spec.subtasks) {
+    util_[static_cast<std::size_t>(sub.processor)] -=
+        static_cast<double>(sub.execution_time) / static_cast<double>(spec.period);
+  }
+  content_hash_ ^= slot_term(slot, spec);
+  by_name_.erase(spec.name);
+  live_.erase(it);
+}
+
+SystemState::Built SystemState::build_with(
+    const TaskSpec* candidate, std::uint32_t candidate_slot,
+    std::optional<std::uint32_t> excluding) const {
+  TaskSystemBuilder builder{processor_count_};
+  std::vector<std::uint32_t> slots;
+  slots.reserve(live_.size() + 1);
+  for (const auto& [slot, spec] : live_) {
+    if (excluding.has_value() && slot == *excluding) continue;
+    add_to_builder(builder, spec);
+    slots.push_back(slot);
+  }
+  if (candidate != nullptr) {
+    add_to_builder(builder, *candidate);
+    slots.push_back(candidate_slot);
+  }
+  return Built{std::move(builder).build(), std::move(slots)};
+}
+
+}  // namespace e2e::admission

@@ -1,0 +1,74 @@
+// Committed state of one admission controller: the accepted task set.
+//
+// Tasks live in ascending *slot* order -- a slot is a monotonically
+// increasing id assigned when an admit is accepted and never reused, so
+// build order (and with it the "first unschedulable task" tie-break and
+// every result hash) is reproducible regardless of how many rejected
+// candidates were tried in between. The state also maintains, request
+// over request, the per-processor utilization sums (the controller's
+// cheap infeasibility precheck) and an XOR-foldable content hash (the
+// decision-cache key), both O(task) per commit instead of O(system).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/types.h"
+#include "task/system.h"
+
+namespace e2e::admission {
+
+class SystemState {
+ public:
+  explicit SystemState(std::size_t processor_count);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return processor_count_;
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept { return live_.size(); }
+  /// The slot the next accepted admit will receive.
+  [[nodiscard]] std::uint32_t next_slot() const noexcept { return next_slot_; }
+  /// Accepted tasks in ascending slot order.
+  [[nodiscard]] const std::map<std::uint32_t, TaskSpec>& live() const noexcept {
+    return live_;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> slot_of(const std::string& name) const;
+  [[nodiscard]] const TaskSpec& spec(std::uint32_t slot) const;
+  /// Maintained utilization sum of processor `p` (sum of exec/period).
+  [[nodiscard]] double utilization(std::size_t p) const { return util_.at(p); }
+  /// XOR fold over live tasks of mix(slot, spec hash): O(1) to update on
+  /// commit, equal only when the same specs occupy the same slots.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept { return content_hash_; }
+
+  /// Commits an accepted admit; returns the assigned slot (== the
+  /// next_slot() the engines were handed for the trial).
+  std::uint32_t commit_admit(const TaskSpec& spec);
+  /// Commits a removal. The slot must be live.
+  void commit_remove(std::uint32_t slot);
+
+  /// A trial system: the live set, minus `excluding` (when set), plus
+  /// `candidate` (when non-null) *last* with slot `candidate_slot`.
+  /// `slots` maps each built TaskId index back to its slot, in build
+  /// (ascending-slot) order. Requires at least one task in the result.
+  struct Built {
+    TaskSystem system;
+    std::vector<std::uint32_t> slots;
+  };
+  [[nodiscard]] Built build_with(const TaskSpec* candidate,
+                                 std::uint32_t candidate_slot,
+                                 std::optional<std::uint32_t> excluding) const;
+
+ private:
+  std::size_t processor_count_;
+  std::uint32_t next_slot_ = 0;
+  std::map<std::uint32_t, TaskSpec> live_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::vector<double> util_;
+  std::uint64_t content_hash_ = 0;
+};
+
+}  // namespace e2e::admission

@@ -1,0 +1,56 @@
+// Vocabulary of the online admission-control service (src/admission).
+//
+// An admission controller answers a stream of admit / remove / query
+// requests against a growing-and-shrinking set of end-to-end tasks. A
+// TaskSpec is the wire-level description of one candidate task -- the
+// same fields TaskSystemBuilder::TaskParams and Subtask carry, but as a
+// standalone value the controller can hash, validate, and store before
+// any TaskSystem exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/time.h"
+
+namespace e2e::admission {
+
+/// Which schedulability analysis backs the verdicts.
+enum class Policy : std::uint8_t {
+  kPm,        ///< Algorithm SA/PM (PM / MPM / RG protocols)
+  kDs,        ///< Algorithm SA/DS (DS protocol)
+  kHolistic,  ///< SA/DS with best-case-refined jitter terms
+};
+
+[[nodiscard]] const char* to_string(Policy policy) noexcept;
+/// Parses "pm" / "ds" / "holistic"; throws InvalidArgument otherwise.
+[[nodiscard]] Policy parse_policy(const std::string& name);
+
+/// One stage of a candidate task (maps onto task/model.h's Subtask).
+struct SubtaskSpec {
+  int processor = -1;
+  Duration execution_time = 0;
+  int priority_level = 0;  ///< smaller = higher priority, as everywhere
+  bool preemptible = true;
+};
+
+/// One candidate end-to-end task, as parsed off the request stream.
+/// `deadline == 0` means "deadline = period" (normalized by the
+/// controller before any engine sees the spec).
+struct TaskSpec {
+  std::string name;
+  Duration period = 0;
+  Time phase = 0;
+  Duration deadline = 0;
+  Duration release_jitter = 0;
+  std::vector<SubtaskSpec> subtasks;
+};
+
+/// Order-dependent content hash of every TaskSpec field an analysis (or
+/// the duplicate check) reads, names included via fnv1a64 so the value
+/// is reproducible across processes.
+[[nodiscard]] std::uint64_t spec_content_hash(const TaskSpec& spec) noexcept;
+
+}  // namespace e2e::admission

@@ -6,12 +6,25 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace e2e {
 
 [[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t acc,
                                                    std::uint64_t h) noexcept {
   return acc ^ (h + 0x9E3779B97F4A7C15ULL + (acc << 6) + (acc >> 2));
+}
+
+/// FNV-1a over bytes. Used for hashing names into content hashes instead
+/// of std::hash<std::string>, whose value is not specified and therefore
+/// not reproducible across standard libraries or processes.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
 }
 
 }  // namespace e2e

@@ -1,7 +1,6 @@
 #include "core/analysis/cache.h"
 
 #include <bit>
-#include <mutex>
 
 #include "common/hash.h"
 
@@ -39,28 +38,8 @@ std::shared_ptr<const AnalysisResult> AnalysisCache::sa_pm(const TaskSystem& sys
   key = hash_combine(key, std::bit_cast<std::uint64_t>(options.cap_period_multiplier));
   // legacy_demand_path is deliberately not part of the key: it changes
   // the code path, never the result.
-
-  {
-    std::shared_lock lock{mutex_};
-    if (const auto it = entries_.find(key); it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  auto computed = std::make_shared<const AnalysisResult>(analyze_sa_pm(system, options));
-  {
-    std::unique_lock lock{mutex_};
-    if (entries_.size() >= kMaxEntries) entries_.clear();
-    // On a lost race the first insert wins; both computations produced
-    // the same (deterministic) result, so either handle is correct.
-    return entries_.try_emplace(key, std::move(computed)).first->second;
-  }
-}
-
-void AnalysisCache::clear() {
-  std::unique_lock lock{mutex_};
-  entries_.clear();
+  return table_.get_or_compute(key,
+                               [&] { return analyze_sa_pm(system, options); });
 }
 
 AnalysisCache& AnalysisCache::shared() {

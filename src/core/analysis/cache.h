@@ -3,27 +3,25 @@
 // Several callers re-run Algorithm SA/PM on systems they have analyzed
 // before: the protocol factory derives PM phases from SA/PM bounds every
 // time a protocol object is built, the fault-injection generator probes
-// candidate systems repeatedly, and the Monte-Carlo / exhaustive drivers
-// re-analyze the same nominal system once per configuration. The cache
-// keys results by a content hash of every parameter the analysis reads
-// (plus the analysis options), so a hit returns a result bit-identical to
-// recomputation -- which is exactly why caching cannot perturb the
-// experiments' deterministic output hashes at any thread count.
+// candidate systems repeatedly, the Monte-Carlo / exhaustive drivers
+// re-analyze the same nominal system once per configuration, and the
+// admission controller dedups repeated candidates across a request
+// stream. The cache keys results by a content hash of every parameter
+// the analysis reads (plus the analysis options), so a hit returns a
+// result bit-identical to recomputation -- which is exactly why caching
+// cannot perturb the experiments' deterministic output hashes at any
+// thread count.
 //
-// Concurrency: lookups take a shared lock, insertions a unique lock, and
-// entries are immutable shared_ptrs, so readers never observe a partially
-// built result and eviction (wholesale clear at capacity) cannot dangle a
-// handle a caller still holds. Misses compute outside any lock; if two
-// threads race on the same key the first insert wins and both return the
-// same value either way.
+// Storage is a bounded MemoTable (common/memo.h): shared-lock lookups,
+// immutable shared_ptr entries, LRU-ish eviction of the oldest quarter
+// at capacity, first-insert-wins on racing misses. Eviction never
+// invalidates a handle a caller still holds.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
 
+#include "common/memo.h"
 #include "core/analysis/sa_pm.h"
 #include "task/system.h"
 
@@ -39,29 +37,33 @@ namespace e2e {
 /// comment for why hits are byte-identical to recomputation.
 class AnalysisCache {
  public:
-  /// Entries retained before the table is cleared wholesale. Clearing
-  /// never invalidates returned handles (they share ownership).
+  /// Default capacity. Reaching it evicts the least-recently-used
+  /// quarter of the entries, so a long-running admission server's
+  /// memory stays bounded while its hot set survives.
   static constexpr std::size_t kMaxEntries = 8192;
+
+  AnalysisCache() : table_(kMaxEntries) {}
+  explicit AnalysisCache(std::size_t capacity) : table_(capacity) {}
 
   /// SA/PM result for `system` under `options`, computed on first use.
   [[nodiscard]] std::shared_ptr<const AnalysisResult> sa_pm(
       const TaskSystem& system, const SaPmOptions& options = {});
 
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return table_.hits(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return table_.misses(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return table_.evictions(); }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return table_.capacity(); }
 
   /// Drops all entries (benchmarks use this to measure cold paths).
-  void clear();
+  void clear() { table_.clear(); }
 
   /// The process-wide instance used by the factory and the experiment
   /// drivers.
   [[nodiscard]] static AnalysisCache& shared();
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const AnalysisResult>> entries_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  MemoTable<AnalysisResult> table_;
 };
 
 }  // namespace e2e

@@ -94,6 +94,11 @@ double schedulability_margin(const TaskSystem& system, double unbounded_margin) 
   return margin_of(analyze_sa_pm(system), system, unbounded_margin);
 }
 
+double schedulability_margin(const TaskSystem& system, const AnalysisResult& analysis,
+                             double unbounded_margin) {
+  return margin_of(analysis, system, unbounded_margin);
+}
+
 HopaResult optimize_priorities_hopa(const TaskSystem& system,
                                     const HopaOptions& options) {
   E2E_ASSERT(options.iterations >= 0, "iterations must be non-negative");

@@ -61,4 +61,11 @@ struct HopaResult {
 [[nodiscard]] double schedulability_margin(const TaskSystem& system,
                                            double unbounded_margin = 1e9);
 
+/// As above over an already-computed result (any analysis whose EER
+/// bounds the caller wants rated; the admission controller reports this
+/// for `query` requests without re-running the analysis).
+[[nodiscard]] double schedulability_margin(const TaskSystem& system,
+                                           const AnalysisResult& analysis,
+                                           double unbounded_margin = 1e9);
+
 }  // namespace e2e

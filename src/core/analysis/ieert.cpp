@@ -7,6 +7,7 @@
 #include "core/analysis/blocking.h"
 #include "core/analysis/demand.h"
 #include "core/analysis/fixpoint.h"
+#include "core/analysis/kernels.h"
 
 namespace e2e {
 namespace {
@@ -70,36 +71,34 @@ Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
     hp_jitter[k] = release_jitter(system, hp_aos[k].ref, current, options);
     if (is_infinite(hp_jitter[k])) return kTimeInfinity;
   }
+
+  if (!options.legacy_demand_path) {
+    // Fast path: the shared kernel, over this pass's jitter terms.
+    const HpView hp_view{hp.periods, hp.execs, hp_jitter};
+    const IeerEquation eq{.period = period,
+                          .exec = exec,
+                          .own_jitter = own_jitter,
+                          .own_accum = own_accum,
+                          .blocking = blocking,
+                          .cutoff = cutoff,
+                          .cap = options.cap};
+    return solve_ieer_bound(eq, hp_view, warm);
+  }
+
+  // Legacy path: type-erased std::function demand, cold busy-period
+  // start. Kept for benchmarking the fast path against the baseline.
   const FixpointOptions fp{.cap = options.cap};
 
   // Step 1: busy-period duration with jittered ceilings (self included).
-  const DemandEvaluator busy_eval{
-      .periods = hp.periods,
-      .execs = hp.execs,
-      .jitters = hp_jitter,
-      .constant = blocking,
-      .self_period = period,
-      .self_exec = exec,
-      .self_jitter = own_jitter,
+  const DemandFn busy_fn = [&](Time t) -> Duration {
+    Duration sum = sat_add(blocking, jittered_demand(t, own_jitter, period, exec));
+    for (std::size_t k = 0; k < hp_aos.size(); ++k) {
+      sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
+                                         hp_aos[k].execution_time));
+    }
+    return sum;
   };
-  std::optional<Time> busy;
-  if (options.legacy_demand_path) {
-    const DemandFn busy_fn = [&](Time t) -> Duration {
-      Duration sum = sat_add(blocking, jittered_demand(t, own_jitter, period, exec));
-      for (std::size_t k = 0; k < hp_aos.size(); ++k) {
-        sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
-                                           hp_aos[k].execution_time));
-      }
-      return sum;
-    };
-    busy = solve_fixpoint(busy_fn, fp);
-  } else if (warm != nullptr && warm->busy > 0) {
-    // Kleene monotonicity: this pass's jitters dominate last pass's, so
-    // last pass's busy period under-approximates this pass's fixpoint.
-    busy = solve_fixpoint_from(warm->busy, busy_eval, fp);
-  } else {
-    busy = solve_fixpoint(busy_eval, fp);
-  }
+  const std::optional<Time> busy = solve_fixpoint(busy_fn, fp);
   if (!busy) return kTimeInfinity;
   if (warm != nullptr) warm->busy = *busy;
 
@@ -121,26 +120,15 @@ Duration bound_subtask_ieer(const TaskSystem& system, const Subtask& subtask,
       // jitters, so last pass's completion is a valid warm seed.
       start = std::max(start, warm->completions[static_cast<std::size_t>(m - 1)]);
     }
-    std::optional<Time> completion;
-    if (options.legacy_demand_path) {
-      const DemandFn completion_fn = [&](Time t) -> Duration {
-        Duration sum = sat_add(blocking, sat_mul(m, exec));
-        for (std::size_t k = 0; k < hp_aos.size(); ++k) {
-          sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
-                                             hp_aos[k].execution_time));
-        }
-        return sum;
-      };
-      completion = solve_fixpoint_from(start, completion_fn, fp);
-    } else {
-      const DemandEvaluator completion_eval{
-          .periods = hp.periods,
-          .execs = hp.execs,
-          .jitters = hp_jitter,
-          .constant = sat_add(blocking, sat_mul(m, exec)),
-      };
-      completion = solve_fixpoint_from(start, completion_eval, fp);
-    }
+    const DemandFn completion_fn = [&](Time t) -> Duration {
+      Duration sum = sat_add(blocking, sat_mul(m, exec));
+      for (std::size_t k = 0; k < hp_aos.size(); ++k) {
+        sum = sat_add(sum, jittered_demand(t, hp_jitter[k], hp_aos[k].period,
+                                           hp_aos[k].execution_time));
+      }
+      return sum;
+    };
+    const std::optional<Time> completion = solve_fixpoint_from(start, completion_fn, fp);
     if (!completion) return kTimeInfinity;
     previous_completion = *completion;
     if (warm != nullptr) {
@@ -182,7 +170,8 @@ SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interfe
   const std::size_t count = interference.subtask_count();
   if (state != nullptr && state->deps.size() != count) {
     state->deps.resize(count);
-    state->warm.assign(count, {});
+    // Preserve caller-seeded warm entries; only (re)shape on mismatch.
+    if (state->warm.size() != count) state->warm.assign(count, {});
     for (const Task& t : system.tasks()) {
       for (const Subtask& s : t.subtasks) {
         state->deps[interference.flat_index(s.ref)] =
@@ -223,14 +212,14 @@ SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interfe
       const std::size_t flat = interference.flat_index(s.ref);
       bool stale = true;
       if (incremental) {
-        // Stale iff an input changed since this entry was last computed:
+        // Stale iff the caller forced it (equation changed under its
+        // feet) or an input changed since this entry was last computed:
         // either during the previous sweep or earlier in this one.
-        stale = false;
-        for (const std::uint32_t d : state->deps[flat]) {
-          if (state->changed[d] != 0 || sweep_changed[d] != 0) {
-            stale = true;
-            break;
-          }
+        stale = !state->force.empty() && state->force[flat] != 0;
+        for (std::size_t d_idx = 0; !stale && d_idx < state->deps[flat].size();
+             ++d_idx) {
+          const std::uint32_t d = state->deps[flat][d_idx];
+          if (state->changed[d] != 0 || sweep_changed[d] != 0) stale = true;
         }
       }
       if (!stale) continue;  // recomputing would reproduce the entry exactly
@@ -245,6 +234,7 @@ SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interfe
     }
   }
   state->changed = std::move(sweep_changed);
+  state->force.clear();  // one-shot: consumed by this sweep
   return next;
 }
 

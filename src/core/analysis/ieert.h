@@ -77,7 +77,18 @@ struct IeertIncrementalState {
   /// Which entries changed in the last current -> next transition; empty
   /// means "first pass, recompute everything".
   std::vector<std::uint8_t> changed;
+  /// One-shot override consumed by the next sweep: entries marked 1 are
+  /// treated as stale regardless of the dependency check. Callers that
+  /// seed `current` from a previous analysis of a *different* system (the
+  /// admission engine's delta re-analysis) use this to force exactly the
+  /// entries whose demand equations changed -- interference sets on the
+  /// touched processors -- while the dependency tracking handles the
+  /// transitive jitter propagation from there. Must be empty or sized
+  /// like the table; cleared by the sweep that consumes it.
+  std::vector<std::uint8_t> force;
   /// Per flat subtask index: fixpoint seeds from the last recomputation.
+  /// Pre-seeded entries (sized to the table before the first pass) are
+  /// honored; they must under-approximate the fixpoints being solved.
   std::vector<IeertWarmEntry> warm;
 };
 

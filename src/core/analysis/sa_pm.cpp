@@ -2,66 +2,34 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/error.h"
-#include "common/hash.h"
 #include "common/math.h"
 #include "core/analysis/blocking.h"
 #include "core/analysis/demand.h"
 #include "core/analysis/fixpoint.h"
+#include "core/analysis/kernels.h"
 
 namespace e2e {
 namespace {
 
-[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t acc, std::int64_t v) noexcept {
-  return hash_combine(acc, static_cast<std::uint64_t>(v));
-}
-
-/// Content hash of one subtask's demand equation: every parameter that
-/// the step 1-4 fixpoints read. Equal signatures mean equal equations,
-/// hence equal least fixpoints.
-std::uint64_t equation_signature(Duration period, Duration exec, Duration jitter,
-                                 Duration blocking, Time cap,
-                                 const InterferenceMap::SoaView& hp) {
-  std::uint64_t h = mix(0, period);
-  h = mix(h, exec);
-  h = mix(h, jitter);
-  h = mix(h, blocking);
-  h = mix(h, cap);
-  for (std::size_t k = 0; k < hp.size(); ++k) {
-    h = mix(h, hp.periods[k]);
-    h = mix(h, hp.execs[k]);
-    h = mix(h, hp.jitters[k]);
-  }
-  return h;
-}
-
-/// Upper bound R_{i,j} on the response time of one strictly periodic
-/// subtask (steps 1-4), or kTimeInfinity.
-///
-/// `sc` (optional) receives the converged fixpoints; with `warm` the
-/// previous contents seed the iterations (sound because every recorded
-/// value is <= the new least fixpoint under the caller's monotonicity
-/// promise, so the iteration still converges to exactly the new least
-/// fixpoint). `legacy` reproduces the pre-fast-path std::function
-/// dispatch and cold starts.
-Duration bound_subtask_response(const TaskSystem& system, const Subtask& subtask,
-                                std::span<const Interferer> hp_aos,
-                                const InterferenceMap::SoaView& hp, Duration blocking,
-                                Time cap, SubtaskScratch* sc, bool warm, bool legacy) {
+/// The pre-fast-path code shape: every demand evaluation routed through a
+/// type-erased std::function, cold-started fixpoints, no warm seeds.
+/// Kept verbatim so benchmarks can measure the fast path (the shared
+/// kernel in core/analysis/kernels.h) against the historical baseline.
+Duration bound_subtask_response_legacy(const TaskSystem& system,
+                                       const Subtask& subtask,
+                                       std::span<const Interferer> hp_aos,
+                                       Duration blocking, Time cap,
+                                       SubtaskScratch* sc) {
   const Task& task = system.task(subtask.ref.task);
   const Duration period = task.period;
   const Duration exec = subtask.execution_time;
   const Duration jitter = task.release_jitter;
   const FixpointOptions fp{.cap = cap};
 
-  warm = warm && !legacy && sc != nullptr && sc->has;
-  if (warm && is_infinite(sc->bound)) {
-    // The previous (dominated, same-or-larger-cap) equation already
-    // diverged; the new one diverges a fortiori.
-    return kTimeInfinity;
-  }
   const auto record_unbounded = [&]() -> Duration {
     if (sc != nullptr) {
       sc->has = true;
@@ -73,71 +41,37 @@ Duration bound_subtask_response(const TaskSystem& system, const Subtask& subtask
   };
 
   // Step 1: busy-period duration D_{i,j} (interference set plus self).
-  const DemandEvaluator busy_eval{
-      .periods = hp.periods,
-      .execs = hp.execs,
-      .jitters = hp.jitters,
-      .constant = blocking,
-      .self_period = period,
-      .self_exec = exec,
-      .self_jitter = jitter,
+  const DemandFn busy_fn = [&](Time t) -> Duration {
+    Duration sum = sat_add(blocking, jittered_demand(t, jitter, period, exec));
+    for (const Interferer& h : hp_aos) {
+      sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
+                                         h.execution_time));
+    }
+    return sum;
   };
-  std::optional<Time> busy;
-  if (legacy) {
-    const DemandFn busy_fn = [&](Time t) -> Duration {
-      Duration sum = sat_add(blocking, jittered_demand(t, jitter, period, exec));
+  const std::optional<Time> busy = solve_fixpoint(busy_fn, fp);
+  if (!busy) return record_unbounded();
+
+  // Step 2: number of instances in the busy period.
+  const std::int64_t instances = ceil_div(sat_add(*busy, jitter), period);
+
+  // Steps 3-4: bound each instance's response time, take the max.
+  Duration worst = 0;
+  Time previous_completion = 0;
+  std::vector<Time> completions;
+  if (sc != nullptr) completions.reserve(static_cast<std::size_t>(instances));
+  for (std::int64_t m = 1; m <= instances; ++m) {
+    const DemandFn completion_fn = [&](Time t) -> Duration {
+      Duration sum = sat_add(blocking, sat_mul(m, exec));
       for (const Interferer& h : hp_aos) {
         sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
                                            h.execution_time));
       }
       return sum;
     };
-    busy = solve_fixpoint(busy_fn, fp);
-  } else if (warm) {
-    busy = solve_fixpoint_from(std::max<Time>(sc->busy, 1), busy_eval, fp);
-  } else {
-    busy = solve_fixpoint(busy_eval, fp);
-  }
-  if (!busy) return record_unbounded();
-
-  // Step 2: number of instances in the busy period.
-  const std::int64_t instances = ceil_div(sat_add(*busy, jitter), period);
-
-  // Steps 3-4: bound each instance's response time, take the max. C(m)
-  // grows by at least `exec` per instance, so each fixpoint warm-starts
-  // from the previous completion (and, when warm, from the previous
-  // run's C(m) -- also <= the new least fixpoint).
-  Duration worst = 0;
-  Time previous_completion = 0;
-  std::vector<Time> completions;
-  if (sc != nullptr) completions.reserve(static_cast<std::size_t>(instances));
-  for (std::int64_t m = 1; m <= instances; ++m) {
-    Time start = std::max(sat_mul(m, exec), sat_add(previous_completion, exec));
-    if (warm && static_cast<std::size_t>(m) <= sc->completions.size()) {
-      start = std::max(start, sc->completions[static_cast<std::size_t>(m - 1)]);
-    }
-    std::optional<Time> completion;
-    if (legacy) {
-      const DemandFn completion_fn = [&](Time t) -> Duration {
-        Duration sum = sat_add(blocking, sat_mul(m, exec));
-        for (const Interferer& h : hp_aos) {
-          sum = sat_add(sum, jittered_demand(t, h.task_release_jitter, h.period,
-                                             h.execution_time));
-        }
-        return sum;
-      };
-      completion = solve_fixpoint_from(
-          std::max(sat_mul(m, exec), sat_add(previous_completion, exec)), completion_fn,
-          fp);
-    } else {
-      const DemandEvaluator completion_eval{
-          .periods = hp.periods,
-          .execs = hp.execs,
-          .jitters = hp.jitters,
-          .constant = sat_add(blocking, sat_mul(m, exec)),
-      };
-      completion = solve_fixpoint_from(start, completion_eval, fp);
-    }
+    const std::optional<Time> completion = solve_fixpoint_from(
+        std::max(sat_mul(m, exec), sat_add(previous_completion, exec)), completion_fn,
+        fp);
     if (!completion) return record_unbounded();
     previous_completion = *completion;
     if (sc != nullptr) completions.push_back(*completion);
@@ -198,6 +132,11 @@ AnalysisResult analyze_sa_pm(const TaskSystem& system,
     for (const Subtask& s : t.subtasks) {
       const Duration blocking = blocking_term(system, s);
       const InterferenceMap::SoaView hp = interference.soa_of(s.ref);
+      const ResponseEquation eq{.period = t.period,
+                                .exec = s.execution_time,
+                                .jitter = t.release_jitter,
+                                .blocking = blocking,
+                                .cap = cap};
       SubtaskScratch* sc =
           scratch != nullptr
               ? &scratch->pm[t.id.index()][static_cast<std::size_t>(s.ref.index)]
@@ -206,8 +145,7 @@ AnalysisResult analyze_sa_pm(const TaskSystem& system,
       bool reused = false;
       std::uint64_t sig = 0;
       if (sc != nullptr) {
-        sig = equation_signature(t.period, s.execution_time, t.release_jitter, blocking,
-                                 cap, hp);
+        sig = response_equation_signature(eq, hp);
         if (reuse_allowed && sc->has && sc->signature == sig) {
           // Bit-identical equation: same least fixpoint, no iteration.
           r = sc->bound;
@@ -215,9 +153,10 @@ AnalysisResult analyze_sa_pm(const TaskSystem& system,
         }
       }
       if (!reused) {
-        r = bound_subtask_response(system, s, interference.of(s.ref), hp, blocking, cap,
-                                   sc, reuse_allowed && monotone,
-                                   options.legacy_demand_path);
+        r = options.legacy_demand_path
+                ? bound_subtask_response_legacy(system, s, interference.of(s.ref),
+                                                blocking, cap, sc)
+                : solve_response_bound(eq, hp, sc, reuse_allowed && monotone);
         if (sc != nullptr) sc->signature = sig;
       }
       result.subtask_bounds.set(s.ref, r);

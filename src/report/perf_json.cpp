@@ -308,8 +308,9 @@ std::string to_json(const PerfReport& report) {
       << "  \"deterministic\": " << (report.deterministic ? "true" : "false")
       << ",\n"
       << "  \"hw_threads\": " << report.hw_threads << ",\n"
-      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << ",\n"
-      << "  \"entries\": [";
+      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << ",\n";
+  if (report.gate_exempt) out << "  \"gate_exempt\": true,\n";
+  out << "  \"entries\": [";
   for (std::size_t i = 0; i < report.entries.size(); ++i) {
     const PerfEntry& entry = report.entries[i];
     out << (i == 0 ? "\n" : ",\n")
@@ -370,6 +371,10 @@ void validate_perf_json(const std::string& json) {
       if (reader.read_number() < 0.0) {
         throw InvalidArgument("perf json: peak_rss_bytes must be non-negative");
       }
+    } else if (key == "gate_exempt") {
+      // Optional: an explicit declaration that the scaling gate must
+      // skip this bench's thread ladder.
+      (void)reader.read_bool();
     } else if (key == "entries") {
       saw_entries = true;
       reader.expect('[');
@@ -402,6 +407,9 @@ void validate_perf_json(const std::string& json) {
 
 std::optional<std::string> scaling_gate_failure(const PerfReport& report,
                                                 double floor) {
+  // The bench declared (in its committed JSON) that its thread ladder
+  // does not measure scaling; judging it would gate on noise.
+  if (report.gate_exempt) return std::nullopt;
   // A host with fewer than 4 hardware threads cannot exhibit the scaling
   // being gated: its multi-thread runs time oversubscription of the same
   // cores, so any floor check would be noise.
@@ -423,7 +431,8 @@ int write_perf_report(const std::string& bench, const std::string& workload,
                       const std::vector<int>& thread_counts,
                       const std::function<PerfRunOutcome(int threads)>& run,
                       std::ostream& out) {
-  return write_perf_report(bench, workload, path, thread_counts, run, {}, out);
+  return write_perf_report(bench, workload, path, thread_counts, run,
+                           PerfWriteOptions{}, out);
 }
 
 int write_perf_report(const std::string& bench, const std::string& workload,
@@ -431,8 +440,18 @@ int write_perf_report(const std::string& bench, const std::string& workload,
                       const std::vector<int>& thread_counts,
                       const std::function<PerfRunOutcome(int threads)>& run,
                       const std::vector<PerfVariant>& variants, std::ostream& out) {
+  return write_perf_report(bench, workload, path, thread_counts, run,
+                           PerfWriteOptions{.variants = variants}, out);
+}
+
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      const PerfWriteOptions& options, std::ostream& out) {
   PerfReport report = run_perf_harness(bench, workload, thread_counts, run);
-  report.variants = variants;
+  report.variants = options.variants;
+  report.gate_exempt = options.gate_exempt;
   const std::string json = to_json(report);
   validate_perf_json(json);  // the harness checks its own output schema
 
@@ -491,7 +510,9 @@ int write_perf_report(const std::string& bench, const std::string& workload,
       return 6;
     }
     out << "scaling gate: "
-        << (report.hw_threads < 4 ? "skipped (hw_threads < 4)" : "passed")
+        << (report.gate_exempt
+                ? "exempt (bench declares no scaling ladder)"
+                : report.hw_threads < 4 ? "skipped (hw_threads < 4)" : "passed")
         << "\n";
   }
   return 0;

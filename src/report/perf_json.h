@@ -51,6 +51,11 @@ struct PerfReport {
   /// Peak resident set size of the benchmarking process in bytes
   /// (getrusage ru_maxrss); 0 where the platform cannot report it.
   std::int64_t peak_rss_bytes = 0;
+  /// True for benches whose thread-ladder entries do not measure scaling
+  /// (e.g. a per-item workload too small to amortize dispatch overhead).
+  /// Declares -- in the committed JSON, not silently -- that
+  /// scaling_gate_failure() must not judge this report.
+  bool gate_exempt = false;
   std::vector<PerfEntry> entries;
   /// Optional code-path comparison (empty for benches without variants).
   std::vector<PerfVariant> variants;
@@ -116,5 +121,20 @@ int write_perf_report(const std::string& bench, const std::string& workload,
                       const std::vector<int>& thread_counts,
                       const std::function<PerfRunOutcome(int threads)>& run,
                       const std::vector<PerfVariant>& variants, std::ostream& out);
+
+/// Extra knobs for write_perf_report beyond the common defaults.
+struct PerfWriteOptions {
+  std::vector<PerfVariant> variants;
+  /// Sets PerfReport::gate_exempt: the report says -- explicitly, in the
+  /// committed JSON -- that its thread ladder does not measure scaling
+  /// and the scaling gate must skip it.
+  bool gate_exempt = false;
+};
+
+int write_perf_report(const std::string& bench, const std::string& workload,
+                      const std::string& path,
+                      const std::vector<int>& thread_counts,
+                      const std::function<PerfRunOutcome(int threads)>& run,
+                      const PerfWriteOptions& options, std::ostream& out);
 
 }  // namespace e2e

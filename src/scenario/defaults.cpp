@@ -75,6 +75,19 @@ ScenarioDefaults ScenarioDefaults::load() {
   d.hopa_iters = static_cast<int>(env_int("E2E_HOPA_ITERS", d.hopa_iters));
   d.sensitivity_systems =
       static_cast<int>(env_int("E2E_SENSITIVITY_SYSTEMS", d.sensitivity_systems));
+
+  d.admission_seed = static_cast<std::uint64_t>(
+      env_int("E2E_SEED", static_cast<std::int64_t>(d.admission_seed)));
+  d.admission_processors =
+      static_cast<int>(env_int("E2E_ADMIT_PROCESSORS", d.admission_processors));
+  d.admission_initial_tasks = static_cast<int>(
+      env_int("E2E_ADMIT_INITIAL_TASKS", d.admission_initial_tasks));
+  d.admission_requests =
+      static_cast<int>(env_int("E2E_ADMIT_REQUESTS", d.admission_requests));
+  d.admission_shards =
+      static_cast<int>(env_int("E2E_ADMIT_SHARDS", d.admission_shards));
+  d.admission_shard_requests = static_cast<int>(
+      env_int("E2E_ADMIT_SHARD_REQUESTS", d.admission_shard_requests));
   return d;
 }
 

@@ -67,6 +67,14 @@ struct ScenarioDefaults {
   int hopa_iters = 12;                     ///< E2E_HOPA_ITERS
   int sensitivity_systems = 60;            ///< E2E_SENSITIVITY_SYSTEMS
 
+  // --- admission service / bench_admission ----------------------------
+  std::uint64_t admission_seed = 20260808;  ///< E2E_SEED
+  int admission_processors = 32;            ///< E2E_ADMIT_PROCESSORS
+  int admission_initial_tasks = 400;        ///< E2E_ADMIT_INITIAL_TASKS
+  int admission_requests = 600;             ///< E2E_ADMIT_REQUESTS
+  int admission_shards = 8;                 ///< E2E_ADMIT_SHARDS
+  int admission_shard_requests = 250;       ///< E2E_ADMIT_SHARD_REQUESTS
+
   /// Reads every field from the environment (unset/empty = fallback).
   [[nodiscard]] static ScenarioDefaults load();
 };

@@ -1,0 +1,213 @@
+// Behavioral tests for AdmissionController: the admit pipeline's reason
+// codes in order (validation, duplicate, utilization, bound failure),
+// rejection-with-reason detail, slot monotonicity, deadline
+// normalization, the decision cache, and query margins. Everything here
+// runs on handcrafted specs small enough to verify by hand; randomized
+// full-vs-incremental equivalence lives in admission_property_test.
+#include "admission/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace e2e::admission {
+namespace {
+
+TaskSpec make_spec(std::string name, Duration period,
+                   std::vector<SubtaskSpec> subtasks, Duration deadline = 0) {
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.period = period;
+  spec.deadline = deadline;
+  spec.subtasks = std::move(subtasks);
+  return spec;
+}
+
+ControllerOptions pm_options(std::size_t processors = 2) {
+  ControllerOptions options;
+  options.policy = Policy::kPm;
+  options.processors = processors;
+  return options;
+}
+
+TEST(Controller, AcceptsFeasibleTaskAndAssignsSlots) {
+  AdmissionController controller{pm_options()};
+  const Outcome first =
+      controller.admit(make_spec("T1", 100, {{0, 10, 0}}));
+  EXPECT_TRUE(first.accepted);
+  EXPECT_EQ(first.reason, ReasonCode::kNone);
+  EXPECT_EQ(first.slot, 0u);
+  EXPECT_EQ(first.live_tasks, 1u);
+
+  const Outcome second =
+      controller.admit(make_spec("T2", 200, {{1, 10, 0}}));
+  EXPECT_TRUE(second.accepted);
+  EXPECT_EQ(second.slot, 1u);
+  EXPECT_EQ(second.live_tasks, 2u);
+}
+
+TEST(Controller, SlotsAreNeverReused) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 100, {{0, 10, 0}})).accepted);
+  ASSERT_TRUE(controller.admit(make_spec("T2", 100, {{0, 10, 1}})).accepted);
+  const Outcome removed = controller.remove("T1");
+  EXPECT_TRUE(removed.accepted);
+  EXPECT_EQ(removed.slot, 0u);
+  const Outcome readmitted =
+      controller.admit(make_spec("T1", 100, {{0, 10, 0}}));
+  ASSERT_TRUE(readmitted.accepted);
+  EXPECT_EQ(readmitted.slot, 2u);  // slot 0 is retired, not recycled
+}
+
+TEST(Controller, ZeroDeadlineNormalizesToPeriod) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 500, {{0, 10, 0}})).accepted);
+  const auto slot = controller.state().slot_of("T1");
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(controller.state().spec(*slot).deadline, 500);
+}
+
+TEST(Controller, ValidationRejects) {
+  AdmissionController controller{pm_options()};
+  const struct {
+    TaskSpec spec;
+    const char* what;
+  } cases[] = {
+      {make_spec("A", 0, {{0, 1, 0}}), "zero period"},
+      {make_spec("B", 10, {}), "no subtasks"},
+      {make_spec("C", 10, {{7, 1, 0}}), "processor out of range"},
+      {make_spec("D", 10, {{0, 0, 0}}), "zero execution time"},
+      {make_spec("E", 10, {{0, 1, -2}}), "negative priority"},
+  };
+  for (const auto& c : cases) {
+    const Outcome outcome = controller.admit(c.spec);
+    EXPECT_FALSE(outcome.accepted) << c.what;
+    EXPECT_EQ(outcome.reason, ReasonCode::kValidation) << c.what;
+  }
+  EXPECT_EQ(controller.state().task_count(), 0u);
+}
+
+TEST(Controller, DuplicateNameRejects) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 100, {{0, 10, 0}})).accepted);
+  const Outcome duplicate =
+      controller.admit(make_spec("T1", 200, {{1, 10, 0}}));
+  EXPECT_FALSE(duplicate.accepted);
+  EXPECT_EQ(duplicate.reason, ReasonCode::kDuplicateName);
+  EXPECT_EQ(controller.state().task_count(), 1u);
+}
+
+TEST(Controller, UtilizationPrecheckNamesTheProcessor) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 100, {{1, 60, 0}})).accepted);
+  // Processor 1 already carries 0.6; another 0.5 overflows it.
+  const Outcome outcome =
+      controller.admit(make_spec("T2", 100, {{1, 50, 1}}));
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reason, ReasonCode::kUtilization);
+  EXPECT_EQ(outcome.culprit_processor, 1);
+  EXPECT_EQ(controller.state().task_count(), 1u);
+}
+
+TEST(Controller, BoundFailureReportsCulpritDetail) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 10, {{0, 5, 0}})).accepted);
+  // Candidate: utilization fits (0.5 + 5/12), but with T1 preempting, the
+  // level-1 subtask's response is 10 > deadline 6.
+  const Outcome outcome =
+      controller.admit(make_spec("T2", 12, {{0, 5, 1}}, /*deadline=*/6));
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reason, ReasonCode::kBoundFailure);
+  EXPECT_EQ(outcome.culprit_task, "T2");
+  EXPECT_TRUE(outcome.culprit_is_candidate);
+  EXPECT_EQ(outcome.culprit_subtask, 0);
+  EXPECT_EQ(outcome.culprit_processor, 0);
+  EXPECT_EQ(outcome.culprit_deadline, 6);
+  EXPECT_GT(outcome.culprit_eer, outcome.culprit_deadline);
+  EXPECT_EQ(controller.state().task_count(), 1u);
+}
+
+TEST(Controller, RepeatedRejectionIsServedFromCache) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 10, {{0, 5, 0}})).accepted);
+  const TaskSpec bounced = make_spec("T2", 12, {{0, 5, 1}}, /*deadline=*/6);
+  const Outcome miss = controller.admit(bounced);
+  ASSERT_EQ(miss.reason, ReasonCode::kBoundFailure);
+  EXPECT_FALSE(miss.from_cache);
+  const Outcome hit = controller.admit(bounced);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_GE(controller.cache_hits(), 1u);
+  // Everything semantic matches the recomputation it stands for.
+  EXPECT_EQ(hit.reason, miss.reason);
+  EXPECT_EQ(hit.culprit_task, miss.culprit_task);
+  EXPECT_EQ(hit.culprit_subtask, miss.culprit_subtask);
+  EXPECT_EQ(hit.culprit_bound, miss.culprit_bound);
+  EXPECT_EQ(hit.culprit_eer, miss.culprit_eer);
+}
+
+TEST(Controller, RemoveUnknownTask) {
+  AdmissionController controller{pm_options()};
+  const Outcome outcome = controller.remove("ghost");
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reason, ReasonCode::kUnknownTask);
+}
+
+TEST(Controller, QueryReportsLiveCountAndMargin) {
+  AdmissionController controller{pm_options()};
+  const Outcome empty = controller.query();
+  EXPECT_TRUE(empty.accepted);
+  EXPECT_EQ(empty.live_tasks, 0u);
+  EXPECT_EQ(empty.margin, 0.0);
+
+  ASSERT_TRUE(controller.admit(make_spec("T1", 100, {{0, 10, 0}})).accepted);
+  const Outcome one = controller.query();
+  EXPECT_EQ(one.live_tasks, 1u);
+  EXPECT_GT(one.margin, 0.0);
+  EXPECT_LE(one.margin, 1.0);  // schedulable system: EER <= deadline
+}
+
+TEST(Controller, ParseErrorFlowsThroughSubmit) {
+  AdmissionController controller{pm_options()};
+  Request request;
+  request.verb = Verb::kAdmit;
+  request.parse_error = "unknown key 'budget'";
+  const Outcome outcome = controller.submit(request);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reason, ReasonCode::kParseError);
+}
+
+// The same handcrafted stream produces the same verdicts and the same
+// running result hash under every (policy, engine) pairing -- a quick
+// deterministic instance of the identity the property test randomizes.
+TEST(Controller, FullAndIncrementalAgreeOnHandcraftedStream) {
+  for (const Policy policy : {Policy::kPm, Policy::kDs, Policy::kHolistic}) {
+    ControllerOptions full = pm_options();
+    full.policy = policy;
+    full.full_recompute = true;
+    ControllerOptions incremental = full;
+    incremental.full_recompute = false;
+    AdmissionController a{full};
+    AdmissionController b{incremental};
+
+    const auto both = [&](const TaskSpec& spec) {
+      const Outcome x = a.admit(spec);
+      const Outcome y = b.admit(spec);
+      EXPECT_EQ(x.accepted, y.accepted) << spec.name;
+      EXPECT_EQ(x.reason, y.reason) << spec.name;
+      EXPECT_EQ(a.result_hash(), b.result_hash()) << spec.name;
+    };
+    both(make_spec("T1", 10, {{0, 5, 0}}));
+    both(make_spec("T2", 12, {{0, 5, 1}}, 6));   // bound failure
+    both(make_spec("T3", 100, {{1, 20, 0}, {0, 2, 2}}));
+    both(make_spec("T4", 50, {{1, 10, 1}}));
+    EXPECT_EQ(a.remove("T1").accepted, b.remove("T1").accepted);
+    EXPECT_EQ(a.query().margin, b.query().margin);
+    both(make_spec("T5", 40, {{0, 8, 0}}));
+    EXPECT_EQ(a.result_hash(), b.result_hash())
+        << "policy " << to_string(policy);
+  }
+}
+
+}  // namespace
+}  // namespace e2e::admission

@@ -98,6 +98,44 @@ TEST(AnalysisCache, HopaWarmStartMatchesColdRestart) {
   }
 }
 
+TEST(AnalysisCache, CapacityBoundsEntriesViaEviction) {
+  AnalysisCache cache{8};
+  EXPECT_EQ(cache.capacity(), 8u);
+  for (int i = 0; i < 24; ++i) (void)cache.sa_pm(system_for(i));
+  EXPECT_EQ(cache.misses(), 24u);
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LE(cache.size(), 8u);
+  // Entries admitted after the last eviction wave are still resident.
+  const std::uint64_t hits_before = cache.hits();
+  (void)cache.sa_pm(system_for(23));
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+}
+
+TEST(AnalysisCache, EvictionPrefersTheLeastRecentlyUsed) {
+  AnalysisCache cache{8};
+  for (int i = 0; i < 8; ++i) (void)cache.sa_pm(system_for(i));
+  ASSERT_EQ(cache.evictions(), 0u);
+  // Touch 4..7 so 0..3 are the stale quarter when entry 8 overflows.
+  for (int i = 4; i < 8; ++i) (void)cache.sa_pm(system_for(i));
+  (void)cache.sa_pm(system_for(8));
+  EXPECT_GE(cache.evictions(), 1u);
+  const std::uint64_t misses_before = cache.misses();
+  (void)cache.sa_pm(system_for(7));  // recently used: survived
+  EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST(AnalysisCache, EvictedEntryIsRecomputedIdentically) {
+  AnalysisCache cache{4};
+  const TaskSystem system = system_for(0);
+  const std::shared_ptr<const AnalysisResult> original = cache.sa_pm(system);
+  const std::uint64_t original_hash = result_hash(*original);
+  for (int i = 1; i < 16; ++i) (void)cache.sa_pm(system_for(i));
+  // Whatever eviction did, the held handle stays valid and a re-request
+  // reproduces the same bounds byte for byte.
+  EXPECT_EQ(result_hash(*original), original_hash);
+  EXPECT_EQ(result_hash(*cache.sa_pm(system)), original_hash);
+}
+
 TEST(AnalysisCache, FactoryFallbackGoesThroughTheSharedCache) {
   const TaskSystem system = system_for(7);
   AnalysisCache& cache = AnalysisCache::shared();

@@ -426,5 +426,56 @@ TEST(Cli, SimulateWithExecutionVariation) {
   EXPECT_NE(r.out.find("avg EER"), std::string::npos);
 }
 
+TEST(Cli, AdmitAnswersRequestStream) {
+  const CliResult r = run_cli({"admit", "--processors=2"},
+                              "admit name=T1 period=100 sub=0:10:0\n"
+                              "query\n"
+                              "remove name=T1\n");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("accepted"), std::string::npos);
+  EXPECT_NE(r.out.find("removed 'T1'"), std::string::npos);
+}
+
+TEST(Cli, AdmitParseErrorsExitNonzeroButKeepStreaming) {
+  const CliResult r = run_cli({"admit", "--processors=2"},
+                              "admit name=T1 budget=3\n"
+                              "admit name=T2 period=100 sub=0:10:0\n");
+  EXPECT_EQ(r.exit_code, 2);  // the bad line counts as an error...
+  EXPECT_NE(r.out.find("unknown key 'budget'"), std::string::npos);
+  EXPECT_NE(r.out.find("(known: "), std::string::npos);
+  EXPECT_NE(r.out.find("admitted 'T2'"), std::string::npos);  // ...stream goes on
+}
+
+TEST(Cli, AdmitJsonReportCarriesCulpritDetail) {
+  const CliResult r = run_cli(
+      {"admit", "--processors=2", "--report=json"},
+      "admit name=T1 period=10 sub=0:5:0\n"
+      "admit name=T2 period=12 deadline=6 sub=0:5:1\n");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"reason\": \"bound-failure\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"culprit\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"result_hash\""), std::string::npos);
+}
+
+TEST(Cli, AdmitRejectsUnknownFlag) {
+  const CliResult r = run_cli({"admit", "--plocy=ds"});
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.err.find("unknown option --plocy"), std::string::npos);
+  EXPECT_NE(r.err.find("(known: "), std::string::npos);
+  EXPECT_NE(r.err.find("--policy"), std::string::npos);
+}
+
+TEST(Cli, AdmitRejectsUnknownPolicyAndBadCounts) {
+  EXPECT_NE(run_cli({"admit", "--policy=edf"}).exit_code, 0);
+  EXPECT_NE(run_cli({"admit", "--processors=0"}).exit_code, 0);
+  EXPECT_NE(run_cli({"admit", "--cache=-1"}).exit_code, 0);
+}
+
+TEST(Cli, AdmitRejectsMissingFile) {
+  const CliResult r = run_cli({"admit", "/nonexistent/requests.txt"});
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace e2e

@@ -22,7 +22,7 @@ JOBS="${JOBS:-$(nproc)}"
 cmake -B "${CHECK_BUILD_DIR}" -S . -DE2E_SANITIZE=address,undefined
 cmake --build "${CHECK_BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${CHECK_BUILD_DIR}" --output-on-failure \
-  -L "scenario|bench-smoke|timesvc"
+  -L "scenario|bench-smoke|timesvc|admission"
 
 # Opt-in scaling gate, run against an unsanitized tree: wall-clock under
 # ASan/UBSan says nothing about real scaling, so the gate deliberately

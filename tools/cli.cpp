@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "admission/service.h"
 #include "common/args.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -61,6 +62,10 @@ constexpr const char* kUsage =
     "  run <spec|->         run a declarative scenario spec (see\n"
     "                       docs/scenarios.md); --threads=N --report=FMT\n"
     "                       --plan (print the cell plan, don't run)\n"
+    "  admit [file|-]       answer an admit/remove/query request stream (see\n"
+    "                       docs/admission.md); --policy=pm|ds|holistic\n"
+    "                       --processors=N --report=FMT --full-recompute\n"
+    "                       --cache=N (decision-cache capacity)\n"
     "  example2             print the paper's Example 2 system description\n"
     "  help                 this text\n"
     "\n"
@@ -309,6 +314,39 @@ int cmd_run(const ArgParser& args, std::istream& in, std::ostream& out) {
   return run_scenario(spec, in, out);
 }
 
+int cmd_admit(const ArgParser& args, std::istream& in, std::ostream& out) {
+  args.expect_known({"policy", "processors", "report", "full-recompute", "cache"});
+  const ScenarioDefaults defaults = ScenarioDefaults::load();
+
+  admission::ServiceOptions options;
+  options.controller.policy =
+      admission::parse_policy(args.value_string("policy", "pm"));
+  const std::int64_t processors =
+      args.value_int("processors", defaults.admission_processors);
+  if (processors <= 0) {
+    throw InvalidArgument("--processors must be a positive integer");
+  }
+  options.controller.processors = static_cast<std::size_t>(processors);
+  options.controller.full_recompute = args.has("full-recompute");
+  const std::int64_t cache = args.value_int(
+      "cache", static_cast<std::int64_t>(options.controller.decision_cache_capacity));
+  if (cache < 0) throw InvalidArgument("--cache must be >= 0");
+  options.controller.decision_cache_capacity = static_cast<std::size_t>(cache);
+  options.report = parse_report_format(args.value_string("report", "table"));
+
+  const std::string path = args.positional(1);
+  admission::ServiceResult result;
+  if (path.empty() || path == "-") {
+    result = run_admission_stream(in, options);
+  } else {
+    std::ifstream file{path};
+    if (!file) throw InvalidArgument("cannot open '" + path + "'");
+    result = run_admission_stream(file, options);
+  }
+  out << result.report;
+  return result.errors == 0 ? 0 : 2;
+}
+
 int cmd_generate(const ArgParser& args, std::ostream& out) {
   args.expect_known({"subtasks", "utilization", "tasks", "processors", "seed",
                      "ticks"});
@@ -343,6 +381,7 @@ int run(const std::vector<std::string>& args_vector, std::istream& in,
     if (command == "sweep") return cmd_sweep(args, in, out);
     if (command == "faults") return cmd_faults(args, in, out);
     if (command == "run") return cmd_run(args, in, out);
+    if (command == "admit") return cmd_admit(args, in, out);
     if (command == "example2") {
       args.expect_known({});
       write_system(out, paper::example2());

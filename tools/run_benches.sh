@@ -43,7 +43,7 @@ fi
 
 BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
-  BENCHES=(faults montecarlo analysis timesvc)
+  BENCHES=(faults montecarlo analysis timesvc admission)
 fi
 
 mkdir -p "${RESULTS_DIR}"
@@ -57,8 +57,15 @@ for name in "${BENCHES[@]}"; do
     continue
   fi
   echo "== bench_${name} =="
-  if ! "${bin}" "--json=${RESULTS_DIR}/BENCH_${name}.json"; then
-    echo "run_benches: bench_${name} failed (schema or hash divergence)" >&2
+  # The admission bench carries its own headline gate (incremental must
+  # beat full recompute by E2E_ADMIT_GATE_FLOOR, default 10x); arm it
+  # when regenerating the committed JSON so a speedup collapse fails.
+  run=("${bin}")
+  if [[ "${name}" == "admission" ]]; then
+    run=(env "E2E_ADMIT_GATE=${E2E_ADMIT_GATE:-1}" "${bin}")
+  fi
+  if ! "${run[@]}" "--json=${RESULTS_DIR}/BENCH_${name}.json"; then
+    echo "run_benches: bench_${name} failed (schema, hash divergence, or gate)" >&2
     status=1
   fi
 done
