@@ -63,6 +63,28 @@ std::vector<Request> generate_churn(Rng& rng, const ChurnShape& shape) {
       request.verb = Verb::kQuery;
       stream.push_back(std::move(request));
     } else {
+      // An admit turn can instead emit a whole batch group. The draws are
+      // gated on batch_fraction > 0 so batch-free shapes consume exactly
+      // the random sequence they always did.
+      if (!ramping && shape.batch_fraction > 0.0 && shape.max_batch >= 2 &&
+          rng.next_double() < shape.batch_fraction) {
+        const auto batch = static_cast<std::size_t>(rng.uniform_int(
+            2, static_cast<std::int64_t>(shape.max_batch)));
+        if (stream.size() + batch + 2 <= shape.requests) {
+          Request begin;
+          begin.verb = Verb::kBatchBegin;
+          stream.push_back(std::move(begin));
+          for (std::size_t b = 0; b < batch; ++b) {
+            Request request = make_admit(rng, shape, serial++);
+            live.push_back(request.task.name);
+            stream.push_back(std::move(request));
+          }
+          Request commit;
+          commit.verb = Verb::kBatchCommit;
+          stream.push_back(std::move(commit));
+          continue;
+        }
+      }
       Request request = make_admit(rng, shape, serial++);
       live.push_back(request.task.name);
       stream.push_back(std::move(request));

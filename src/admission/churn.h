@@ -31,6 +31,13 @@ struct ChurnShape {
   double max_sub_utilization = 0.020;
   /// Chain length drawn uniformly from [1, max_chain].
   int max_chain = 3;
+  /// Steady-state probability that an admit turn instead emits a whole
+  /// batch-begin / admits / batch-commit group. 0 (the default) draws no
+  /// extra randoms, so pre-batching (seed, shape) pairs reproduce their
+  /// old streams byte-for-byte.
+  double batch_fraction = 0.0;
+  /// Admits per batch group, drawn uniformly from [2, max_batch].
+  std::size_t max_batch = 4;
 };
 
 /// Generates the stream. Removal targets are drawn from the names this

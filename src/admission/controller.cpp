@@ -56,6 +56,8 @@ const char* to_string(ReasonCode reason) noexcept {
     case ReasonCode::kUnknownTask: return "unknown-task";
     case ReasonCode::kUtilization: return "utilization";
     case ReasonCode::kBoundFailure: return "bound-failure";
+    case ReasonCode::kQueued: return "queued";
+    case ReasonCode::kBatchError: return "batch-error";
   }
   return "?";
 }
@@ -81,6 +83,8 @@ Outcome AdmissionController::submit(const Request& request) {
     case Verb::kAdmit: return admit(request.task);
     case Verb::kRemove: return remove(request.task.name);
     case Verb::kQuery: return query();
+    case Verb::kBatchBegin: return batch_begin();
+    case Verb::kBatchCommit: return batch_commit();
   }
   return {};
 }
@@ -99,9 +103,15 @@ Outcome AdmissionController::admit(TaskSpec spec) {
   }
   if (spec.deadline == 0) spec.deadline = spec.period;  // grammar default
 
-  if (state_.slot_of(spec.name).has_value()) {
+  const bool duplicate_pending =
+      in_batch_ &&
+      std::any_of(pending_batch_.begin(), pending_batch_.end(),
+                  [&](const TaskSpec& p) { return p.name == spec.name; });
+  if (state_.slot_of(spec.name).has_value() || duplicate_pending) {
     outcome.reason = ReasonCode::kDuplicateName;
-    outcome.message = "a live task is already named '" + spec.name + "'";
+    outcome.message = duplicate_pending
+                          ? "a queued batch admit is already named '" + spec.name + "'"
+                          : "a live task is already named '" + spec.name + "'";
     outcome.live_tasks = state_.task_count();
     fold_outcome(outcome);
     return outcome;
@@ -110,10 +120,20 @@ Outcome AdmissionController::admit(TaskSpec spec) {
   // Utilization precheck: demand on a processor with utilization > 1
   // outgrows every busy-period window, so the analysis verdict is a
   // foregone rejection -- skip the fixpoints and name the processor.
+  // Inside an open batch the queued admits count toward the sum, so a
+  // batch can never be committed into a structurally infeasible system.
   std::vector<double> added(state_.processor_count(), 0.0);
   for (const SubtaskSpec& sub : spec.subtasks) {
     added[static_cast<std::size_t>(sub.processor)] +=
         static_cast<double>(sub.execution_time) / static_cast<double>(spec.period);
+  }
+  if (in_batch_) {
+    for (const TaskSpec& p : pending_batch_) {
+      for (const SubtaskSpec& sub : p.subtasks) {
+        added[static_cast<std::size_t>(sub.processor)] +=
+            static_cast<double>(sub.execution_time) / static_cast<double>(p.period);
+      }
+    }
   }
   for (std::size_t p = 0; p < added.size(); ++p) {
     if (added[p] == 0.0 || state_.utilization(p) + added[p] <= 1.0 + 1e-9) continue;
@@ -126,7 +146,101 @@ Outcome AdmissionController::admit(TaskSpec spec) {
     return outcome;
   }
 
+  if (in_batch_) return queue_in_batch(std::move(spec));
   return admit_checked(std::move(spec));
+}
+
+Outcome AdmissionController::queue_in_batch(TaskSpec&& spec) {
+  Outcome outcome;
+  outcome.verb = Verb::kAdmit;
+  outcome.task_name = spec.name;
+  outcome.reason = ReasonCode::kQueued;
+  outcome.live_tasks = state_.task_count();
+  outcome.message = "queued '" + spec.name + "' (batch position " +
+                    std::to_string(pending_batch_.size()) + ")";
+  pending_batch_.push_back(std::move(spec));
+  fold_outcome(outcome);
+  return outcome;
+}
+
+Outcome AdmissionController::batch_begin() {
+  Outcome outcome;
+  outcome.verb = Verb::kBatchBegin;
+  outcome.live_tasks = state_.task_count();
+  if (in_batch_) {
+    outcome.reason = ReasonCode::kBatchError;
+    outcome.message = "a batch is already open";
+  } else {
+    in_batch_ = true;
+    outcome.accepted = true;
+    outcome.message = "batch open";
+  }
+  fold_outcome(outcome);
+  return outcome;
+}
+
+Outcome AdmissionController::batch_commit() {
+  Outcome outcome;
+  outcome.verb = Verb::kBatchCommit;
+  outcome.live_tasks = state_.task_count();
+  if (!in_batch_) {
+    outcome.reason = ReasonCode::kBatchError;
+    outcome.message = "no open batch";
+    fold_outcome(outcome);
+    return outcome;
+  }
+  in_batch_ = false;
+  std::vector<TaskSpec> batch = std::move(pending_batch_);
+  pending_batch_.clear();
+  outcome.batch_size = batch.size();
+  if (batch.empty()) {
+    outcome.accepted = true;
+    outcome.message = "batch empty";
+    fold_outcome(outcome);
+    return outcome;
+  }
+
+  // One analysis trajectory for the whole group, one commit-or-rollback.
+  // Batch verdicts skip the decision cache: its key covers one spec, and
+  // group verdicts are not worth a compound-key cache line.
+  const std::uint32_t first_slot = state_.next_slot();
+  const TrialVerdict verdict = engine_->admit_batch(state_, first_slot, batch);
+  if (verdict.schedulable) {
+    for (TaskSpec& spec : batch) {
+      (void)state_.commit_admit(spec);
+    }
+    outcome.accepted = true;
+    outcome.slot = first_slot;
+    outcome.live_tasks = state_.task_count();
+    outcome.message = "admitted batch of " + std::to_string(batch.size());
+    fold_outcome(outcome);
+    return outcome;
+  }
+
+  const TrialFailure& failure = *verdict.failure;
+  const TaskSpec& culprit =
+      failure.is_candidate ? batch[failure.slot - first_slot]
+                           : state_.spec(failure.slot);
+  const std::size_t j = decisive_subtask(failure.subtask_bounds);
+  outcome.reason = ReasonCode::kBoundFailure;
+  outcome.culprit_task = culprit.name;
+  outcome.culprit_is_candidate = failure.is_candidate;
+  outcome.culprit_subtask = static_cast<int>(j);
+  outcome.culprit_processor =
+      j < culprit.subtasks.size() ? culprit.subtasks[j].processor : -1;
+  outcome.culprit_bound =
+      j < failure.subtask_bounds.size() ? failure.subtask_bounds[j] : kTimeInfinity;
+  outcome.culprit_eer = failure.eer;
+  outcome.culprit_deadline = failure.deadline;
+  outcome.message = "rejected batch of " + std::to_string(batch.size()) +
+                    ": task '" + culprit.name + "' eer " +
+                    format_bound(failure.eer) + " > deadline " +
+                    std::to_string(failure.deadline) + " (subtask " +
+                    std::to_string(j) + " on processor " +
+                    std::to_string(outcome.culprit_processor) + ", bound " +
+                    format_bound(outcome.culprit_bound) + ")";
+  fold_outcome(outcome);
+  return outcome;
 }
 
 Outcome AdmissionController::admit_checked(TaskSpec&& spec) {
@@ -187,6 +301,13 @@ Outcome AdmissionController::remove(const std::string& name) {
   Outcome outcome;
   outcome.verb = Verb::kRemove;
   outcome.task_name = name;
+  if (in_batch_) {
+    outcome.reason = ReasonCode::kBatchError;
+    outcome.message = "remove not allowed inside an open batch";
+    outcome.live_tasks = state_.task_count();
+    fold_outcome(outcome);
+    return outcome;
+  }
   const std::optional<std::uint32_t> slot = state_.slot_of(name);
   if (!slot.has_value()) {
     outcome.reason = ReasonCode::kUnknownTask;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "admission/engine.h"
 #include "admission/request.h"
@@ -30,7 +31,8 @@
 
 namespace e2e::admission {
 
-/// Why a request was rejected (kNone on success).
+/// Why a request was rejected (kNone on success). New values are
+/// appended (never reordered): the numeric value feeds the result hash.
 enum class ReasonCode : std::uint8_t {
   kNone,
   kParseError,     ///< malformed request line
@@ -39,6 +41,8 @@ enum class ReasonCode : std::uint8_t {
   kUnknownTask,    ///< remove: no live task has this name
   kUtilization,    ///< admit: a processor would exceed utilization 1
   kBoundFailure,   ///< admit: schedulability analysis rejected the system
+  kQueued,         ///< admit inside an open batch: deferred to batch-commit
+  kBatchError,     ///< batch verb misuse (nested begin, commit w/o begin, ...)
 };
 
 [[nodiscard]] const char* to_string(ReasonCode reason) noexcept;
@@ -72,6 +76,11 @@ struct Outcome {
   /// break SA/PM bounds by shrinking the divergence cap).
   bool remaining_schedulable = true;
   bool from_cache = false;  ///< served by the decision cache (not hashed)
+  /// batch-commit: number of queued admits decided by this outcome.
+  /// Deliberately NOT folded into the result hash (it is derivable from
+  /// the kQueued outcomes already folded), so streams without batch
+  /// verbs hash exactly as they did before batching existed.
+  std::size_t batch_size = 0;
 };
 
 struct ControllerOptions {
@@ -94,6 +103,15 @@ class AdmissionController {
   Outcome remove(const std::string& name);
   [[nodiscard]] Outcome query();
 
+  /// Opens a batch: subsequent admits are validated and queued (reason
+  /// kQueued) instead of decided, until batch_commit() evaluates all of
+  /// them through one engine trajectory with a single commit-or-rollback.
+  /// Removals inside an open batch are refused (kBatchError) -- a batch
+  /// is a pure admission group, not a transaction log.
+  Outcome batch_begin();
+  Outcome batch_commit();
+  [[nodiscard]] bool in_batch() const noexcept { return in_batch_; }
+
   [[nodiscard]] const SystemState& state() const noexcept { return state_; }
   [[nodiscard]] const char* engine_name() const noexcept {
     return engine_->name();
@@ -107,9 +125,15 @@ class AdmissionController {
   [[nodiscard]] std::uint64_t cache_misses() const noexcept {
     return decision_cache_.misses();
   }
+  /// The engine's persistent-structure hashes (nullopt for engines
+  /// without any) -- the lockstep equivalence probe of the property test.
+  [[nodiscard]] std::optional<Engine::StructureDigest> structure_digest() const {
+    return engine_->structure_digest();
+  }
 
  private:
   Outcome admit_checked(TaskSpec&& spec);
+  Outcome queue_in_batch(TaskSpec&& spec);
   void fold_outcome(const Outcome& outcome);
 
   ControllerOptions options_;
@@ -118,6 +142,8 @@ class AdmissionController {
   MemoTable<Outcome> decision_cache_;
   std::uint64_t hash_ = 0;
   std::uint64_t requests_ = 0;
+  bool in_batch_ = false;
+  std::vector<TaskSpec> pending_batch_;
 };
 
 }  // namespace e2e::admission

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "admission/state.h"
@@ -64,6 +65,17 @@ class Engine {
   virtual TrialVerdict admit(const SystemState& state, std::uint32_t slot,
                              const TaskSpec& spec) = 0;
 
+  /// Trial-admits `specs` as the consecutive slots `first_slot`,
+  /// `first_slot + 1`, ... through ONE analysis trajectory, with a single
+  /// commit-or-rollback: on a schedulable verdict all of them are
+  /// committed (the caller then commits `state` in the same order); on
+  /// rejection the engine is unchanged and none are. A failure names the
+  /// first unschedulable task; `is_candidate` is true for any batch
+  /// member (slot >= first_slot). `specs` must be non-empty.
+  virtual TrialVerdict admit_batch(const SystemState& state,
+                                   std::uint32_t first_slot,
+                                   std::span<const TaskSpec> specs) = 0;
+
   /// Removes `slot`; called *before* the state commit (the spec is still
   /// readable). Always commits; the verdict reports whether the
   /// remaining system is schedulable (a removal can break SA/PM bounds
@@ -80,6 +92,18 @@ class Engine {
   [[nodiscard]] virtual double margin() const = 0;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Content hashes of an engine's persistent delta-maintained analysis
+  /// structures, for lockstep equivalence tests against fresh
+  /// construction. Engines without such structures (the full-recompute
+  /// family, SA/PM) return nullopt, as does an engine with no live tasks.
+  struct StructureDigest {
+    std::uint64_t interference_hash = 0;  ///< InterferenceMap::content_hash()
+    std::uint64_t table_hash = 0;         ///< converged SubtaskTable::content_hash()
+  };
+  [[nodiscard]] virtual std::optional<StructureDigest> structure_digest() const {
+    return std::nullopt;
+  }
 };
 
 [[nodiscard]] std::unique_ptr<Engine> make_engine(Policy policy,

@@ -5,70 +5,88 @@
 // there is no per-entry locality to exploit directly. What there is
 // instead is the monotone-seed theorem: iterating the operator from ANY
 // table sandwiched between the init and the new least fixpoint converges
-// to exactly that fixpoint. The engine therefore keeps the committed
-// converged table (plus the per-subtask fixpoint warm seeds) and, per
-// request, seeds the iteration with it:
+// to exactly that fixpoint. The engine exploits it with fully persistent
+// analysis structures -- nothing is rebuilt per request:
 //
-//  * admit: demand only grows, so every old entry under-approximates the
-//    new fixpoint. Survivor entries keep their values and warm seeds;
-//    entries whose demand equation changed -- the candidate's own, and
-//    every survivor on a processor the candidate occupies -- are force-
-//    flagged so the first sweep recomputes them, and the IEERT dependency
-//    tracking propagates any growth transitively from there. Untouched
-//    regions converge in zero recomputations.
+//  * one TaskSystem, grown/shrunk in place through the sanctioned
+//    append_task/remove_task mutators (builder-identical layout);
+//  * one InterferenceMap, delta-patched via apply_admit/apply_remove
+//    with revert_admit tokens for rejected trials (bit-identical to
+//    fresh construction -- the property tests pin content_hash());
+//  * the committed converged SubtaskTable plus per-subtask fixpoint
+//    warm seeds and the IEERT dependency lists, all delta-maintained
+//    and swept IN PLACE by ieert_sweep (no per-pass table copy).
 //
-//  * remove: demand shrinks, so old values OVER-approximate and must not
-//    seed the affected entries. The engine resets exactly the dependency
-//    cone of the touched processors -- the closure, under reverse IEERT
-//    dependencies, of the entries whose interference sets changed -- to
-//    the optimistic init with cold fixpoints; entries outside the cone
-//    provably keep their exact old fixpoint values and are seeded as-is.
+// Per-request seeding:
 //
-//  * a divergence-cap change (the cap is 2 x 300 x the max live period,
-//    so it moves only when the maximum period changes) invalidates even
+//  * admit (single or batch): demand only grows, so every old entry
+//    under-approximates the new fixpoint. Survivors keep their values
+//    and warm seeds; entries whose demand equation changed -- the
+//    candidates' own and every resident on a processor a candidate
+//    occupies (interference sets AND non-preemptive blocking terms live
+//    there) -- are force-flagged, and the dependency tracking
+//    propagates any growth transitively. The sweep journals pre-trial
+//    values first-touch, so a rejected trial rolls back byte-for-byte.
+//
+//  * remove: demand shrinks, so old values OVER-approximate and must
+//    not seed the affected entries. The engine resets exactly the dirty
+//    cone -- the closure, under reverse IEERT dependencies, of the
+//    entries on the departed task's processors -- to the optimistic
+//    init with cold fixpoints; entries outside the cone provably keep
+//    their exact old fixpoint values (no input of theirs changes).
+//
+//  * a divergence-cap change (2 x 300 x the max live period, so it
+//    moves only when the maximum period changes) invalidates even
 //    infinite entries in both directions; the engine falls back to a
-//    cold run, as it also does when the pass budget blows: a non-
-//    converged result is a mid-iteration table whose exact bytes depend
-//    on the trajectory, and only the cold trajectory matches the offline
-//    analyze_sa_ds the full engine runs.
+//    cold analyze_sa_ds run over the SAME persistent structures, which
+//    is byte-identical to the offline analysis the full engine runs --
+//    including the trajectory-dependent table of a pass-budget blowout.
+//    A non-converged committed state also forces the next request cold
+//    (its mid-iteration bytes are not a valid monotone seed).
 //
-// Commit semantics: an accepted admit and every remove commit the trial
-// table; a rejected admit discards it, leaving the engine bit-identical
-// to before the request.
+// Commit semantics: an accepted admit and every remove commit the
+// table; a rejected admit restores the sweep journal, pops the
+// candidate rows, and reverts the interference/dependency deltas,
+// leaving the engine bit-identical to before the request.
 #include <algorithm>
-#include <map>
+#include <optional>
 #include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "admission/engine_internal.h"
+#include "common/error.h"
 #include "common/math.h"
 #include "core/analysis/ieert.h"
 #include "core/analysis/sa_ds.h"
+#include "task/builder.h"
 
 namespace e2e::admission {
 namespace {
 
-/// Committed per-task analysis state, in build (ascending slot) order.
-struct DsTask {
-  Duration deadline = 0;
-  Duration eer = kTimeInfinity;
-  std::vector<Duration> bounds;      ///< converged IEER bounds per subtask
-  std::vector<IeertWarmEntry> warm;  ///< fixpoint seeds per subtask
-};
-
-/// Local replica of analyze_sa_ds's failure cap so the seeded loop below
-/// is the same transition function, pass for pass.
-void apply_failure_cap(const TaskSystem& system, double multiplier,
-                       SubtaskTable& table) {
-  for (const Task& t : system.tasks()) {
-    const Duration cutoff =
-        static_cast<Duration>(multiplier * static_cast<double>(t.period));
-    for (const Subtask& s : t.subtasks) {
-      if (!is_infinite(table.at(s.ref)) && table.at(s.ref) > cutoff) {
-        table.set(s.ref, kTimeInfinity);
-      }
-    }
+/// Spec -> Task, mirroring SystemState::build_with's builder mapping
+/// (including the builder's default subtask names) so the persistent
+/// system is interchangeable with a freshly built one.
+Task task_from_spec(const TaskSpec& spec) {
+  Task t;
+  t.period = spec.period;
+  t.phase = spec.phase;
+  t.relative_deadline = spec.deadline;
+  t.release_jitter = spec.release_jitter;
+  t.name = spec.name;
+  t.subtasks.reserve(spec.subtasks.size());
+  for (std::size_t j = 0; j < spec.subtasks.size(); ++j) {
+    const SubtaskSpec& sub = spec.subtasks[j];
+    Subtask s;
+    s.processor = ProcessorId{sub.processor};
+    s.execution_time = sub.execution_time;
+    s.priority = Priority{sub.priority_level};
+    s.preemptible = sub.preemptible;
+    s.name = t.name + "," + std::to_string(j + 1);
+    t.subtasks.push_back(std::move(s));
   }
+  return t;
 }
 
 class IncrementalDsEngine final : public Engine {
@@ -77,281 +95,438 @@ class IncrementalDsEngine final : public Engine {
 
   TrialVerdict admit(const SystemState& state, std::uint32_t slot,
                      const TaskSpec& spec) override {
-    const SystemState::Built built = state.build_with(&spec, slot, std::nullopt);
-    Trial trial = run(built, &spec, /*removing=*/false);
-    if (trial.result.system_schedulable()) {
-      commit(built, trial);
+    return admit_batch(state, slot, std::span<const TaskSpec>{&spec, 1});
+  }
+
+  TrialVerdict admit_batch(const SystemState& state, std::uint32_t first_slot,
+                           std::span<const TaskSpec> specs) override {
+    E2E_ASSERT(!specs.empty(), "admit_batch: empty batch");
+    if (!system_.has_value()) return bootstrap(state, first_slot, specs);
+
+    const std::size_t old_tasks = system_->task_count();
+    const std::size_t old_count = imap_.subtask_count();
+
+    // Flat -> ref for the residents, before growth (delta.appended flats
+    // are resident-only, so the old numbering is what we need).
+    std::vector<SubtaskRef> old_refs(old_count);
+    for (const Task& t : system_->tasks()) {
+      for (const Subtask& s : t.subtasks) old_refs[imap_.flat_index(s.ref)] = s.ref;
+    }
+
+    // -- Grow every persistent structure by the whole batch. --
+    std::vector<InterferenceMap::AdmitDelta> imap_deltas;
+    std::vector<std::pair<std::size_t, std::uint32_t>> dep_pushes;
+    imap_deltas.reserve(specs.size());
+    for (const TaskSpec& spec : specs) {
+      system_->append_task(task_from_spec(spec));
+      imap_deltas.push_back(imap_.apply_admit(*system_));
+      // Residents that gained interferers gain their predecessors as
+      // dependencies. The new dep flats all index candidate subtasks
+      // (>= the resident's old dep entries), so plain push_back keeps
+      // the lists deduplicated and in fresh-construction order. Earlier
+      // batch members count as residents for later ones (flat >=
+      // old_count); skip them -- every candidate row gets a freshly
+      // built dep list below, after the whole batch is mapped.
+      for (const auto& [flat, appended] : imap_deltas.back().appended) {
+        if (flat >= old_count) continue;
+        const std::span<const Interferer> hp = imap_.of(old_refs[flat]);
+        std::uint32_t pushed = 0;
+        for (std::size_t k = hp.size() - appended; k < hp.size(); ++k) {
+          if (hp[k].ref.index <= 0) continue;
+          state_.deps[flat].push_back(static_cast<std::uint32_t>(
+              imap_.flat_index(SubtaskRef{hp[k].ref.task, hp[k].ref.index - 1})));
+          ++pushed;
+        }
+        if (pushed > 0) dep_pushes.emplace_back(flat, pushed);
+      }
+    }
+    const std::size_t count = imap_.subtask_count();
+    state_.deps.resize(count);
+    state_.warm.resize(count);
+    for (std::size_t ti = old_tasks; ti < system_->task_count(); ++ti) {
+      const Task& t = system_->tasks()[ti];
+      table_.append_row(t.subtasks.size(), 0);
+      Duration cumulative = 0;  // Figure 11 step 1: optimistic init
+      for (const Subtask& s : t.subtasks) {
+        cumulative += s.execution_time;
+        table_.set(s.ref, cumulative);
+        const std::size_t flat = imap_.flat_index(s.ref);
+        state_.deps[flat] = ieert_table_inputs(imap_, s.ref, imap_.of(s.ref));
+        state_.warm[flat] = IeertWarmEntry{};
+      }
+      slots_.push_back(first_slot + static_cast<std::uint32_t>(ti - old_tasks));
+    }
+
+    // -- One analysis trajectory over the grown structures. --
+    const Time new_cap = cap_of(*system_);
+    bool cold = new_cap != cap_ || !converged_;
+    SubtaskTable pre_table;              // wholesale snapshot, cold trials only
+    std::vector<IeertWarmEntry> pre_warm;
+    bool trial_converged;
+    if (cold) {
+      pre_table = table_;
+      pre_warm = state_.warm;
+      trial_converged = run_cold();
+    } else {
+      state_.changed.assign(count, 0);  // arm the dependency dirty-skip
+      state_.force.assign(count, 0);
+      // Equation-changed region: every subtask on a processor a
+      // candidate occupies (candidates included -- their processors are
+      // all touched). Interference sets and blocking terms there moved.
+      std::set<int> touched;
+      for (const TaskSpec& spec : specs) {
+        for (const SubtaskSpec& sub : spec.subtasks) touched.insert(sub.processor);
+      }
+      for (const int p : touched) {
+        for (const SubtaskRef ref : system_->subtasks_on(ProcessorId{p})) {
+          state_.force[imap_.flat_index(ref)] = 1;
+        }
+      }
+      undo_.arm(count);
+      trial_converged = sweep_to_fixpoint(&undo_);
+      if (!trial_converged) {
+        // Pass-budget blowout: reconstruct the pre-trial snapshot from
+        // the journal, then run the cold trajectory (the only one whose
+        // mid-iteration bytes match the offline analyze_sa_ds).
+        pre_table = table_;
+        pre_warm = state_.warm;
+        for (const IeertSweepUndo::Entry& e : undo_.entries) {
+          pre_table.set(e.ref, e.value);
+          pre_warm[e.flat] = e.warm;
+        }
+        cold = true;
+        trial_converged = run_cold();
+      }
+    }
+
+    refresh_outcomes(trial_converged);
+    if (all_schedulable()) {
+      cap_ = new_cap;
+      converged_ = trial_converged;
       return {true, std::nullopt};
     }
-    return {false, failure_of(built, trial.result, slot)};
+
+    // -- Reject: restore everything byte-for-byte. --
+    TrialFailure failure = failure_of(first_slot);
+    if (cold) {
+      table_ = std::move(pre_table);
+      state_.warm = std::move(pre_warm);
+    } else {
+      for (const IeertSweepUndo::Entry& e : undo_.entries) {
+        table_.set(e.ref, e.value);
+        state_.warm[e.flat] = e.warm;
+      }
+    }
+    for (std::size_t k = specs.size(); k-- > 0;) {
+      table_.remove_row(old_tasks + k);
+      system_->remove_task(old_tasks + k);
+    }
+    state_.warm.resize(old_count);
+    state_.deps.resize(old_count);
+    for (const auto& [flat, pushed] : dep_pushes) {
+      state_.deps[flat].resize(state_.deps[flat].size() - pushed);
+    }
+    for (auto it = imap_deltas.rbegin(); it != imap_deltas.rend(); ++it) {
+      imap_.revert_admit(*it);
+    }
+    slots_.resize(old_tasks);
+    refresh_outcomes(converged_);
+    return {false, std::move(failure)};
   }
 
   TrialVerdict remove(const SystemState& state, std::uint32_t slot) override {
     if (state.task_count() <= 1) {  // removing the last task: empty system
-      live_.clear();
-      failing_.clear();
-      prev_cap_ = -1;
+      reset_empty();
       return {true, std::nullopt};
     }
-    const TaskSpec& spec = state.spec(slot);  // still live pre-commit
-    const SystemState::Built built = state.build_with(nullptr, 0, slot);
-    live_.erase(slot);
-    failing_.erase(slot);
-    Trial trial = run(built, &spec, /*removing=*/true);
-    commit(built, trial);
-    if (trial.result.system_schedulable()) return {true, std::nullopt};
-    return {false, failure_of(built, trial.result, std::nullopt)};
+    const auto it = std::find(slots_.begin(), slots_.end(), slot);
+    E2E_ASSERT(it != slots_.end(), "remove: slot not tracked");
+    const auto idx = static_cast<std::size_t>(it - slots_.begin());
+    const Task& departing = system_->tasks()[idx];
+    std::set<int> touched;
+    for (const Subtask& s : departing.subtasks) touched.insert(s.processor.value());
+    const std::size_t base =
+        imap_.flat_index(SubtaskRef{TaskId{static_cast<std::int32_t>(idx)}, 0});
+    const std::size_t len = departing.subtasks.size();
+    const std::size_t old_count = imap_.subtask_count();
+    const std::size_t count = old_count - len;
+
+    // -- Shrink every persistent structure (removal always commits). --
+    system_->remove_task(idx);
+    imap_.apply_remove(idx);
+    table_.remove_row(idx);
+    slots_.erase(it);
+    state_.warm.erase(state_.warm.begin() + static_cast<std::ptrdiff_t>(base),
+                      state_.warm.begin() + static_cast<std::ptrdiff_t>(base + len));
+    state_.deps.erase(state_.deps.begin() + static_cast<std::ptrdiff_t>(base),
+                      state_.deps.begin() + static_cast<std::ptrdiff_t>(base + len));
+    for (auto& list : state_.deps) {
+      // Drop the departed flats, shift the rest -- exactly the lists a
+      // fresh ieert_table_inputs pass over the shrunk system yields
+      // (value-level dedup and first-occurrence order are preserved).
+      std::size_t write = 0;
+      for (const std::uint32_t d : list) {
+        if (d >= base && d < base + len) continue;
+        list[write++] =
+            d >= base + len ? d - static_cast<std::uint32_t>(len) : d;
+      }
+      list.resize(write);
+    }
+
+    const Time new_cap = cap_of(*system_);
+    if (new_cap != cap_ || !converged_) {
+      converged_ = run_cold();
+    } else {
+      state_.changed.assign(count, 0);
+      state_.force.assign(count, 0);
+      // Dirty cone: the entries on the touched processors (equations
+      // changed: interference sets shrank, blocking terms may have) ...
+      std::vector<std::uint8_t> in_cone(count, 0);
+      std::vector<std::uint32_t> queue;
+      for (const int p : touched) {
+        for (const SubtaskRef ref : system_->subtasks_on(ProcessorId{p})) {
+          const auto flat = static_cast<std::uint32_t>(imap_.flat_index(ref));
+          if (in_cone[flat] != 0) continue;
+          in_cone[flat] = 1;
+          queue.push_back(flat);
+        }
+      }
+      // ... closed under reverse IEERT dependencies. Outside the cone no
+      // input changes, so old values remain exact fixpoint entries.
+      std::vector<std::uint32_t> rdep_begin(count + 1, 0);
+      for (const auto& list : state_.deps) {
+        for (const std::uint32_t d : list) ++rdep_begin[d + 1];
+      }
+      for (std::size_t f = 0; f < count; ++f) rdep_begin[f + 1] += rdep_begin[f];
+      std::vector<std::uint32_t> rdep_flat(rdep_begin[count]);
+      std::vector<std::uint32_t> cursor(rdep_begin.begin(), rdep_begin.end() - 1);
+      for (std::size_t f = 0; f < count; ++f) {
+        for (const std::uint32_t d : state_.deps[f]) {
+          rdep_flat[cursor[d]++] = static_cast<std::uint32_t>(f);
+        }
+      }
+      while (!queue.empty()) {
+        const std::uint32_t flat = queue.back();
+        queue.pop_back();
+        for (std::uint32_t r = rdep_begin[flat]; r < rdep_begin[flat + 1]; ++r) {
+          const std::uint32_t dependent = rdep_flat[r];
+          if (in_cone[dependent] != 0) continue;
+          in_cone[dependent] = 1;
+          queue.push_back(dependent);
+        }
+      }
+      // Cone entries restart from the optimistic init with cold seeds
+      // (their old values over-approximate the shrunk fixpoint).
+      for (const Task& t : system_->tasks()) {
+        Duration cumulative = 0;
+        for (const Subtask& s : t.subtasks) {
+          cumulative += s.execution_time;
+          const std::size_t flat = imap_.flat_index(s.ref);
+          if (in_cone[flat] == 0) continue;
+          table_.set(s.ref, cumulative);
+          state_.warm[flat] = IeertWarmEntry{};
+          state_.force[flat] = 1;
+        }
+      }
+      converged_ = sweep_to_fixpoint(nullptr);
+      if (!converged_) converged_ = run_cold();
+    }
+    cap_ = new_cap;
+    refresh_outcomes(converged_);
+    if (all_schedulable()) return {true, std::nullopt};
+    return {false, failure_of(std::nullopt)};
   }
 
   std::uint64_t fold_bounds(std::uint64_t acc) const override {
-    for (const auto& [slot, task] : live_) {
-      acc = detail::fold_task_bounds(acc, task.eer, task.bounds);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      acc = detail::fold_task_bounds(acc, eers_[i], table_.row(i));
     }
     return acc;
   }
 
   double margin() const override {
     double worst = 0.0;
-    for (const auto& [slot, task] : live_) {
-      worst = std::max(worst, detail::margin_ratio(task.eer, task.deadline));
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      worst = std::max(
+          worst, detail::margin_ratio(eers_[i], system_->tasks()[i].relative_deadline));
     }
     return worst;
   }
 
   const char* name() const noexcept override { return "incremental"; }
 
+  std::optional<StructureDigest> structure_digest() const override {
+    if (!system_.has_value()) return std::nullopt;
+    return StructureDigest{.interference_hash = imap_.content_hash(),
+                           .table_hash = table_.content_hash()};
+  }
+
  private:
-  struct Trial {
-    AnalysisResult result;
-    IeertIncrementalState state;  ///< warm seeds to keep on commit
-    Time cap = 0;
-  };
+  /// First admit(s) into an empty engine: build the candidate-only
+  /// system through the builder (build_with's path) and analyze cold.
+  TrialVerdict bootstrap(const SystemState& state, std::uint32_t first_slot,
+                         std::span<const TaskSpec> specs) {
+    TaskSystemBuilder builder{state.processor_count()};
+    for (const TaskSpec& spec : specs) {
+      auto handle = builder.add_task({.period = spec.period,
+                                      .phase = spec.phase,
+                                      .deadline = spec.deadline,
+                                      .release_jitter = spec.release_jitter,
+                                      .name = spec.name});
+      for (const SubtaskSpec& sub : spec.subtasks) {
+        handle.subtask(ProcessorId{sub.processor}, sub.execution_time,
+                       Priority{sub.priority_level});
+        if (!sub.preemptible) handle.non_preemptible();
+      }
+    }
+    system_.emplace(std::move(builder).build());
+    imap_ = InterferenceMap{*system_};
+    const std::size_t count = imap_.subtask_count();
+    table_ = SubtaskTable{*system_, 0};
+    state_ = IeertIncrementalState{};
+    state_.deps.resize(count);
+    state_.warm.assign(count, {});
+    for (const Task& t : system_->tasks()) {
+      for (const Subtask& s : t.subtasks) {
+        state_.deps[imap_.flat_index(s.ref)] =
+            ieert_table_inputs(imap_, s.ref, imap_.of(s.ref));
+      }
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      slots_.push_back(first_slot + static_cast<std::uint32_t>(i));
+    }
+    const bool trial_converged = run_cold();
+    refresh_outcomes(trial_converged);
+    if (all_schedulable()) {
+      cap_ = cap_of(*system_);
+      converged_ = trial_converged;
+      return {true, std::nullopt};
+    }
+    TrialFailure failure = failure_of(first_slot);
+    reset_empty();
+    return {false, std::move(failure)};
+  }
 
-  /// Runs the (seeded or cold) SA/DS iteration for `built`. `delta` is
-  /// the request's spec -- the candidate on admit, the departed task on
-  /// removal -- whose processors delimit the equation-changed region.
-  [[nodiscard]] Trial run(const SystemState::Built& built, const TaskSpec* delta,
-                          bool removing) const {
-    const TaskSystem& system = built.system;
-    const InterferenceMap interference{system};
-    const std::size_t count = interference.subtask_count();
+  void reset_empty() {
+    system_.reset();
+    imap_ = InterferenceMap{};
+    table_ = SubtaskTable{};
+    state_ = IeertIncrementalState{};
+    slots_.clear();
+    eers_.clear();
+    cap_ = -1;
+    converged_ = true;
+  }
+
+  /// Same expression as analyze_sa_ds's divergence cap, so the seeded
+  /// sweeps and the offline analysis cap identically.
+  [[nodiscard]] Time cap_of(const TaskSystem& system) const {
     const SaDsOptions options{.refine_jitter_with_best_case = refine_};
-
     Duration max_cutoff = 0;
     for (const Task& t : system.tasks()) {
       max_cutoff = std::max(
           max_cutoff, static_cast<Duration>(options.failure_period_multiplier *
                                             static_cast<double>(t.period)));
     }
-    const IeertOptions pass_options{
-        .cap = sat_mul(max_cutoff, 2),
-        .refine_jitter_with_best_case = options.refine_jitter_with_best_case,
-        .failure_period_multiplier = options.failure_period_multiplier,
-        .legacy_demand_path = options.legacy_demand_path};
-
-    // Figure 11 step 1: optimistic init (cumulative execution times).
-    SubtaskTable init{system, 0};
-    for (const Task& t : system.tasks()) {
-      Duration cumulative = 0;
-      for (const Subtask& s : t.subtasks) {
-        cumulative += s.execution_time;
-        init.set(s.ref, cumulative);
-      }
-    }
-
-    // A cap change invalidates every seed (finite bounds may diverge
-    // under a smaller cap, infinite ones converge under a larger one).
-    const bool cold = prev_cap_ < 0 || pass_options.cap != prev_cap_;
-
-    Trial trial;
-    trial.cap = pass_options.cap;
-    SubtaskTable current = init;
-    if (!cold) {
-      seed(built, interference, *delta, removing, current, trial.state);
-    }
-
-    int passes = 0;
-    bool converged = iterate(system, interference, options, pass_options,
-                             current, trial.state, passes);
-    if (!converged && !cold) {
-      // A pass-budget blowout yields a mid-iteration table whose bytes
-      // depend on the trajectory; only the cold trajectory matches the
-      // offline analysis, so restart exactly as analyze_sa_ds would run.
-      current = init;
-      trial.state = IeertIncrementalState{};
-      passes = 0;
-      converged = iterate(system, interference, options, pass_options, current,
-                          trial.state, passes);
-    }
-
-    trial.result.subtask_bounds = std::move(current);
-    trial.result.eer_bounds.assign(system.task_count(), kTimeInfinity);
-    if (converged) {
-      for (const Task& t : system.tasks()) {
-        trial.result.eer_bounds[t.id.index()] =
-            trial.result.subtask_bounds.at(t.last_subtask().ref);
-      }
-    }
-    finalize_schedulability(system, trial.result);
-    return trial;
+    return sat_mul(max_cutoff, 2);
   }
 
-  /// The analyze_sa_ds pass loop, verbatim, over caller-owned state.
-  [[nodiscard]] static bool iterate(const TaskSystem& system,
-                                    const InterferenceMap& interference,
-                                    const SaDsOptions& options,
-                                    const IeertOptions& pass_options,
-                                    SubtaskTable& current,
-                                    IeertIncrementalState& state, int& passes) {
-    for (; passes < options.max_passes;) {
-      SubtaskTable next =
-          ieert_pass(system, interference, current, pass_options, &state);
-      apply_failure_cap(system, options.failure_period_multiplier, next);
-      ++passes;
-      if (next == current) return true;
-      current = std::move(next);
+  [[nodiscard]] IeertOptions pass_options(Time cap) const {
+    const SaDsOptions options{.refine_jitter_with_best_case = refine_};
+    return IeertOptions{.cap = cap,
+                        .refine_jitter_with_best_case =
+                            options.refine_jitter_with_best_case,
+                        .failure_period_multiplier =
+                            options.failure_period_multiplier,
+                        .legacy_demand_path = options.legacy_demand_path};
+  }
+
+  /// In-place sweeps until fixpoint or pass budget. In-sweep cutoff
+  /// capping (bound_subtask_ieer declares a bound infinite past 300x the
+  /// period) makes each sweep equal to cap o IEERT for every recomputed
+  /// entry, so "zero changes" detects exactly the full loop's
+  /// next == current fixpoint.
+  [[nodiscard]] bool sweep_to_fixpoint(IeertSweepUndo* undo) {
+    const SaDsOptions options{.refine_jitter_with_best_case = refine_};
+    const IeertOptions popts = pass_options(cap_of(*system_));
+    for (int passes = 0; passes < options.max_passes; ++passes) {
+      if (ieert_sweep(*system_, imap_, table_, popts, state_, undo) == 0) {
+        return true;
+      }
     }
     return false;
   }
 
-  /// Seeds `current` and `state` from the committed tables. Entries on
-  /// `delta`'s processors changed equations; on admit they keep their
-  /// (under-approximating) values and are force-flagged, on removal their
-  /// whole reverse-dependency cone is reset to the init with cold
-  /// fixpoints. Everything else seeds as the exact old fixpoint value.
-  void seed(const SystemState::Built& built, const InterferenceMap& interference,
-            const TaskSpec& delta, bool removing, SubtaskTable& current,
-            IeertIncrementalState& state) const {
-    const TaskSystem& system = built.system;
-    const std::size_t count = interference.subtask_count();
-    state.warm.assign(count, {});
-    state.changed.assign(count, 0);  // arm the dependency dirty-skip
-    state.force.assign(count, 0);
+  /// The cold-trajectory fallback: the exact offline analysis over the
+  /// persistent system and interference map -- byte-identical to what
+  /// the full-recompute engine runs (including the mid-iteration table
+  /// of a non-converged run). Warm seeds and dirty flags no longer
+  /// describe the table afterwards, so they reset cold.
+  [[nodiscard]] bool run_cold() {
+    const SaDsOptions options{.refine_jitter_with_best_case = refine_};
+    SaDsResult result = analyze_sa_ds(*system_, imap_, options);
+    table_ = std::move(result.analysis.subtask_bounds);
+    state_.warm.assign(imap_.subtask_count(), {});
+    state_.changed.clear();
+    state_.force.clear();
+    return result.converged;
+  }
 
-    std::set<int> touched;
-    for (const SubtaskSpec& sub : delta.subtasks) touched.insert(sub.processor);
-
-    // reset[flat] == 1: leave the init value and a cold fixpoint seed.
-    std::vector<std::uint8_t> reset(count, 1);
-    if (removing) {
-      mark_remove_cone(system, interference, touched, reset, state.force);
-    } else {
-      for (const Task& t : system.tasks()) {
-        const bool is_candidate = t.id.index() == system.task_count() - 1;
-        for (const Subtask& s : t.subtasks) {
-          const std::size_t flat = interference.flat_index(s.ref);
-          if (!is_candidate) reset[flat] = 0;
-          if (is_candidate || touched.count(s.processor.value()) != 0) {
-            state.force[flat] = 1;
-          }
-        }
-      }
-    }
-
-    for (std::size_t i = 0; i < built.slots.size(); ++i) {
-      const auto it = live_.find(built.slots[i]);
-      if (it == live_.end()) continue;  // the admit candidate
-      const Task& t = system.tasks()[i];
-      for (const Subtask& s : t.subtasks) {
-        const std::size_t flat = interference.flat_index(s.ref);
-        if (reset[flat] != 0) continue;
-        current.set(s.ref, it->second.bounds[static_cast<std::size_t>(s.ref.index)]);
-        state.warm[flat] = it->second.warm[static_cast<std::size_t>(s.ref.index)];
-      }
+  /// Per-task EERs from the committed table: the last subtask's IEER
+  /// bound when converged, infinity otherwise (matching analyze_sa_ds's
+  /// non-convergence semantics).
+  void refresh_outcomes(bool converged) {
+    const std::size_t n = system_.has_value() ? system_->task_count() : 0;
+    eers_.assign(n, kTimeInfinity);
+    if (!converged) return;
+    for (const Task& t : system_->tasks()) {
+      eers_[t.id.index()] = table_.at(t.last_subtask().ref);
     }
   }
 
-  /// Closure, under reverse IEERT table dependencies, of the entries on
-  /// the touched processors. Dependencies mirror the incremental pass's
-  /// own dep sets: an entry reads its predecessor's and each interferer's
-  /// predecessor's table values (the jitter terms). The cone being closed
-  /// under reverse deps is what lets everything outside it keep its old
-  /// value: no input of a non-cone entry ever changes.
-  static void mark_remove_cone(const TaskSystem& system,
-                               const InterferenceMap& interference,
-                               const std::set<int>& touched,
-                               std::vector<std::uint8_t>& reset,
-                               std::vector<std::uint8_t>& force) {
-    const std::size_t count = interference.subtask_count();
-    std::vector<std::vector<std::uint32_t>> rdeps(count);
-    std::vector<std::uint32_t> queue;
-    for (const Task& t : system.tasks()) {
-      for (const Subtask& s : t.subtasks) {
-        const auto flat = static_cast<std::uint32_t>(interference.flat_index(s.ref));
-        const auto depend_on = [&](SubtaskRef pred) {
-          rdeps[interference.flat_index(pred)].push_back(flat);
-        };
-        if (s.ref.index > 0) depend_on(SubtaskRef{s.ref.task, s.ref.index - 1});
-        for (const Interferer& k : interference.of(s.ref)) {
-          if (k.ref.index > 0) depend_on(SubtaskRef{k.ref.task, k.ref.index - 1});
-        }
-        reset[flat] = 0;
-        if (touched.count(s.processor.value()) != 0) {
-          reset[flat] = 1;
-          queue.push_back(flat);
-        }
-      }
-    }
-    for (const std::uint32_t flat : queue) force[flat] = 1;
-    while (!queue.empty()) {
-      const std::uint32_t flat = queue.back();
-      queue.pop_back();
-      for (const std::uint32_t r : rdeps[flat]) {
-        if (reset[r] != 0) continue;
-        reset[r] = 1;
-        force[r] = 1;
-        queue.push_back(r);
-      }
-    }
+  [[nodiscard]] bool schedulable(std::size_t i) const {
+    return !is_infinite(eers_[i]) &&
+           eers_[i] <= system_->tasks()[i].relative_deadline;
   }
 
-  void commit(const SystemState::Built& built, Trial& trial) {
-    const TaskSystem& system = built.system;
-    const InterferenceMap interference{system};
-    live_.clear();
-    failing_.clear();
-    for (std::size_t i = 0; i < built.slots.size(); ++i) {
-      const Task& t = system.tasks()[i];
-      DsTask& task = live_[built.slots[i]];
-      task.deadline = t.relative_deadline;
-      task.eer = trial.result.eer_bounds[i];
-      task.bounds.reserve(t.subtasks.size());
-      task.warm.reserve(t.subtasks.size());
-      for (const Subtask& s : t.subtasks) {
-        task.bounds.push_back(trial.result.subtask_bounds.at(s.ref));
-        const std::size_t flat = interference.flat_index(s.ref);
-        task.warm.push_back(flat < trial.state.warm.size()
-                                ? std::move(trial.state.warm[flat])
-                                : IeertWarmEntry{});
-      }
-      if (!trial.result.task_schedulable[i]) failing_.insert(built.slots[i]);
+  [[nodiscard]] bool all_schedulable() const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!schedulable(i)) return false;
     }
-    prev_cap_ = trial.cap;
+    return true;
   }
 
-  [[nodiscard]] static TrialFailure failure_of(
-      const SystemState::Built& built, const AnalysisResult& result,
-      std::optional<std::uint32_t> candidate_slot) {
+  /// Rejection detail from the first unschedulable task in build
+  /// (ascending slot) order. `first_candidate_slot`: slots at or above
+  /// it are trial candidates.
+  [[nodiscard]] TrialFailure failure_of(
+      std::optional<std::uint32_t> first_candidate_slot) const {
     TrialFailure failure;
-    for (const Task& t : built.system.tasks()) {
-      if (result.task_schedulable[t.id.index()]) continue;
-      failure.slot = built.slots[t.id.index()];
-      failure.is_candidate =
-          candidate_slot.has_value() && failure.slot == *candidate_slot;
-      failure.eer = result.eer_bounds[t.id.index()];
-      failure.deadline = t.relative_deadline;
-      for (const Subtask& s : t.subtasks) {
-        failure.subtask_bounds.push_back(result.subtask_bounds.at(s.ref));
-      }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (schedulable(i)) continue;
+      failure.slot = slots_[i];
+      failure.is_candidate = first_candidate_slot.has_value() &&
+                             failure.slot >= *first_candidate_slot;
+      failure.eer = eers_[i];
+      failure.deadline = system_->tasks()[i].relative_deadline;
+      const std::span<const Duration> row = table_.row(i);
+      failure.subtask_bounds.assign(row.begin(), row.end());
       break;
     }
     return failure;
   }
 
   bool refine_;
-  std::map<std::uint32_t, DsTask> live_;
-  std::set<std::uint32_t> failing_;
-  Time prev_cap_ = -1;  ///< divergence cap of the committed analysis; -1 = none
+  // Persistent committed structures; all empty iff system_ is empty.
+  std::optional<TaskSystem> system_;
+  std::vector<std::uint32_t> slots_;  ///< per task index, ascending
+  InterferenceMap imap_;
+  SubtaskTable table_;           ///< committed (converged) IEER bounds
+  IeertIncrementalState state_;  ///< persistent deps + warm seeds
+  std::vector<Duration> eers_;   ///< per task index
+  Time cap_ = -1;        ///< divergence cap of the committed analysis; -1 = none
+  bool converged_ = true;  ///< committed table reached a fixpoint
+  IeertSweepUndo undo_;    ///< reusable trial journal
 };
 
 }  // namespace

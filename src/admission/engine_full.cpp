@@ -19,10 +19,16 @@ class FullEngine final : public Engine {
 
   TrialVerdict admit(const SystemState& state, std::uint32_t slot,
                      const TaskSpec& spec) override {
-    const SystemState::Built built = state.build_with(&spec, slot, std::nullopt);
+    return admit_batch(state, slot, std::span<const TaskSpec>{&spec, 1});
+  }
+
+  TrialVerdict admit_batch(const SystemState& state, std::uint32_t first_slot,
+                           std::span<const TaskSpec> specs) override {
+    const SystemState::Built built =
+        state.build_with_batch(specs, first_slot, std::nullopt);
     const AnalysisResult result = analyze(built.system);
     if (!result.system_schedulable()) {
-      return {false, failure_of(built, result, slot)};
+      return {false, failure_of(built, result, first_slot)};
     }
     store(built, result);
     return {true, std::nullopt};
@@ -88,15 +94,17 @@ class FullEngine final : public Engine {
   }
 
   /// Rejection detail from the first unschedulable task in build order.
+  /// `first_candidate_slot`: any slot at or above it is a trial
+  /// candidate (candidates always take the top slots of a build).
   [[nodiscard]] static TrialFailure failure_of(
       const SystemState::Built& built, const AnalysisResult& result,
-      std::optional<std::uint32_t> candidate_slot) {
+      std::optional<std::uint32_t> first_candidate_slot) {
     TrialFailure failure;
     for (const Task& t : built.system.tasks()) {
       if (result.task_schedulable[t.id.index()]) continue;
       failure.slot = built.slots[t.id.index()];
       failure.is_candidate =
-          candidate_slot.has_value() && failure.slot == *candidate_slot;
+          first_candidate_slot.has_value() && failure.slot >= *first_candidate_slot;
       failure.eer = result.eer_bounds[t.id.index()];
       failure.deadline = t.relative_deadline;
       for (const Subtask& s : t.subtasks) {

@@ -70,9 +70,16 @@ class IncrementalPmEngine final : public Engine {
  public:
   TrialVerdict admit(const SystemState& state, std::uint32_t slot,
                      const TaskSpec& spec) override {
+    return admit_batch(state, slot, std::span<const TaskSpec>{&spec, 1});
+  }
+
+  TrialVerdict admit_batch(const SystemState& state, std::uint32_t first_slot,
+                           std::span<const TaskSpec> specs) override {
     planes_.resize(state.processor_count());
     const bool was_empty = live_.empty();
-    insert_task(slot, spec);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      insert_task(first_slot + static_cast<std::uint32_t>(i), specs[i]);
+    }
     const Time new_cap = cap_from_periods();
     const bool cap_changed = was_empty || new_cap != cap_;
 
@@ -80,13 +87,15 @@ class IncrementalPmEngine final : public Engine {
     if (cap_changed) {
       std::fill(touched.begin(), touched.end(), 1);
     } else {
-      for (const SubtaskSpec& sub : spec.subtasks) {
-        touched[static_cast<std::size_t>(sub.processor)] = 1;
+      for (const TaskSpec& spec : specs) {
+        for (const SubtaskSpec& sub : spec.subtasks) {
+          touched[static_cast<std::size_t>(sub.processor)] = 1;
+        }
       }
     }
 
-    // Snapshot everything the trial may overwrite; the candidate's own
-    // entries need none (a reject erases the whole task).
+    // Snapshot everything the trial may overwrite; the candidates' own
+    // entries need none (a reject erases the whole batch).
     struct EntrySnap {
       PlaneRef ref;
       Duration bound;
@@ -105,7 +114,7 @@ class IncrementalPmEngine final : public Engine {
         const ResponseEquation eq = equation_of(ref, entry, new_cap);
         const std::uint64_t sig = response_equation_signature(eq, hp_view());
         if (sig == entry.signature && entry.scratch.has) continue;
-        if (ref.slot != slot) {
+        if (ref.slot < first_slot) {
           snap_entries.push_back({ref, entry.bound, entry.signature, entry.scratch});
         }
         // Admits only grow demand and the cap, so finite fixpoints
@@ -119,7 +128,7 @@ class IncrementalPmEngine final : public Engine {
 
     for (const std::uint32_t s : dirty) {
       PmTask& task = live_.at(s);
-      if (s != slot) snap_eers.emplace_back(s, task.eer);
+      if (s < first_slot) snap_eers.emplace_back(s, task.eer);
       refresh_task(s, task);
     }
 
@@ -128,7 +137,7 @@ class IncrementalPmEngine final : public Engine {
       return {true, std::nullopt};
     }
 
-    TrialFailure failure = failure_of(*failing_.begin(), slot);
+    TrialFailure failure = failure_of(*failing_.begin(), first_slot);
     // Roll back: the engine must be bit-identical to before the trial.
     for (const EntrySnap& snap : snap_entries) {
       PmSub& entry = sub_of(snap.ref);
@@ -138,7 +147,9 @@ class IncrementalPmEngine final : public Engine {
     }
     for (const auto& [s, eer] : snap_eers) live_.at(s).eer = eer;
     failing_ = snap_failing;
-    erase_task(slot, spec.period);
+    for (std::size_t i = specs.size(); i-- > 0;) {
+      erase_task(first_slot + static_cast<std::uint32_t>(i), specs[i].period);
+    }
     return {false, std::move(failure)};
   }
 
@@ -294,13 +305,15 @@ class IncrementalPmEngine final : public Engine {
     if (--period_it->second == 0) period_counts_.erase(period_it);
   }
 
-  [[nodiscard]] TrialFailure failure_of(std::uint32_t slot,
-                                        std::optional<std::uint32_t> candidate) const {
+  [[nodiscard]] TrialFailure failure_of(
+      std::uint32_t slot, std::optional<std::uint32_t> first_candidate_slot) const {
     const PmTask& task = live_.at(slot);
-    TrialFailure failure{.slot = slot,
-                        .is_candidate = candidate.has_value() && slot == *candidate,
-                        .eer = task.eer,
-                        .deadline = task.deadline};
+    TrialFailure failure{
+        .slot = slot,
+        .is_candidate =
+            first_candidate_slot.has_value() && slot >= *first_candidate_slot,
+        .eer = task.eer,
+        .deadline = task.deadline};
     for (const PmSub& sub : task.subs) failure.subtask_bounds.push_back(sub.bound);
     return failure;
   }

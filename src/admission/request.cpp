@@ -80,15 +80,17 @@ Request parse_tokens(const std::vector<std::string>& tokens) {
   } else if (verb == "remove") {
     request.verb = Verb::kRemove;
     known = &kRemoveKeys;
-  } else if (verb == "query") {
-    request.verb = Verb::kQuery;
+  } else if (verb == "query" || verb == "batch-begin" || verb == "batch-commit") {
+    request.verb = verb == "query"       ? Verb::kQuery
+                   : verb == "batch-begin" ? Verb::kBatchBegin
+                                           : Verb::kBatchCommit;
     if (tokens.size() > 1) {
-      throw InvalidArgument("query takes no arguments");
+      throw InvalidArgument(verb + " takes no arguments");
     }
     return request;
   } else {
     throw InvalidArgument("unknown request verb '" + verb +
-                          "' (admit, remove, query)");
+                          "' (admit, remove, query, batch-begin, batch-commit)");
   }
 
   bool saw_period = false;
@@ -146,6 +148,8 @@ const char* to_string(Verb verb) noexcept {
     case Verb::kAdmit: return "admit";
     case Verb::kRemove: return "remove";
     case Verb::kQuery: return "query";
+    case Verb::kBatchBegin: return "batch-begin";
+    case Verb::kBatchCommit: return "batch-commit";
   }
   return "?";
 }

@@ -7,6 +7,15 @@
 //   admit name=T2 period=2500 deadline=2400 jitter=10 sub=1:120:5
 //   remove name=T1
 //   query
+//   batch-begin
+//   admit name=T3 period=1000 sub=2:50:4
+//   admit name=T4 period=1000 sub=3:50:4
+//   batch-commit
+//
+// batch-begin / batch-commit (no arguments) bracket a group of admits
+// the controller evaluates through ONE analysis trajectory with a
+// single commit-or-rollback: either every queued admit is accepted or
+// none is (see controller.h).
 //
 // admit keys: name (required), period (required, ticks), phase,
 // deadline (0 or absent = period), jitter, and one sub=... per chain
@@ -27,7 +36,9 @@
 
 namespace e2e::admission {
 
-enum class Verb : std::uint8_t { kAdmit, kRemove, kQuery };
+// New values are appended (never reordered): the verb's numeric value
+// feeds every stream's result hash.
+enum class Verb : std::uint8_t { kAdmit, kRemove, kQuery, kBatchBegin, kBatchCommit };
 
 [[nodiscard]] const char* to_string(Verb verb) noexcept;
 

@@ -1,5 +1,9 @@
 #include "admission/service.h"
 
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
 #include <istream>
 #include <sstream>
 #include <vector>
@@ -9,6 +13,15 @@
 
 namespace e2e::admission {
 namespace {
+
+/// Nearest-rank percentile of an unsorted sample set (sorted in place).
+double percentile_us(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(samples.size()))));
+  return samples[rank - 1];
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -48,7 +61,8 @@ std::string render_table(const std::vector<Outcome>& outcomes) {
   return table.to_string();
 }
 
-std::string render_csv(const std::vector<Outcome>& outcomes) {
+std::string render_csv(const std::vector<Outcome>& outcomes,
+                       const ServiceResult& result) {
   std::ostringstream out;
   CsvWriter csv{out};
   csv.write_row({"index", "verb", "task", "accepted", "reason", "slot",
@@ -65,6 +79,14 @@ std::string render_csv(const std::vector<Outcome>& outcomes) {
                    bound_str(o.culprit_eer), std::to_string(o.culprit_deadline),
                    TextTable::fmt(o.margin, 6), std::to_string(o.live_tasks),
                    o.from_cache ? "1" : "0"});
+  }
+  // Latency section, blank-line separated: one row per request kind.
+  out << "\n";
+  csv.write_row({"kind", "count", "p50_us", "p95_us", "p99_us"});
+  for (const KindLatency& lat : result.latency) {
+    csv.write_row({lat.kind, std::to_string(lat.count),
+                   TextTable::fmt(lat.p50_us, 1), TextTable::fmt(lat.p95_us, 1),
+                   TextTable::fmt(lat.p99_us, 1)});
   }
   return out.str();
 }
@@ -95,6 +117,15 @@ std::string render_json(const std::vector<Outcome>& outcomes,
     out << ", \"message\": " << json_str(o.message) << "}"
         << (i + 1 < outcomes.size() ? ",\n" : "\n");
   }
+  out << "  ],\n  \"latency\": [\n";
+  for (std::size_t i = 0; i < result.latency.size(); ++i) {
+    const KindLatency& lat = result.latency[i];
+    out << "    {\"kind\": " << json_str(lat.kind) << ", \"count\": " << lat.count
+        << ", \"p50_us\": " << TextTable::fmt(lat.p50_us, 1)
+        << ", \"p95_us\": " << TextTable::fmt(lat.p95_us, 1)
+        << ", \"p99_us\": " << TextTable::fmt(lat.p99_us, 1) << "}"
+        << (i + 1 < result.latency.size() ? ",\n" : "\n");
+  }
   out << "  ],\n  \"summary\": {\"requests\": " << result.requests
       << ", \"admitted\": " << result.admitted << ", \"rejected\": " << result.rejected
       << ", \"removed\": " << result.removed << ", \"errors\": " << result.errors
@@ -111,21 +142,44 @@ ServiceResult run_admission_stream(std::istream& in, const ServiceOptions& optio
   std::vector<Outcome> outcomes;
   ServiceResult result;
 
+  // One latency sample bucket per verb; batch members settle on the
+  // batch-commit, so its sample covers the whole group's trajectory.
+  std::array<std::vector<double>, 5> latency_us;
   std::string line;
   while (std::getline(in, line)) {
     const std::optional<Request> request = parse_request(line);
     if (!request.has_value()) continue;  // blank / comment
+    const auto start = std::chrono::steady_clock::now();
     Outcome outcome = controller.submit(*request);
+    const auto stop = std::chrono::steady_clock::now();
+    latency_us[static_cast<std::size_t>(outcome.verb)].push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
     ++result.requests;
     if (outcome.reason == ReasonCode::kParseError ||
-        outcome.reason == ReasonCode::kUnknownTask) {
+        outcome.reason == ReasonCode::kUnknownTask ||
+        outcome.reason == ReasonCode::kBatchError) {
       ++result.errors;
     } else if (outcome.verb == Verb::kAdmit) {
-      ++(outcome.accepted ? result.admitted : result.rejected);
+      if (outcome.reason != ReasonCode::kQueued) {  // queued: decided later
+        ++(outcome.accepted ? result.admitted : result.rejected);
+      }
     } else if (outcome.verb == Verb::kRemove) {
       ++result.removed;
+    } else if (outcome.verb == Verb::kBatchCommit) {
+      (outcome.accepted ? result.admitted : result.rejected) += outcome.batch_size;
     }
     outcomes.push_back(std::move(outcome));
+  }
+
+  for (std::size_t v = 0; v < latency_us.size(); ++v) {
+    if (latency_us[v].empty()) continue;
+    KindLatency lat;
+    lat.kind = to_string(static_cast<Verb>(v));
+    lat.count = latency_us[v].size();
+    lat.p50_us = percentile_us(latency_us[v], 50.0);
+    lat.p95_us = percentile_us(latency_us[v], 95.0);
+    lat.p99_us = percentile_us(latency_us[v], 99.0);
+    result.latency.push_back(std::move(lat));
   }
 
   result.result_hash = controller.result_hash();
@@ -139,10 +193,15 @@ ServiceResult run_admission_stream(std::istream& in, const ServiceOptions& optio
           << "  cache " << controller.cache_hits() << "/"
           << controller.cache_hits() + controller.cache_misses() << "  hash "
           << std::hex << result.result_hash << std::dec << "\n";
+      for (const KindLatency& lat : result.latency) {
+        out << "latency " << lat.kind << "  p50 " << TextTable::fmt(lat.p50_us, 1)
+            << "us  p95 " << TextTable::fmt(lat.p95_us, 1) << "us  p99 "
+            << TextTable::fmt(lat.p99_us, 1) << "us  (n=" << lat.count << ")\n";
+      }
       result.report = out.str();
       break;
     }
-    case ReportFormat::kCsv: result.report = render_csv(outcomes); break;
+    case ReportFormat::kCsv: result.report = render_csv(outcomes, result); break;
     case ReportFormat::kJson:
       result.report = render_json(outcomes, result, options, controller);
       break;

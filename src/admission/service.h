@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "admission/controller.h"
 #include "scenario/spec.h"
@@ -18,13 +19,25 @@ struct ServiceOptions {
   ReportFormat report = ReportFormat::kTable;
 };
 
+/// Nearest-rank per-request-kind latency percentiles, measured around
+/// each controller submit. Reporting-only: wall time never feeds the
+/// result hash.
+struct KindLatency {
+  std::string kind;        ///< request verb ("admit", "remove", ...)
+  std::size_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
 struct ServiceResult {
   std::size_t requests = 0;      ///< non-blank, non-comment lines
-  std::size_t admitted = 0;      ///< accepted admits
-  std::size_t rejected = 0;      ///< rejected admits (any reason)
+  std::size_t admitted = 0;      ///< accepted admits (batch members included)
+  std::size_t rejected = 0;      ///< rejected admits (batch members included)
   std::size_t removed = 0;       ///< accepted removals
-  std::size_t errors = 0;        ///< parse errors + unknown-task removals
+  std::size_t errors = 0;        ///< parse errors, unknown tasks, batch misuse
   std::uint64_t result_hash = 0; ///< controller's final result hash
+  std::vector<KindLatency> latency;  ///< per verb, in first-seen order
   std::string report;            ///< rendered in the requested format
 };
 

@@ -77,17 +77,26 @@ void SystemState::commit_remove(std::uint32_t slot) {
 SystemState::Built SystemState::build_with(
     const TaskSpec* candidate, std::uint32_t candidate_slot,
     std::optional<std::uint32_t> excluding) const {
+  return build_with_batch(
+      candidate != nullptr ? std::span<const TaskSpec>{candidate, 1}
+                           : std::span<const TaskSpec>{},
+      candidate_slot, excluding);
+}
+
+SystemState::Built SystemState::build_with_batch(
+    std::span<const TaskSpec> candidates, std::uint32_t first_candidate_slot,
+    std::optional<std::uint32_t> excluding) const {
   TaskSystemBuilder builder{processor_count_};
   std::vector<std::uint32_t> slots;
-  slots.reserve(live_.size() + 1);
+  slots.reserve(live_.size() + candidates.size());
   for (const auto& [slot, spec] : live_) {
     if (excluding.has_value() && slot == *excluding) continue;
     add_to_builder(builder, spec);
     slots.push_back(slot);
   }
-  if (candidate != nullptr) {
-    add_to_builder(builder, *candidate);
-    slots.push_back(candidate_slot);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    add_to_builder(builder, candidates[i]);
+    slots.push_back(first_candidate_slot + static_cast<std::uint32_t>(i));
   }
   return Built{std::move(builder).build(), std::move(slots)};
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,13 @@ class SystemState {
   [[nodiscard]] Built build_with(const TaskSpec* candidate,
                                  std::uint32_t candidate_slot,
                                  std::optional<std::uint32_t> excluding) const;
+
+  /// Batch form: all of `candidates` appended last, in order, with the
+  /// consecutive slots `first_candidate_slot`, `first_candidate_slot+1`,
+  /// ... -- the trial system of a batch-commit.
+  [[nodiscard]] Built build_with_batch(std::span<const TaskSpec> candidates,
+                                       std::uint32_t first_candidate_slot,
+                                       std::optional<std::uint32_t> excluding) const;
 
  private:
   std::size_t processor_count_;

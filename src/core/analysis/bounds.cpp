@@ -1,6 +1,7 @@
 #include "core/analysis/bounds.h"
 
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace e2e {
 
@@ -14,6 +15,24 @@ SubtaskTable::SubtaskTable(const TaskSystem& system, Duration initial) {
 Duration SubtaskTable::predecessor_or_zero(SubtaskRef ref) const {
   if (ref.index <= 0) return 0;
   return at(SubtaskRef{ref.task, ref.index - 1});
+}
+
+void SubtaskTable::append_row(std::size_t chain_length, Duration initial) {
+  values_.emplace_back().assign(chain_length, initial);
+}
+
+void SubtaskTable::remove_row(std::size_t task_index) {
+  E2E_ASSERT(task_index < values_.size(), "SubtaskTable: task out of range");
+  values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(task_index));
+}
+
+std::uint64_t SubtaskTable::content_hash() const noexcept {
+  std::uint64_t h = hash_combine(0, values_.size());
+  for (const auto& row : values_) {
+    h = hash_combine(h, row.size());
+    for (const Duration v : row) h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
 }
 
 bool SubtaskTable::any_infinite() const noexcept {

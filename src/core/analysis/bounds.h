@@ -1,6 +1,8 @@
 // Containers for per-subtask and per-task analysis results.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.h"
@@ -40,6 +42,27 @@ class SubtaskTable {
   /// Value for the predecessor of `ref`, or 0 for a first subtask.
   /// This is the R_{u,v-1} term of Algorithm IEERT.
   [[nodiscard]] Duration predecessor_or_zero(SubtaskRef ref) const;
+
+  /// The row for task `task_index` (chain-indexed values).
+  [[nodiscard]] std::span<const Duration> row(std::size_t task_index) const {
+    E2E_ASSERT(task_index < values_.size(), "SubtaskTable: task out of range");
+    return values_[task_index];
+  }
+
+  /// Number of task rows.
+  [[nodiscard]] std::size_t row_count() const noexcept { return values_.size(); }
+
+  /// Appends a row of `chain_length` entries, all `initial` -- the shape
+  /// companion of TaskSystem::append_task.
+  void append_row(std::size_t chain_length, Duration initial);
+
+  /// Removes row `task_index`; later rows shift down, matching
+  /// TaskSystem::remove_task's renumbering.
+  void remove_row(std::size_t task_index);
+
+  /// Order-dependent hash over shape and every entry, for proving a
+  /// delta-maintained table equal to a freshly computed one.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
 
   /// True if any entry is kTimeInfinity.
   [[nodiscard]] bool any_infinite() const noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/error.h"
 #include "common/math.h"
 #include "core/analysis/blocking.h"
 #include "core/analysis/demand.h"
@@ -163,6 +164,67 @@ std::vector<std::uint32_t> table_inputs_of(const InterferenceMap& interference,
 }
 
 }  // namespace
+
+std::vector<std::uint32_t> ieert_table_inputs(const InterferenceMap& interference,
+                                              SubtaskRef ref,
+                                              std::span<const Interferer> hp) {
+  return table_inputs_of(interference, ref, hp);
+}
+
+std::size_t ieert_sweep(const TaskSystem& system, const InterferenceMap& interference,
+                        SubtaskTable& table, const IeertOptions& options,
+                        IeertIncrementalState& state, IeertSweepUndo* undo) {
+  const std::size_t count = interference.subtask_count();
+  E2E_ASSERT(state.deps.size() == count, "ieert_sweep: deps not maintained");
+  E2E_ASSERT(state.warm.size() == count, "ieert_sweep: warm not sized");
+  E2E_ASSERT(undo == nullptr || undo->seen.size() == count,
+             "ieert_sweep: undo journal not armed");
+
+  // Same staleness and ordering rules as ieert_pass's fast path; the only
+  // difference is that `table` doubles as both `current` and `next` (no
+  // per-sweep copy). Gauss-Seidel already feeds earlier updates into later
+  // entries within one sweep, so the converged fixpoint is unchanged.
+  const bool incremental = !state.changed.empty();
+  std::vector<std::uint8_t> sweep_changed(count, 0);
+  std::vector<Duration> hp_jitter;
+  std::size_t changed_count = 0;
+  for (const Task& t : system.tasks()) {
+    for (const Subtask& s : t.subtasks) {
+      const std::size_t flat = interference.flat_index(s.ref);
+      bool stale = true;
+      if (incremental) {
+        stale = !state.force.empty() && state.force[flat] != 0;
+        for (std::size_t d_idx = 0; !stale && d_idx < state.deps[flat].size();
+             ++d_idx) {
+          const std::uint32_t d = state.deps[flat][d_idx];
+          if (state.changed[d] != 0 || sweep_changed[d] != 0) stale = true;
+        }
+      }
+      if (!stale) continue;
+      if (undo != nullptr && undo->seen[flat] == 0) {
+        undo->seen[flat] = 1;
+        undo->entries.push_back(IeertSweepUndo::Entry{
+            .ref = s.ref,
+            .flat = static_cast<std::uint32_t>(flat),
+            .value = table.at(s.ref),
+            .warm = state.warm[flat],
+        });
+      }
+      const Duration bound =
+          bound_subtask_ieer(system, s, interference.of(s.ref),
+                             interference.soa_of(s.ref), table, options, hp_jitter,
+                             &state.warm[flat]);
+      if (bound != table.at(s.ref)) {
+        sweep_changed[flat] = 1;
+        ++changed_count;
+        table.set(s.ref, bound);
+      }
+    }
+  }
+  state.changed = std::move(sweep_changed);
+  state.force.clear();  // one-shot: consumed by this sweep
+  return changed_count;
+}
 
 SubtaskTable ieert_pass(const TaskSystem& system, const InterferenceMap& interference,
                         const SubtaskTable& current, const IeertOptions& options,

@@ -113,4 +113,49 @@ struct IeertIncrementalState {
                                       const IeertOptions& options = {},
                                       IeertIncrementalState* state = nullptr);
 
+/// Flat indices of the `current` entries an IEERT recomputation of `ref`
+/// reads: its own predecessor plus each interferer's predecessor (the
+/// jitter terms). Everything else in the equation is static per system.
+/// `hp` must be `interference.of(ref)`. Deduplicated, first occurrence
+/// first -- the list ieert_pass builds internally, exposed so the
+/// admission engine can delta-maintain IeertIncrementalState::deps
+/// across admits/removes instead of rebuilding all lists per request.
+[[nodiscard]] std::vector<std::uint32_t> ieert_table_inputs(
+    const InterferenceMap& interference, SubtaskRef ref,
+    std::span<const Interferer> hp);
+
+/// First-touch journal of one or more in-place ieert_sweep() calls:
+/// everything needed to restore the table and warm seeds of a rejected
+/// admission trial byte-for-byte. `arm(count)` resets it for a new
+/// trial; each recomputed entry's pre-trial value and warm seed are
+/// recorded exactly once (at first recomputation), so replaying the
+/// journal in any order restores the pre-trial state.
+struct IeertSweepUndo {
+  struct Entry {
+    SubtaskRef ref;
+    std::uint32_t flat = 0;
+    Duration value = 0;
+    IeertWarmEntry warm;
+  };
+  std::vector<std::uint8_t> seen;  ///< per flat index: already journaled
+  std::vector<Entry> entries;
+
+  void arm(std::size_t count) {
+    seen.assign(count, 0);
+    entries.clear();
+  }
+};
+
+/// One in-place Gauss-Seidel sweep of `table` -- the no-copy form of
+/// ieert_pass's fast path for engines that persist the converged table
+/// across requests. Returns the number of entries whose value changed;
+/// 0 means `table` is the (least) fixpoint. Unlike ieert_pass, `state`
+/// is required and its deps/warm must already be sized to the system
+/// (the caller delta-maintains them); `state.changed` empty means
+/// "recompute everything". With `undo`, pre-recomputation values and
+/// warm seeds are journaled (first touch only) for trial rollback.
+std::size_t ieert_sweep(const TaskSystem& system, const InterferenceMap& interference,
+                        SubtaskTable& table, const IeertOptions& options,
+                        IeertIncrementalState& state, IeertSweepUndo* undo = nullptr);
+
 }  // namespace e2e

@@ -1,19 +1,16 @@
 #include "core/analysis/interference.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace e2e {
 
 InterferenceMap::InterferenceMap(const TaskSystem& system) {
   per_subtask_.resize(system.task_count());
-  task_base_.reserve(system.task_count());
-  range_begin_.reserve(system.subtask_count() + 1);
-  range_begin_.push_back(0);
-  std::size_t flat = 0;
   for (const Task& t : system.tasks()) {
     per_subtask_[t.id.index()].resize(t.subtasks.size());
-    task_base_.push_back(flat);
-    flat += t.subtasks.size();
     for (const Subtask& s : t.subtasks) {
       auto& set = per_subtask_[t.id.index()][static_cast<std::size_t>(s.ref.index)];
       for (const SubtaskRef other_ref : system.subtasks_on(s.processor)) {
@@ -28,7 +25,133 @@ InterferenceMap::InterferenceMap(const TaskSystem& system) {
             .task_release_jitter = system.task(other_ref.task).release_jitter,
         });
       }
-      // Mirror this set into the flat SoA arrays (demand-kernel layout).
+    }
+  }
+  rebuild_mirror();
+}
+
+InterferenceMap::AdmitDelta InterferenceMap::apply_admit(const TaskSystem& system) {
+  E2E_ASSERT(system.task_count() == per_subtask_.size() + 1,
+             "apply_admit: system must have exactly one appended task");
+  AdmitDelta delta;
+  delta.old_tasks = per_subtask_.size();
+  delta.old_subtasks = subtask_count();
+  const Task& cand = system.tasks().back();
+
+  // 1. Resident sets on the candidate's processors gain the candidate
+  // subtasks that interfere with them -- appended at the END of each set,
+  // in candidate chain order, exactly where a fresh subtasks_on(p) scan
+  // (candidate refs last, builder layout) would have put them.
+  for (std::size_t cj = 0; cj < cand.subtasks.size(); ++cj) {
+    const ProcessorId proc = cand.subtasks[cj].processor;
+    // Handle each distinct processor once, at its first chain occurrence.
+    bool first_occurrence = true;
+    for (std::size_t prev = 0; prev < cj; ++prev) {
+      if (cand.subtasks[prev].processor == proc) {
+        first_occurrence = false;
+        break;
+      }
+    }
+    if (!first_occurrence) continue;
+    for (const SubtaskRef ref : system.subtasks_on(proc)) {
+      if (ref.task == cand.id) continue;  // candidate rows built below
+      const Subtask& s = system.subtask(ref);
+      auto& set = per_subtask_[ref.task.index()][static_cast<std::size_t>(ref.index)];
+      std::uint32_t appended = 0;
+      for (const Subtask& c : cand.subtasks) {
+        if (c.processor != proc) continue;
+        if (!higher_or_equal_priority(c.priority, s.priority)) continue;
+        set.push_back(Interferer{
+            .ref = c.ref,
+            .period = cand.period,
+            .execution_time = c.execution_time,
+            .predecessor_index = c.ref.index - 1,
+            .task_release_jitter = cand.release_jitter,
+        });
+        ++appended;
+      }
+      if (appended > 0) {
+        delta.appended.emplace_back(flat_index(ref), appended);
+      }
+    }
+  }
+
+  // 2. The candidate's own row, built with the constructor's scan (its
+  // interferers include residents AND earlier/later candidate subtasks
+  // sharing a processor).
+  auto& rows = per_subtask_.emplace_back();
+  rows.resize(cand.subtasks.size());
+  for (const Subtask& s : cand.subtasks) {
+    auto& set = rows[static_cast<std::size_t>(s.ref.index)];
+    for (const SubtaskRef other_ref : system.subtasks_on(s.processor)) {
+      if (other_ref == s.ref) continue;
+      const Subtask& other = system.subtask(other_ref);
+      if (!higher_or_equal_priority(other.priority, s.priority)) continue;
+      set.push_back(Interferer{
+          .ref = other_ref,
+          .period = system.task(other_ref.task).period,
+          .execution_time = other.execution_time,
+          .predecessor_index = other_ref.index - 1,
+          .task_release_jitter = system.task(other_ref.task).release_jitter,
+      });
+    }
+  }
+
+  rebuild_mirror();
+  return delta;
+}
+
+void InterferenceMap::revert_admit(const AdmitDelta& delta) {
+  E2E_ASSERT(per_subtask_.size() == delta.old_tasks + 1,
+             "revert_admit: not the most recent admit");
+  per_subtask_.pop_back();
+  for (const auto& [flat, count] : delta.appended) {
+    // Old flat numbering is still valid for resident rows: task_base_'s
+    // first old_tasks entries are untouched by the append.
+    const auto it = std::prev(std::upper_bound(
+        task_base_.begin(), task_base_.begin() + static_cast<std::ptrdiff_t>(delta.old_tasks),
+        flat));
+    const auto task = static_cast<std::size_t>(it - task_base_.begin());
+    const std::size_t index = flat - *it;
+    auto& set = per_subtask_[task][index];
+    E2E_ASSERT(set.size() >= count, "revert_admit: set smaller than recorded append");
+    set.resize(set.size() - count);
+  }
+  rebuild_mirror();
+}
+
+void InterferenceMap::apply_remove(std::size_t removed) {
+  E2E_ASSERT(removed < per_subtask_.size(), "apply_remove: task out of range");
+  const auto removed_id = static_cast<std::int32_t>(removed);
+  per_subtask_.erase(per_subtask_.begin() + static_cast<std::ptrdiff_t>(removed));
+  for (auto& rows : per_subtask_) {
+    for (auto& set : rows) {
+      std::size_t write = 0;
+      for (Interferer& h : set) {
+        if (h.ref.task.value() == removed_id) continue;
+        if (h.ref.task.value() > removed_id) {
+          h.ref.task = TaskId{h.ref.task.value() - 1};
+        }
+        set[write++] = h;
+      }
+      set.resize(write);
+    }
+  }
+  rebuild_mirror();
+}
+
+void InterferenceMap::rebuild_mirror() {
+  task_base_.clear();
+  range_begin_.clear();
+  flat_periods_.clear();
+  flat_execs_.clear();
+  flat_jitters_.clear();
+  range_begin_.push_back(0);
+  std::size_t flat = 0;
+  for (const auto& rows : per_subtask_) {
+    task_base_.push_back(flat);
+    flat += rows.size();
+    for (const auto& set : rows) {
       for (const Interferer& h : set) {
         flat_periods_.push_back(h.period);
         flat_execs_.push_back(h.execution_time);
@@ -37,6 +160,25 @@ InterferenceMap::InterferenceMap(const TaskSystem& system) {
       range_begin_.push_back(flat_periods_.size());
     }
   }
+}
+
+std::uint64_t InterferenceMap::content_hash() const noexcept {
+  std::uint64_t h = hash_combine(0, per_subtask_.size());
+  for (const auto& rows : per_subtask_) {
+    h = hash_combine(h, rows.size());
+    for (const auto& set : rows) {
+      h = hash_combine(h, set.size());
+      for (const Interferer& e : set) {
+        h = hash_combine(h, static_cast<std::uint64_t>(e.ref.task.value()));
+        h = hash_combine(h, static_cast<std::uint64_t>(e.ref.index));
+        h = hash_combine(h, static_cast<std::uint64_t>(e.period));
+        h = hash_combine(h, static_cast<std::uint64_t>(e.execution_time));
+        h = hash_combine(h, static_cast<std::uint64_t>(e.predecessor_index));
+        h = hash_combine(h, static_cast<std::uint64_t>(e.task_release_jitter));
+      }
+    }
+  }
+  return h;
 }
 
 std::span<const Interferer> InterferenceMap::of(SubtaskRef ref) const {

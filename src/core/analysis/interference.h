@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -40,8 +41,21 @@ struct Interferer {
 };
 
 /// Interference sets for every subtask in a system, indexed by SubtaskRef.
+///
+/// Besides one-shot construction, the map supports delta maintenance for
+/// the admission engines: apply_admit() patches in one task appended at
+/// the back of the system, apply_remove() patches out one removed task,
+/// and revert_admit() undoes a rejected trial. All three leave the map
+/// bit-identical to fresh construction over the mutated system (the
+/// admission property tests pin this via content_hash()): the builder
+/// lays per-processor resident lists out task-major, so an appended
+/// task's subtasks land at the END of every scan a fresh constructor
+/// would do -- appends patch in as pure set suffixes, and removals as
+/// order-preserving compaction.
 class InterferenceMap {
  public:
+  /// Empty map; delta-populate via apply_admit or assign a fresh one.
+  InterferenceMap() = default;
   explicit InterferenceMap(const TaskSystem& system);
 
   /// H_{i,j} for the given subtask (same processor, priority >=, not self).
@@ -64,10 +78,46 @@ class InterferenceMap {
   [[nodiscard]] std::size_t flat_index(SubtaskRef ref) const;
   /// Total number of subtasks in the system.
   [[nodiscard]] std::size_t subtask_count() const noexcept {
-    return range_begin_.size() - 1;
+    return range_begin_.empty() ? 0 : range_begin_.size() - 1;
   }
 
+  /// Revert token for one apply_admit: the pre-admit shape plus which
+  /// resident sets grew by how much. Enough to restore the map
+  /// byte-for-byte after a rejected trial.
+  struct AdmitDelta {
+    std::size_t old_tasks = 0;
+    std::size_t old_subtasks = 0;
+    /// (flat subtask index in the OLD numbering, interferers appended at
+    /// the end of its set), residents only.
+    std::vector<std::pair<std::size_t, std::uint32_t>> appended;
+  };
+
+  /// Patches the map for `system`, which must be the currently mapped
+  /// system plus exactly one task appended at the back. Returns the
+  /// revert token. Result is bit-identical to InterferenceMap{system}.
+  AdmitDelta apply_admit(const TaskSystem& system);
+
+  /// Undoes the most recent apply_admit (rejected trial). Multiple
+  /// admits revert in reverse order of application.
+  void revert_admit(const AdmitDelta& delta);
+
+  /// Patches the map for the removal of task `removed`: drops its row and
+  /// every Interferer it contributed, renumbering later tasks down by
+  /// one. Bit-identical to fresh construction over the shrunk system.
+  void apply_remove(std::size_t removed);
+
+  /// Order-dependent hash of every interference set (refs + parameters),
+  /// which fully determines the SoA mirror as well -- the delta-vs-fresh
+  /// equivalence check of the admission property tests.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
+
  private:
+  /// Rebuilds task_base_/range_begin_/flat_* from per_subtask_ (the
+  /// source of truth), reusing capacity. O(total interferers), which on
+  /// admission-sized systems is a few microseconds -- the delta work
+  /// proper is the AoS surgery above.
+  void rebuild_mirror();
+
   std::vector<std::vector<std::vector<Interferer>>> per_subtask_;  // [task][index]
   // Flat SoA mirror: subtask (task-major order) f has interferers in
   // [range_begin_[f], range_begin_[f + 1]) of the flat arrays.

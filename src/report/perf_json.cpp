@@ -173,6 +173,11 @@ void validate_variant(JsonReader& reader) {
     } else if (key == "result_hash") {
       saw_hash = true;
       check_hash_string(reader.read_string());
+    } else if (key == "latency_p50_us" || key == "latency_p95_us" ||
+               key == "latency_p99_us") {
+      if (reader.read_number() < 0.0) {
+        throw InvalidArgument("perf json: " + key + " must be non-negative");
+      }
     } else {
       throw InvalidArgument("perf json: unknown variant key '" + key + "'");
     }
@@ -333,7 +338,15 @@ std::string to_json(const PerfReport& report) {
           << std::setprecision(6) << std::fixed << variant.wall_seconds
           << ", \"speedup_vs_legacy\": " << std::setprecision(3)
           << variant.speedup_vs_legacy << ", \"result_hash\": \""
-          << hex_hash(variant.result_hash) << "\"}";
+          << hex_hash(variant.result_hash) << "\"";
+      if (variant.latency_p50_us > 0.0 || variant.latency_p95_us > 0.0 ||
+          variant.latency_p99_us > 0.0) {
+        out << ", \"latency_p50_us\": " << std::setprecision(1)
+            << variant.latency_p50_us << ", \"latency_p95_us\": "
+            << variant.latency_p95_us << ", \"latency_p99_us\": "
+            << variant.latency_p99_us;
+      }
+      out << "}";
       out.unsetf(std::ios::floatfield);
     }
     out << "\n  ]";

@@ -36,6 +36,12 @@ struct PerfVariant {
   double wall_seconds = 0.0;
   double speedup_vs_legacy = 0.0;  ///< wall(legacy variant) / wall(this)
   std::uint64_t result_hash = 0;   ///< fingerprint of the computed results
+  /// Optional per-request latency percentiles (microseconds) for request-
+  /// stream variants; all zero (and omitted from the JSON) when the
+  /// variant has no per-request notion of latency.
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 struct PerfReport {

@@ -92,6 +92,26 @@ class TaskSystem {
   /// beyond being non-negative (validated here, mirroring the builder).
   void set_phases(std::span<const Time> phases);
 
+  /// Appends `task` as the new last task. Sanctioned mutation number two,
+  /// for the admission engines that grow/shrink one committed system
+  /// across thousands of requests: `task.id` and its subtasks' refs are
+  /// renumbered here, its refs are appended at the end of the resident
+  /// lists of its processors, and the cached aggregates are folded in --
+  /// all exactly as TaskSystemBuilder::build() would have ordered them,
+  /// so analyses over the grown system see the builder's scan order.
+  /// Validates the same invariants the builder enforces (positive
+  /// period/execution times, in-range processors, non-empty chain,
+  /// non-negative phase/deadline/jitter); deadline 0 defaults to the
+  /// period, matching the builder.
+  void append_task(Task task);
+
+  /// Removes the task at `index`, renumbering later tasks (and their
+  /// subtasks' refs) down by one. The per-processor resident lists are
+  /// compacted preserving relative order, which again matches a fresh
+  /// builder pass over the surviving tasks; aggregates are recomputed in
+  /// O(tasks). The system must keep at least one task.
+  void remove_task(std::size_t index);
+
   /// True if `ref` names an existing subtask.
   [[nodiscard]] bool contains(SubtaskRef ref) const noexcept {
     if (ref.task.value() < 0 || ref.task.index() >= tasks_.size()) return false;

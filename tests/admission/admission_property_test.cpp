@@ -2,9 +2,19 @@
 // incremental engines agree with the full-recompute baseline on every
 // verdict, every rejection reason, every culprit bound, and the running
 // result hash -- checked after EVERY request, not just at the end, so a
-// transient divergence that later self-corrects still fails. A second
-// property replays independent shards across thread counts {1, 2, 8}
-// and requires the index-ordered hash fold to be thread-count
+// transient divergence that later self-corrects still fails.
+//
+// For the delta-maintained SA/DS engines the lockstep additionally
+// checks the interference-delta invariant: after every request the
+// engine's persistent InterferenceMap and converged SubtaskTable must
+// hash-match structures built FRESH from the committed live set. This
+// covers the rejected-trial revert paths too -- a rejection leaves the
+// committed state unchanged, so a revert that leaks even one patched
+// interferer or journal entry diverges from fresh construction on the
+// very next request.
+//
+// A further property replays independent shards across thread counts
+// {1, 2, 8} and requires the index-ordered hash fold to be thread-count
 // invariant.
 #include <gtest/gtest.h>
 
@@ -15,6 +25,8 @@
 #include "admission/controller.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "core/analysis/interference.h"
+#include "core/analysis/sa_ds.h"
 #include "exec/thread_pool.h"
 
 namespace e2e::admission {
@@ -48,9 +60,35 @@ void expect_equal_outcomes(const Outcome& full, const Outcome& incremental,
       << "request " << request_index;
   EXPECT_EQ(full.remaining_schedulable, incremental.remaining_schedulable)
       << "request " << request_index;
+  EXPECT_EQ(full.batch_size, incremental.batch_size)
+      << "request " << request_index;
 }
 
-void run_lockstep(Policy policy, std::uint64_t seed) {
+/// Interference-delta lockstep: the incremental DS engine's persistent
+/// structures must hash-match ones built fresh from the committed live
+/// set. PM engines (and empty systems) expose no digest.
+void expect_digest_matches_fresh(const AdmissionController& incremental,
+                                 Policy policy, std::size_t request_index) {
+  const std::optional<Engine::StructureDigest> digest =
+      incremental.structure_digest();
+  if (policy == Policy::kPm || incremental.state().task_count() == 0) {
+    EXPECT_FALSE(digest.has_value()) << "request " << request_index;
+    return;
+  }
+  ASSERT_TRUE(digest.has_value()) << "request " << request_index;
+  const SystemState::Built built =
+      incremental.state().build_with(nullptr, 0, std::nullopt);
+  const InterferenceMap fresh_map{built.system};
+  EXPECT_EQ(digest->interference_hash, fresh_map.content_hash())
+      << "request " << request_index;
+  const SaDsOptions options{.refine_jitter_with_best_case =
+                                policy == Policy::kHolistic};
+  const SaDsResult fresh = analyze_sa_ds(built.system, fresh_map, options);
+  EXPECT_EQ(digest->table_hash, fresh.analysis.subtask_bounds.content_hash())
+      << "request " << request_index;
+}
+
+void run_lockstep(Policy policy, std::uint64_t seed, double batch_fraction = 0.0) {
   ChurnShape shape;
   shape.processors = 8;
   shape.initial_admits = 60;
@@ -58,6 +96,8 @@ void run_lockstep(Policy policy, std::uint64_t seed) {
   // Oversubscribe slightly so the stream exercises utilization and
   // bound-failure rejections, not just accepts.
   shape.max_sub_utilization = 0.05;
+  shape.batch_fraction = batch_fraction;
+  shape.max_batch = 3;
 
   Rng rng{seed};
   const std::vector<Request> stream = generate_churn(rng, shape);
@@ -74,6 +114,7 @@ void run_lockstep(Policy policy, std::uint64_t seed) {
 
   bool saw_reject = false;
   bool saw_remove = false;
+  bool saw_batch = false;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     const Outcome a = full.submit(stream[i]);
     const Outcome b = incremental.submit(stream[i]);
@@ -81,13 +122,17 @@ void run_lockstep(Policy policy, std::uint64_t seed) {
     ASSERT_EQ(full.result_hash(), incremental.result_hash())
         << "policy " << to_string(policy) << ", request " << i << " ("
         << to_string(stream[i].verb) << " '" << stream[i].task.name << "')";
-    saw_reject |= (a.verb == Verb::kAdmit && !a.accepted);
+    expect_digest_matches_fresh(incremental, policy, i);
+    saw_reject |= (!a.accepted && a.reason == ReasonCode::kBoundFailure);
     saw_remove |= (a.verb == Verb::kRemove && a.accepted);
+    saw_batch |= (a.verb == Verb::kBatchCommit && a.batch_size >= 2);
   }
   // The property is vacuous on an all-accept stream; make sure the
-  // generated churn actually exercised both interesting paths.
+  // generated churn actually exercised both interesting paths (rejected
+  // trials drive the engines' revert machinery).
   EXPECT_TRUE(saw_reject);
   EXPECT_TRUE(saw_remove);
+  EXPECT_EQ(saw_batch, batch_fraction > 0.0);
 }
 
 TEST(AdmissionProperty, IncrementalPmMatchesFullRecompute) {
@@ -106,6 +151,17 @@ TEST(AdmissionProperty, IncrementalHolisticMatchesFullRecompute) {
 TEST(AdmissionProperty, SecondSeedSweep) {
   run_lockstep(Policy::kPm, 20260808u);
   run_lockstep(Policy::kDs, 20260809u);
+  run_lockstep(Policy::kHolistic, 20260810u);
+}
+
+// Batched streams: batch-begin/admits/batch-commit groups answered
+// through one engine trajectory each, still in lockstep with the
+// full-recompute baseline (including batch rejections, which exercise
+// the multi-task revert path of the persistent DS structures).
+TEST(AdmissionProperty, BatchedStreamsMatch) {
+  run_lockstep(Policy::kPm, 0x5EED0001u, 0.3);
+  run_lockstep(Policy::kDs, 0x5EED0002u, 0.3);
+  run_lockstep(Policy::kHolistic, 0x5EED0003u, 0.3);
 }
 
 TEST(AdmissionProperty, ShardedReplayIsThreadCountInvariant) {

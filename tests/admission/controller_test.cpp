@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,100 @@ TEST(Controller, ParseErrorFlowsThroughSubmit) {
   EXPECT_EQ(outcome.reason, ReasonCode::kParseError);
 }
 
+TEST(Controller, BatchCommitAdmitsAllMembersWithConsecutiveSlots) {
+  AdmissionController controller{pm_options()};
+  const Outcome open = controller.batch_begin();
+  EXPECT_TRUE(open.accepted);
+  EXPECT_TRUE(controller.in_batch());
+
+  const Outcome q1 = controller.admit(make_spec("B1", 100, {{0, 10, 0}}));
+  const Outcome q2 = controller.admit(make_spec("B2", 200, {{1, 10, 0}}));
+  EXPECT_FALSE(q1.accepted);
+  EXPECT_EQ(q1.reason, ReasonCode::kQueued);
+  EXPECT_EQ(q2.reason, ReasonCode::kQueued);
+  EXPECT_EQ(controller.state().task_count(), 0u);  // nothing live yet
+
+  const Outcome commit = controller.batch_commit();
+  EXPECT_TRUE(commit.accepted);
+  EXPECT_EQ(commit.batch_size, 2u);
+  EXPECT_EQ(commit.slot, 0u);  // first slot of the batch
+  EXPECT_EQ(commit.live_tasks, 2u);
+  EXPECT_FALSE(controller.in_batch());
+  EXPECT_EQ(controller.state().slot_of("B1"), 0u);
+  EXPECT_EQ(controller.state().slot_of("B2"), 1u);
+}
+
+TEST(Controller, RejectedBatchCommitsNothing) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.admit(make_spec("T1", 10, {{0, 5, 0}})).accepted);
+  const std::uint64_t hash_before_batch = controller.result_hash();
+
+  ASSERT_TRUE(controller.batch_begin().accepted);
+  ASSERT_EQ(controller.admit(make_spec("OK", 200, {{1, 10, 0}})).reason,
+            ReasonCode::kQueued);
+  // Same infeasible candidate as BoundFailureReportsCulpritDetail: its
+  // presence must sink the whole batch, including the feasible member.
+  ASSERT_EQ(controller.admit(make_spec("BAD", 12, {{0, 5, 1}}, 6)).reason,
+            ReasonCode::kQueued);
+  const Outcome commit = controller.batch_commit();
+  EXPECT_FALSE(commit.accepted);
+  EXPECT_EQ(commit.reason, ReasonCode::kBoundFailure);
+  EXPECT_EQ(commit.batch_size, 2u);
+  EXPECT_EQ(commit.culprit_task, "BAD");
+  EXPECT_TRUE(commit.culprit_is_candidate);
+  EXPECT_EQ(controller.state().task_count(), 1u);  // atomic: neither landed
+  EXPECT_FALSE(controller.state().slot_of("OK").has_value());
+
+  // The committed state is untouched, so the feasible member admits
+  // cleanly on its own afterwards.
+  EXPECT_TRUE(controller.admit(make_spec("OK", 200, {{1, 10, 0}})).accepted);
+  EXPECT_NE(controller.result_hash(), hash_before_batch);
+}
+
+TEST(Controller, BatchVerbMisuseIsABatchError) {
+  AdmissionController controller{pm_options()};
+  // Commit with no open batch.
+  const Outcome stray = controller.batch_commit();
+  EXPECT_FALSE(stray.accepted);
+  EXPECT_EQ(stray.reason, ReasonCode::kBatchError);
+
+  ASSERT_TRUE(controller.batch_begin().accepted);
+  // Nested begin.
+  const Outcome nested = controller.batch_begin();
+  EXPECT_FALSE(nested.accepted);
+  EXPECT_EQ(nested.reason, ReasonCode::kBatchError);
+  // Remove inside an open batch.
+  const Outcome removal = controller.remove("anything");
+  EXPECT_FALSE(removal.accepted);
+  EXPECT_EQ(removal.reason, ReasonCode::kBatchError);
+  // An empty batch commits vacuously.
+  const Outcome empty = controller.batch_commit();
+  EXPECT_TRUE(empty.accepted);
+  EXPECT_EQ(empty.batch_size, 0u);
+}
+
+TEST(Controller, BatchPrechecksSeePendingMembers) {
+  AdmissionController controller{pm_options()};
+  ASSERT_TRUE(controller.batch_begin().accepted);
+  ASSERT_EQ(controller.admit(make_spec("T1", 100, {{1, 40, 0}})).reason,
+            ReasonCode::kQueued);
+  // Duplicate of a pending (not yet live) member.
+  const Outcome duplicate = controller.admit(make_spec("T1", 200, {{0, 10, 0}}));
+  EXPECT_FALSE(duplicate.accepted);
+  EXPECT_EQ(duplicate.reason, ReasonCode::kDuplicateName);
+  // Utilization precheck counts the pending member's 0.4 on processor 1,
+  // so another 0.7 overflows even though the live system is empty.
+  const Outcome overflow = controller.admit(make_spec("T2", 100, {{1, 70, 0}}));
+  EXPECT_FALSE(overflow.accepted);
+  EXPECT_EQ(overflow.reason, ReasonCode::kUtilization);
+  EXPECT_EQ(overflow.culprit_processor, 1);
+  // Neither rejection poisoned the batch itself.
+  const Outcome commit = controller.batch_commit();
+  EXPECT_TRUE(commit.accepted);
+  EXPECT_EQ(commit.batch_size, 1u);
+  EXPECT_EQ(controller.state().task_count(), 1u);
+}
+
 // The same handcrafted stream produces the same verdicts and the same
 // running result hash under every (policy, engine) pairing -- a quick
 // deterministic instance of the identity the property test randomizes.
@@ -204,6 +299,15 @@ TEST(Controller, FullAndIncrementalAgreeOnHandcraftedStream) {
     EXPECT_EQ(a.remove("T1").accepted, b.remove("T1").accepted);
     EXPECT_EQ(a.query().margin, b.query().margin);
     both(make_spec("T5", 40, {{0, 8, 0}}));
+    // One batched group through each engine's single-trajectory path.
+    EXPECT_TRUE(a.batch_begin().accepted);
+    EXPECT_TRUE(b.batch_begin().accepted);
+    both(make_spec("T6", 80, {{1, 4, 2}}));  // queued on both
+    both(make_spec("T7", 120, {{0, 6, 3}}));
+    const Outcome ca = a.batch_commit();
+    const Outcome cb = b.batch_commit();
+    EXPECT_EQ(ca.accepted, cb.accepted);
+    EXPECT_EQ(ca.batch_size, cb.batch_size);
     EXPECT_EQ(a.result_hash(), b.result_hash())
         << "policy " << to_string(policy);
   }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace e2e::admission {
 namespace {
 
@@ -71,6 +73,29 @@ TEST(RequestParse, QueryRejectsArguments) {
   EXPECT_FALSE(request->ok());
   EXPECT_NE(request->parse_error.find("query takes no arguments"),
             std::string::npos);
+}
+
+TEST(RequestParse, BatchVerbs) {
+  for (const auto& [line, verb] :
+       {std::pair{"batch-begin", Verb::kBatchBegin},
+        std::pair{"batch-commit   # flush", Verb::kBatchCommit}}) {
+    const auto request = parse_request(line);
+    ASSERT_TRUE(request.has_value()) << line;
+    EXPECT_TRUE(request->ok()) << request->parse_error;
+    EXPECT_EQ(request->verb, verb) << line;
+    EXPECT_EQ(parse_request(to_string(verb))->verb, verb);  // round-trip
+  }
+}
+
+TEST(RequestParse, BatchVerbsRejectArguments) {
+  for (const char* line : {"batch-begin name=T1", "batch-commit now=1"}) {
+    const auto request = parse_request(line);
+    ASSERT_TRUE(request.has_value()) << line;
+    EXPECT_FALSE(request->ok()) << line;
+    EXPECT_NE(request->parse_error.find("takes no arguments"),
+              std::string::npos)
+        << request->parse_error;
+  }
 }
 
 TEST(RequestParse, UnknownVerb) {

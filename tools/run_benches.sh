@@ -57,12 +57,14 @@ for name in "${BENCHES[@]}"; do
     continue
   fi
   echo "== bench_${name} =="
-  # The admission bench carries its own headline gate (incremental must
-  # beat full recompute by E2E_ADMIT_GATE_FLOOR, default 10x); arm it
-  # when regenerating the committed JSON so a speedup collapse fails.
+  # The admission bench carries its own headline gates (incremental must
+  # beat full recompute by E2E_ADMIT_GATE_FLOOR for SA/PM, default 10x,
+  # and by E2E_ADMIT_GATE_FLOOR_DS for SA/DS, default 5x); arm them when
+  # regenerating the committed JSON so a speedup collapse fails.
   run=("${bin}")
   if [[ "${name}" == "admission" ]]; then
-    run=(env "E2E_ADMIT_GATE=${E2E_ADMIT_GATE:-1}" "${bin}")
+    run=(env "E2E_ADMIT_GATE=${E2E_ADMIT_GATE:-1}" \
+         "E2E_ADMIT_GATE_FLOOR_DS=${E2E_ADMIT_GATE_FLOOR_DS:-5}" "${bin}")
   fi
   if ! "${run[@]}" "--json=${RESULTS_DIR}/BENCH_${name}.json"; then
     echo "run_benches: bench_${name} failed (schema, hash divergence, or gate)" >&2
